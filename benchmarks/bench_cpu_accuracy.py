@@ -1,0 +1,89 @@
+"""Section 4 — CPU accounting accuracy and deployment-insensitivity.
+
+Two comparisons from the paper's final experiment:
+
+1. "we first evaluated that the automatic measurement from the monolithic
+   single-thread configuration matches the true manual measurement to
+   within less than 10%";
+2. "Then we compared the measurement result on the above mentioned
+   single-processor 4-process configuration with this monolithic
+   single-thread configuration ... and obtained good matching (within
+   40% difference)".
+
+Both run on real per-thread CPU counters (time.thread_time_ns), with the
+PPS burning genuine CPU.
+"""
+
+from repro.analysis import CpuAnalysis, reconstruct
+from repro.apps.pps import PpsSystem, four_process_deployment, monolithic_deployment
+from repro.core import MonitorMode
+from repro.platform import RealClock
+from repro.workloads.burn import burn_cpu
+
+COST_SCALE = 60_000  # 60 us per work unit
+JOBS, PAGES, COMPLEXITY = 3, 3, 2
+
+
+def _automatic_total(deployment, prefix):
+    pps = PpsSystem(
+        deployment,
+        mode=MonitorMode.CPU,
+        clock=RealClock(),
+        cost_scale=COST_SCALE,
+        uuid_prefix=prefix,
+    )
+    try:
+        pps.run(njobs=JOBS, pages=PAGES, complexity=COMPLEXITY)
+        database, run_id = pps.collect()
+        dscg = reconstruct(database, run_id)
+        return CpuAnalysis(dscg).total_by_processor().total_ns()
+    finally:
+        pps.shutdown()
+
+
+def _manual_total():
+    """True CPU of the same workload, measured without any monitoring.
+
+    Monolithic, uninstrumented, single thread: the whole pipeline runs on
+    the calling thread, so one pair of thread-CPU readings around the run
+    is the ground truth the paper's manual measurement represents.
+    """
+    import time
+
+    pps = PpsSystem(
+        monolithic_deployment(),
+        instrument=False,
+        clock=RealClock(),
+        cost_scale=COST_SCALE,
+        uuid_prefix="3d",
+    )
+    try:
+        start = time.thread_time_ns()
+        pps.run(njobs=JOBS, pages=PAGES, complexity=COMPLEXITY)
+        return time.thread_time_ns() - start
+    finally:
+        pps.shutdown()
+
+
+def test_cpu_accuracy(benchmark, reporter):
+    monolithic_auto = benchmark.pedantic(
+        _automatic_total, args=(monolithic_deployment(),), kwargs={"prefix": "3a"},
+        rounds=1, iterations=1,
+    )
+    manual = _manual_total()
+    four_process_auto = _automatic_total(four_process_deployment(), prefix="3b")
+
+    mono_vs_manual = abs(monolithic_auto - manual) / manual * 100
+    four_vs_mono = abs(four_process_auto - monolithic_auto) / monolithic_auto * 100
+
+    reporter.section("Sec. 4: CPU accounting accuracy")
+    reporter.line(f"  manual (uninstrumented, single thread) : {manual / 1e6:9.2f} ms CPU")
+    reporter.line(f"  automatic, monolithic single-thread    : {monolithic_auto / 1e6:9.2f} ms CPU")
+    reporter.line(f"  automatic, 4-process                   : {four_process_auto / 1e6:9.2f} ms CPU")
+    reporter.line(f"  monolithic vs manual difference        : {mono_vs_manual:5.1f}%"
+                  f"  (paper: <10%)")
+    reporter.line(f"  4-process vs monolithic difference     : {four_vs_mono:5.1f}%"
+                  f"  (paper: <40%)")
+
+    assert mono_vs_manual < 10.0, f"monolithic accuracy {mono_vs_manual:.1f}% (paper <10%)"
+    assert four_vs_mono < 40.0, f"deployment drift {four_vs_mono:.1f}% (paper <40%)"

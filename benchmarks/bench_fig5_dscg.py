@@ -1,0 +1,68 @@
+"""Figure 5 — DSCG of the large-scale embedded system.
+
+The paper: "the largest system run ever conducted so far consisted of
+about 195,000 calls, with a total of 801 unique methods in 155 unique
+interfaces from 176 unique components. With the current Java
+implementation, it took the analyzer 28 minutes to compute the DSCG."
+
+This benchmark drives the synthetic stand-in (same population), collects
+the run, reconstructs the DSCG and reports the same statistics plus the
+hyperbolic layout. The default scale is 20,000 calls so the suite stays
+fast; set REPRO_FIG5_CALLS=195000 for the paper's full scale.
+"""
+
+import os
+import time
+
+from repro.analysis import HyperbolicLayout, reconstruct
+from repro.apps.embedded import EmbeddedConfig, EmbeddedSystem
+
+CALLS = int(os.environ.get("REPRO_FIG5_CALLS", "20000"))
+
+
+def test_fig5_dscg_construction(benchmark, reporter):
+    config = EmbeddedConfig()
+    system = EmbeddedSystem(config, uuid_prefix="f5")
+    try:
+        drive_started = time.perf_counter()
+        system.run(total_calls=CALLS, roots=16)
+        drive_seconds = time.perf_counter() - drive_started
+        database, run_id = system.collect()
+        population = database.population_stats(run_id)
+
+        dscg = benchmark.pedantic(reconstruct, args=(database, run_id),
+                                  rounds=3, iterations=1)
+        analyze_seconds = benchmark.stats["mean"]
+        stats = dscg.stats()
+
+        reporter.section("Figure 5: DSCG of the commercial-scale embedded system")
+        reporter.line(f"  paper population : 195,000 calls / 801 methods / 155"
+                      f" interfaces / 176 components / 32 threads / 4 processes")
+        reporter.line(f"  calls driven     : {population['calls']:,}"
+                      f" (REPRO_FIG5_CALLS={CALLS})")
+        reporter.line(f"  unique methods   : {population['unique_methods']}")
+        reporter.line(f"  unique interfaces: {population['unique_interfaces']}")
+        reporter.line(f"  unique components: {population['unique_components']}")
+        reporter.line(f"  processes        : {population['processes']}"
+                      f"   dispatch threads: "
+                      f"{config.processes * config.pool_threads_per_process}")
+        reporter.line(f"  probe records    : {database.record_count(run_id):,}")
+        reporter.line(f"  drive time       : {drive_seconds:.1f} s")
+        reporter.line(f"  DSCG build time  : {analyze_seconds:.2f} s"
+                      f" (paper: 28 min at 195k calls on 2003 hardware)")
+        reporter.line(f"  DSCG nodes       : {stats['nodes']:,}  chains:"
+                      f" {stats['chains']}  max depth: {stats['max_depth']}")
+        reporter.line(f"  abnormal events  : {stats['abnormal_events']}")
+
+        assert stats["nodes"] == CALLS
+        assert stats["abnormal_events"] == 0
+        assert population["unique_interfaces"] == 155
+        assert population["unique_components"] == 176
+
+        layout_started = time.perf_counter()
+        layout = HyperbolicLayout().layout_dscg(dscg)
+        layout_seconds = time.perf_counter() - layout_started
+        placed = sum(1 for _ in layout.walk())
+        reporter.line(f"  hyperbolic layout: {placed:,} nodes in {layout_seconds:.2f} s")
+    finally:
+        system.shutdown()

@@ -1,0 +1,57 @@
+"""Figure 6 — the CCSG XML of the PPS, single-processor 4-process config.
+
+"In terms of the PPS's system-wide CPU utilization, Figure 6 shows a
+snapshot under Internet Explorer (as an XML viewer). It unveils the CPU
+propagation on a configuration of single-processor 4-process on a HPUX
+11.0 machine. The self and descendent CPU results are structured
+following the call hierarchy."
+"""
+
+from repro.analysis import CpuAnalysis, build_ccsg, reconstruct, render_ccsg_xml
+from repro.analysis.xmlview import parse_ccsg_xml, split_sec_usec
+from repro.apps.pps import PpsSystem, four_process_deployment
+from repro.core import MonitorMode
+
+
+def test_fig6_ccsg_xml(benchmark, reporter):
+    pps = PpsSystem(four_process_deployment(), mode=MonitorMode.CPU, uuid_prefix="f6")
+    try:
+        pps.run(njobs=3, pages=4, complexity=2)
+        database, run_id = pps.collect()
+        dscg = reconstruct(database, run_id)
+        cpu = CpuAnalysis(dscg)
+
+        def build_and_render():
+            ccsg = build_ccsg(dscg, cpu)
+            return ccsg, render_ccsg_xml(ccsg, description="PPS 1-processor 4-process")
+
+        ccsg, xml = benchmark.pedantic(build_and_render, rounds=5, iterations=1)
+
+        reporter.section("Figure 6: CCSG (CPU Consumption Summarization Graph)")
+        reporter.line(f"  deployment        : single-processor 4-process (HPUX 11.0)")
+        reporter.line(f"  CCSG nodes        : {ccsg.node_count()}")
+        total = cpu.total_by_processor()
+        seconds, microseconds = split_sec_usec(total.total_ns())
+        reporter.line(f"  total self CPU    : [{seconds}, {microseconds}]"
+                      f" across {sorted(total.by_processor)}")
+        reporter.line(f"  XML document size : {len(xml):,} bytes")
+        reporter.line("")
+        reporter.line("  --- document head (as in the IE viewer snapshot) ---")
+        for line in xml.splitlines()[:24]:
+            reporter.line("  " + line)
+
+        # Paper-faithful structure checks.
+        root = parse_ccsg_xml(xml)
+        top = root.find("Function")
+        assert top.get("interface") == "PPS::JobSource"
+        assert top.get("ObjectID")
+        assert top.get("InvocationTimes") == "1"
+        assert top.find("SelfCPUConsumption") is not None
+        assert top.find("DescendentCPUConsumption") is not None
+        assert top.find("IncludedFunctionInstances") is not None
+        # conservation: root inclusive == system-wide self total
+        (tree,) = dscg.root_chains()
+        root_node = tree.roots[0]
+        assert cpu.inclusive_cpu(root_node).total_ns() == total.total_ns()
+    finally:
+        pps.shutdown()

@@ -1,0 +1,42 @@
+"""Section 2 / Section 5 — constant-size FTL vs concatenating Trace Object.
+
+The paper's FTL "is light-weighted since no log concatenation occurs as
+the call progresses through the tunnel", whereas the Universal Delegator's
+Trace Object "concatenates log info during call progression and
+unavoidably introduces the barrier for the call chains that exceed tens
+of thousands calls" (Section 5). This benchmark regenerates the growth
+curve and locates the barrier.
+"""
+
+from repro.baselines import (
+    DEFAULT_MESSAGE_CAP_BYTES,
+    growth_series,
+    max_chain_events,
+)
+from repro.core.ftl import FTL_WIRE_SIZE
+
+DEPTHS = [1, 10, 100, 1_000, 10_000, 40_000]
+
+
+def test_carrier_size_growth(benchmark, reporter):
+    rows = benchmark.pedantic(growth_series, args=(DEPTHS,), rounds=3, iterations=1)
+    reporter.section("Carrier size vs chain length (probe events)")
+    reporter.line(f"  {'chain events':>12s} {'trace object':>14s} {'FTL':>8s}")
+    for events, trace_bytes, ftl_bytes in rows:
+        reporter.line(f"  {events:12,d} {trace_bytes:13,d}B {ftl_bytes:7d}B")
+    # FTL flat; trace object superlinear in absolute terms.
+    assert all(ftl == FTL_WIRE_SIZE for _, _, ftl in rows)
+    assert rows[-1][1] > rows[0][1] * 1_000
+
+
+def test_trace_object_barrier(benchmark, reporter):
+    limit = benchmark.pedantic(
+        max_chain_events, args=(DEFAULT_MESSAGE_CAP_BYTES,), rounds=1, iterations=1
+    )
+    reporter.section("Trace-object chain-length barrier")
+    reporter.line(f"  transport cap          : {DEFAULT_MESSAGE_CAP_BYTES:,} bytes")
+    reporter.line(f"  chain stalls after     : {limit:,} probe events"
+                  f" (~{limit // 4:,} calls)")
+    reporter.line(f"  FTL at the same length : {FTL_WIRE_SIZE} bytes (no barrier)")
+    # "tens of thousands calls": the barrier must land in that regime.
+    assert 10_000 < limit // 4 < 100_000

@@ -1,0 +1,116 @@
+"""Section 2.3 / Section 6 — causality across heterogeneous infrastructures.
+
+Measures the three-tier hybrid application (CORBA gateway → COM pricing
+STA → J2EE tax bean): single-UUID propagation, per-domain CPU
+attribution, and the per-hop cost of each infrastructure's channel.
+"""
+
+from repro.analysis import CpuAnalysis, reconstruct_from_records
+from repro.com import ComInterface, ComObject, ComRuntime
+from repro.core import (
+    Domain,
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.idl import compile_idl
+from repro.j2ee import Container, Jndi, stateless
+from repro.orb import InterfaceRegistry, Orb
+from repro.platform import Host, Network, PlatformKind, SimProcess, VirtualClock
+
+IDL = "module HY { interface Gate { long go(in long n); }; };"
+IMid = ComInterface("IMid", ("relay",))
+
+
+def build(prefix="4d"):
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+    clock = VirtualClock()
+    network = Network()
+    host = Host("h", PlatformKind.HPUX_11, clock=clock)
+    uuid_factory = SequentialUuidFactory(prefix)
+
+    def proc(name):
+        process = SimProcess(name, host)
+        MonitoringRuntime(process, MonitorConfig(mode=MonitorMode.CPU,
+                                                 uuid_factory=uuid_factory))
+        return process
+
+    driver, web, mid, back = proc("driver"), proc("web"), proc("mid"), proc("back")
+    driver_orb = Orb(driver, network, registry=registry)
+    web_orb = Orb(web, network, registry=registry)
+    mid_com = ComRuntime(mid)
+    web_com = ComRuntime(web)
+    container = Container(back, "back")
+    jndi = Jndi()
+
+    @stateless
+    class Tax:
+        def compute(self, n):
+            clock.consume(300)
+            return n + 1
+
+    jndi.bind("tax", container, container.deploy(Tax))
+
+    class Mid(ComObject):
+        implements = (IMid,)
+
+        def relay(self, n):
+            clock.consume(200)
+            return jndi.lookup("tax", mid).compute(n) + 1
+
+    sta = mid_com.create_sta("m")
+    mid_identity = mid_com.create_object(Mid, sta)
+
+    class GateImpl(compiled.Gate):
+        def go(self, n):
+            clock.consume(100)
+            return web_com.proxy_for(mid_identity, IMid).relay(n) + 1
+
+    stub = driver_orb.resolve(web_orb.activate(GateImpl()))
+    processes = [driver, web, mid, back]
+    return stub, processes
+
+
+def test_hybrid_chain_integrity(benchmark, reporter):
+    stub, processes = build()
+    try:
+        def run_calls(calls=20):
+            for index in range(calls):
+                assert stub.go(index) == index + 3
+            records = []
+            for process in processes:
+                records.extend(process.log_buffer.drain())
+            return records
+
+        records = benchmark.pedantic(run_calls, rounds=1, iterations=1)
+        dscg = reconstruct_from_records(records)
+        cpu = CpuAnalysis(dscg)
+
+        reporter.section("Sec. 6: one causal chain across CORBA + COM + J2EE")
+        stats = dscg.stats()
+        reporter.line(f"  calls            : 20 three-hop requests")
+        reporter.line(f"  chains           : {stats['chains']}  abnormal:"
+                      f" {stats['abnormal_events']}")
+        per_domain = {}
+        for node in dscg.walk():
+            vector = per_domain.setdefault(node.domain, [0, 0])
+            vector[0] += 1
+            self_cpu = cpu.self_cpu(node)
+            if self_cpu:
+                vector[1] += self_cpu
+        for domain in (Domain.CORBA, Domain.COM, Domain.J2EE):
+            count, total = per_domain[domain]
+            reporter.line(f"  {domain.value:5s}: {count} invocations,"
+                          f" {total / 1e3:.1f} us self CPU")
+        assert stats["abnormal_events"] == 0
+        assert stats["chains"] == 1  # sequential driver thread: one chain
+        assert set(per_domain) == {Domain.CORBA, Domain.COM, Domain.J2EE}
+        # per-domain CPU attribution is exact on the virtual clock
+        assert per_domain[Domain.CORBA][1] == 20 * 100
+        assert per_domain[Domain.COM][1] == 20 * 200
+        assert per_domain[Domain.J2EE][1] == 20 * 300
+    finally:
+        for process in processes:
+            process.shutdown()

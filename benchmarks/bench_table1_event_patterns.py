@@ -1,0 +1,49 @@
+"""Table 1 — event chaining patterns and function invocation patterns.
+
+Regenerates both columns of the paper's Table 1 from live instrumented
+runs: the sibling program ``main { F(); G(); }`` and the parent/child
+program ``F { G(); }  G { H(); }``, each deployed across two simulated
+processes. The printed event chains must match the table verbatim.
+"""
+
+from repro.analysis import reconstruct_from_records
+from repro.workloads import parent_child_scenario, sibling_scenario
+
+
+def _short(label: str) -> str:
+    # "Patterns::Hop::F.stub_start" -> "F.stub_start", as in the paper.
+    head, _, event = label.partition(".")
+    return f"{head.rsplit('::', 1)[-1]}.{event}"
+
+
+def test_table1_sibling_pattern(benchmark, reporter):
+    scenario = benchmark.pedantic(sibling_scenario, rounds=5, iterations=1)
+    try:
+        reporter.section("Table 1 (left): Sibling — void main() { F(...); G(...); }")
+        for record in scenario.records:
+            reporter.line(f"  seq={record.event_seq}  {_short(record.event_label)}")
+        labels = [record.event_label for record in scenario.records]
+        assert labels == scenario.expected_labels
+        dscg = reconstruct_from_records(scenario.records)
+        (tree,) = dscg.chains.values()
+        assert [n.operation for n in tree.roots] == ["F", "G"]
+        reporter.line("  -> reconstructed as two SIBLING invocations")
+    finally:
+        scenario.shutdown()
+
+
+def test_table1_parent_child_pattern(benchmark, reporter):
+    scenario = benchmark.pedantic(parent_child_scenario, rounds=5, iterations=1)
+    try:
+        reporter.section("Table 1 (right): Parent/Child — F { G(); }  G { H(); }")
+        for record in scenario.records:
+            reporter.line(f"  seq={record.event_seq}  {_short(record.event_label)}")
+        labels = [record.event_label for record in scenario.records]
+        assert labels == scenario.expected_labels
+        dscg = reconstruct_from_records(scenario.records)
+        (tree,) = dscg.chains.values()
+        f = tree.roots[0]
+        assert f.children[0].children[0].operation == "H"
+        reporter.line("  -> reconstructed as the F > G > H nesting chain")
+    finally:
+        scenario.shutdown()

@@ -1,0 +1,49 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md's experiment index). Numeric rows are both printed (run with
+``pytest benchmarks/ --benchmark-only -s``) and written under
+``benchmarks/output/`` so EXPERIMENTS.md can cite stable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+# Some benchmarks reuse the test suite's chain simulator (tests.helpers);
+# make the repo root importable regardless of how pytest was invoked.
+_REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT))
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+class Reporter:
+    """Collects report lines for one benchmark and persists them."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines: list[str] = []
+
+    def line(self, text: str = "") -> None:
+        self.lines.append(text)
+        print(text)
+
+    def section(self, title: str) -> None:
+        self.line()
+        self.line(f"=== {title} ===")
+
+    def flush(self) -> None:
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        (OUTPUT_DIR / f"{self.name}.txt").write_text("\n".join(self.lines) + "\n")
+
+
+@pytest.fixture
+def reporter(request):
+    rep = Reporter(request.node.name.replace("[", "_").replace("]", ""))
+    yield rep
+    rep.flush()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""COM apartments, nested pumping and the channel-hook fix (Section 2.2).
+
+The paper's observation O1 — a thread never switches to another incoming
+call mid-invocation — fails for COM single-threaded apartments: while a
+call blocks on an outbound call, the STA thread pumps its message loop
+and serves other chains. This demo runs two clients through a front STA
+that calls into a back STA, twice:
+
+1. with the causality channel hooks DISABLED — the thread-specific FTL is
+   overwritten mid-pump and the analyzer reports mingled chains;
+2. with the hooks ENABLED (the paper's "very limited amount of
+   instrumentation before and after call sending and dispatching") — the
+   chains reconstruct cleanly.
+
+Run:  python examples/com_sta_tracing.py
+"""
+
+import threading
+import time
+
+from repro.analysis import reconstruct_from_records
+from repro.com import ComInterface, ComObject, ComRuntime
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
+
+IFront = ComInterface("IFront", ("handle",))
+IBack = ComInterface("IBack", ("slow",))
+
+
+def run(hooks: bool) -> None:
+    label = "hooks ON " if hooks else "hooks OFF"
+    process = SimProcess(
+        f"com-{'on' if hooks else 'off'}",
+        Host("host", PlatformKind.WINDOWS_NT, clock=VirtualClock()),
+    )
+    MonitoringRuntime(
+        process,
+        MonitorConfig(
+            mode=MonitorMode.CAUSALITY,
+            uuid_factory=SequentialUuidFactory("e1" if hooks else "e2"),
+        ),
+    )
+    runtime = ComRuntime(process, causality_hooks=hooks)
+
+    class Back(ComObject):
+        implements = (IBack,)
+
+        def slow(self, n):
+            time.sleep(0.05)  # long enough for the front STA to pump
+            return n * 10
+
+    class Front(ComObject):
+        implements = (IFront,)
+
+        def __init__(self, back_factory):
+            super().__init__()
+            self.back_factory = back_factory
+
+        def handle(self, n):
+            return self.back_factory().slow(n) + 1
+
+    sta_front = runtime.create_sta("front")
+    sta_back = runtime.create_sta("back")
+    back_identity = runtime.create_object(Back, sta_back)
+    front_identity = runtime.create_object(
+        Front, sta_front, lambda: runtime.proxy_for(back_identity, IBack)
+    )
+    front = runtime.proxy_for(front_identity, IFront)
+
+    results = []
+    threads = [
+        threading.Thread(target=lambda i=i: results.append(front.handle(i)))
+        for i in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+        time.sleep(0.01)
+    for thread in threads:
+        thread.join()
+
+    dscg = reconstruct_from_records(process.log_buffer.snapshot())
+    stats = dscg.stats()
+    print(f"{label}: results={sorted(results)}  chains={stats['chains']}"
+          f"  abnormal events={stats['abnormal_events']}")
+    if stats["abnormal_events"]:
+        for anomaly in dscg.abnormal_events()[:3]:
+            print(f"    mingled: {anomaly.reason}")
+    process.shutdown()
+
+
+def main() -> None:
+    print("Two clients through a pumping STA (front -> back):")
+    run(hooks=False)
+    run(hooks=True)
+    print()
+    print("Application results are identical either way; only the hooks keep")
+    print("the causal chains separable — exactly Section 2.2's conclusion.")
+
+
+if __name__ == "__main__":
+    main()

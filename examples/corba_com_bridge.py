@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""A hybrid CORBA/COM application with seamless causality bridging.
+
+Section 2.3: "as long as the bi-directional CORBA-COM bridge is aware of
+the extra FTL data hidden in the instrumented calls, and delivers it from
+the caller's domain to the callee's domain, causality will seamlessly
+propagate across the boundary, and continue to advance in the other
+domain."
+
+Topology:
+    CORBA client ──> CORBA servant (bridge process)
+                        └─ forwards through the bridge ──> COM object (STA)
+                                                              └─ calls back out to a CORBA worker
+
+The printed chain shows one Function UUID crossing CORBA → COM → CORBA.
+
+Run:  python examples/corba_com_bridge.py
+"""
+
+from repro.analysis import reconstruct_from_records
+from repro.bridge import com_facade_for_corba, corba_facade_for_com
+from repro.com import ComInterface, ComObject, ComRuntime
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.idl import compile_idl
+from repro.orb import Orb
+from repro.platform import Host, Network, PlatformKind, SimProcess, VirtualClock
+
+IDL = """
+module Hybrid {
+  interface Render {
+    long render(in long frame);
+  };
+  interface Encode {
+    long encode(in long frame);
+  };
+};
+"""
+
+IRender = ComInterface("IRender", ("render",))
+
+
+def main() -> None:
+    compiled = compile_idl(IDL, instrument=True)
+    clock = VirtualClock()
+    network = Network()
+    host = Host("hybrid-host", PlatformKind.WINDOWS_NT, clock=clock)
+    uuid_factory = SequentialUuidFactory("ff")
+
+    def make_process(name: str) -> SimProcess:
+        process = SimProcess(name, host)
+        MonitoringRuntime(
+            process, MonitorConfig(mode=MonitorMode.CAUSALITY, uuid_factory=uuid_factory)
+        )
+        return process
+
+    client_proc = make_process("corba-client")
+    bridge_proc = make_process("bridge")
+    worker_proc = make_process("corba-worker")
+
+    client_orb = Orb(client_proc, network)
+    bridge_orb = Orb(bridge_proc, network)
+    worker_orb = Orb(worker_proc, network)
+    com_runtime = ComRuntime(bridge_proc, causality_hooks=True)
+
+    # -- CORBA worker at the far end ------------------------------------
+    class EncodeImpl(compiled.Encode):
+        def encode(self, frame):
+            clock.consume(30_000)
+            return frame * 10
+
+    encode_ref = worker_orb.activate(EncodeImpl())
+
+    # -- COM object in an STA; it calls back out to CORBA ---------------
+    encode_stub = bridge_orb.resolve(encode_ref)
+    com_to_corba = com_facade_for_corba(
+        ComInterface("IEncode", ("encode",)), encode_stub
+    )
+
+    class RenderObj(ComObject):
+        implements = (IRender,)
+
+        def render(self, frame):
+            clock.consume(20_000)
+            return com_to_corba.encode(frame) + 1
+
+    sta = com_runtime.create_sta("render")
+    render_identity = com_runtime.create_object(RenderObj, sta)
+    render_proxy = com_runtime.proxy_for(render_identity, IRender)
+
+    # -- CORBA facade over the COM proxy (the bridge) --------------------
+    bridge_servant = corba_facade_for_com(compiled.Render, render_proxy)
+    render_ref = bridge_orb.activate(bridge_servant, interface="Hybrid::Render")
+
+    # -- CORBA client drives the hybrid chain ----------------------------
+    stub = client_orb.resolve(render_ref)
+    result = stub.render(7)
+    print("render(7) =", result)
+
+    records = []
+    for process in (client_proc, bridge_proc, worker_proc):
+        records.extend(process.log_buffer.drain())
+    records.sort(key=lambda r: (r.chain_uuid, r.event_seq))
+
+    print()
+    print("=== One causal chain across both domains ===")
+    for record in records:
+        print(
+            f"  seq={record.event_seq:2d}  {record.event_label:42s}"
+            f" domain={record.domain.value:5s} process={record.process}"
+        )
+
+    dscg = reconstruct_from_records(records)
+    assert len(dscg.chains) == 1, "the whole hybrid call is one chain"
+    assert not dscg.abnormal_events()
+    print()
+    print("Chains:", len(dscg.chains), " abnormal events:", len(dscg.abnormal_events()))
+    print("Causality propagated CORBA -> COM -> CORBA under one Function UUID.")
+
+    for process in (client_proc, bridge_proc, worker_proc):
+        process.shutdown()
+
+
+if __name__ == "__main__":
+    main()

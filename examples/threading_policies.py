@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Causality under advanced server threading policies (Section 2.2).
+
+Runs the same concurrent workload against servers using each of the three
+policies the paper names — thread-per-request, thread-per-connection and
+thread pooling — and shows that the reconstructed chains are identical
+and never intertwined (observations O1/O2): recycled threads hold stale
+FTLs between calls, but every skeleton start probe refreshes them.
+
+Run:  python examples/threading_policies.py
+"""
+
+import threading
+
+from repro.analysis import reconstruct_from_records
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb, ThreadPerConnection, ThreadPerRequest, ThreadPool
+from repro.platform import Host, Network, PlatformKind, SimProcess, VirtualClock
+
+IDL = """
+module Policies {
+  interface Service {
+    long step(in long depth);
+  };
+};
+"""
+
+
+def run_with_policy(policy_factory, label: str, clients: int = 6, calls: int = 5):
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+    clock = VirtualClock()
+    network = Network()
+    host = Host("host", PlatformKind.HPUX_11, clock=clock)
+    uuid_factory = SequentialUuidFactory()
+
+    server = SimProcess(f"server-{label}", host)
+    MonitoringRuntime(server, MonitorConfig(mode=MonitorMode.CAUSALITY,
+                                            uuid_factory=uuid_factory))
+    server_orb = Orb(server, network, policy=policy_factory(), registry=registry)
+
+    class ServiceImpl(compiled.Service):
+        def __init__(self):
+            self.self_stub = None
+
+        def step(self, depth):
+            clock.consume(1_000)
+            if depth > 0:
+                return self.self_stub.step(depth - 1) + 1
+            return 0
+
+    impl = ServiceImpl()
+    ref = server_orb.activate(impl)
+    impl.self_stub = server_orb.resolve(ref)
+
+    client_processes = []
+    threads = []
+    for index in range(clients):
+        client = SimProcess(f"client-{label}-{index}", host)
+        MonitoringRuntime(client, MonitorConfig(mode=MonitorMode.CAUSALITY,
+                                                uuid_factory=uuid_factory))
+        orb = Orb(client, network, registry=registry)
+        stub = orb.resolve(ref)
+        client_processes.append(client)
+
+        def work(stub=stub):
+            for _ in range(calls):
+                assert stub.step(3) == 3
+
+        threads.append(threading.Thread(target=work))
+
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    records = []
+    for process in [server] + client_processes:
+        records.extend(process.log_buffer.drain())
+    dscg = reconstruct_from_records(records)
+    stats = dscg.stats()
+    for process in [server] + client_processes:
+        process.shutdown()
+    return stats
+
+
+def main() -> None:
+    policies = [
+        (ThreadPerRequest, "thread-per-request"),
+        (ThreadPerConnection, "thread-per-connection"),
+        (lambda: ThreadPool(size=3), "thread-pool(3)"),
+    ]
+    print(f"{'policy':24s} {'chains':>7s} {'nodes':>6s} {'depth':>6s} {'abnormal':>9s}")
+    for factory, label in policies:
+        stats = run_with_policy(factory, label)
+        print(
+            f"{label:24s} {stats['chains']:7d} {stats['nodes']:6d}"
+            f" {stats['max_depth']:6d} {stats['abnormal_events']:9d}"
+        )
+    print()
+    print("All policies yield identical, untangled causal chains (O1/O2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""End-to-end tracing across THREE remote-invocation infrastructures.
+
+The paper closes with: "We strive for the monitoring framework capable of
+monitoring the end-to-end application that consists of different
+subsystems, each of which is built upon a different remote invocation
+infrastructure" (Section 6). This demo is that application:
+
+    CORBA client
+      └─> CORBA servant  (order gateway, ORB + IDL-generated stubs)
+            └─> COM object in an STA  (pricing engine, ORPC channel)
+                  └─> J2EE stateless session bean  (tax service,
+                      container + reflective dynamic proxy)
+
+One Function UUID follows the request through all three domains; the
+analyzer reconstructs the full chain and attributes CPU per domain.
+
+Run:  python examples/three_tier_hybrid.py
+"""
+
+from repro.analysis import CpuAnalysis, reconstruct_from_records
+from repro.analysis.report import format_sec_usec
+from repro.com import ComInterface, ComObject, ComRuntime
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.idl import compile_idl
+from repro.j2ee import Container, Jndi, stateless
+from repro.orb import Orb
+from repro.platform import Host, Network, PlatformKind, SimProcess, VirtualClock
+
+IDL = """
+module Shop {
+  interface OrderGateway {
+    long place_order(in long amount);
+  };
+};
+"""
+
+IPricing = ComInterface("IPricing", ("price",))
+
+
+def main() -> None:
+    compiled = compile_idl(IDL, instrument=True)
+    clock = VirtualClock()
+    network = Network()
+    host = Host("host", PlatformKind.HPUX_11, clock=clock)
+    uuid_factory = SequentialUuidFactory("3d")
+
+    def make_process(name):
+        process = SimProcess(name, host)
+        MonitoringRuntime(
+            process, MonitorConfig(mode=MonitorMode.CPU, uuid_factory=uuid_factory)
+        )
+        return process
+
+    driver = make_process("driver")
+    web = make_process("web-corba")
+    pricing = make_process("pricing-com")
+    backend = make_process("backend-j2ee")
+
+    driver_orb = Orb(driver, network)
+    web_orb = Orb(web, network)
+    pricing_com = ComRuntime(pricing)
+    web_com = ComRuntime(web)  # client-side COM runtime for the gateway
+    container = Container(backend, "backend")
+    jndi = Jndi()
+
+    # --- tier 3: J2EE tax service --------------------------------------
+    @stateless
+    class TaxService:
+        def compute_tax(self, amount):
+            clock.consume(400_000)
+            return amount // 5
+
+    jndi.bind("tax", container, container.deploy(TaxService))
+
+    # --- tier 2: COM pricing engine ------------------------------------
+    class PricingEngine(ComObject):
+        implements = (IPricing,)
+
+        def price(self, amount):
+            clock.consume(250_000)
+            tax = jndi.lookup("tax", pricing).compute_tax(amount)
+            return amount + tax
+
+    sta = pricing_com.create_sta("pricing")
+    pricing_identity = pricing_com.create_object(PricingEngine, sta)
+
+    # --- tier 1: CORBA order gateway ------------------------------------
+    class OrderGatewayImpl(compiled.OrderGateway):
+        def place_order(self, amount):
+            clock.consume(120_000)
+            proxy = web_com.proxy_for(pricing_identity, IPricing)
+            return proxy.price(amount)
+
+    gateway_ref = web_orb.activate(OrderGatewayImpl())
+    gateway = driver_orb.resolve(gateway_ref)
+
+    total = gateway.place_order(100)
+    print(f"place_order(100) -> {total}  (100 + 20 tax)")
+
+    processes = [driver, web, pricing, backend]
+    records = []
+    for process in processes:
+        records.extend(process.log_buffer.drain())
+    records.sort(key=lambda r: r.event_seq)
+
+    print()
+    print("=== One chain, three infrastructures ===")
+    for record in records:
+        print(f"  seq={record.event_seq:2d}  [{record.domain.value:5s}]"
+              f"  {record.event_label:44s} process={record.process}")
+
+    dscg = reconstruct_from_records(records)
+    assert len(dscg.chains) == 1 and not dscg.abnormal_events()
+    cpu = CpuAnalysis(dscg)
+    (tree,) = dscg.chains.values()
+    print()
+    print("=== CPU propagation across domains ===")
+    for node in tree.walk():
+        indent = "  " * node.depth()
+        self_cpu = cpu.self_cpu(node)
+        inclusive = cpu.inclusive_cpu(node).total_ns()
+        print(f"  {indent}[{node.domain.value:5s}] {node.function:28s}"
+              f" self={format_sec_usec(self_cpu or 0)}"
+              f" inclusive={format_sec_usec(inclusive)}")
+
+    for process in processes:
+        process.shutdown()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Legacy setup shim: the sandbox has no `wheel` package and no network,
+so PEP 660 editable installs fail; `setup.py develop` works offline."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,52 @@
+"""repro — reproduction of Jun Li's ICDCS 2003 global causality capture paper.
+
+The package implements, in pure Python:
+
+- a simulated distributed platform (hosts, processes, network, clocks),
+- an IDL compiler generating plain or probe-instrumented stubs/skeletons,
+- a CORBA-like ORB and a COM-like runtime, plus a bridge between them,
+- the paper's contribution: the FTL-based global causality tunnel,
+- the off-line analyzer (DSCG, latency, CPU, CCSG) and its exports.
+
+Typical entry points::
+
+    from repro import idl, platform, orb, analysis
+    from repro.core import MonitorConfig, MonitorMode
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.errors import (
+    AnalysisError,
+    BridgeError,
+    ComError,
+    IdlError,
+    IdlSemanticError,
+    IdlSyntaxError,
+    MarshalError,
+    MonitorError,
+    ObjectNotFound,
+    OrbError,
+    RemoteApplicationError,
+    ReproError,
+    TransportError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisError",
+    "BridgeError",
+    "ComError",
+    "IdlError",
+    "IdlSemanticError",
+    "IdlSyntaxError",
+    "MarshalError",
+    "MonitorError",
+    "ObjectNotFound",
+    "OrbError",
+    "RemoteApplicationError",
+    "ReproError",
+    "TransportError",
+    "__version__",
+]

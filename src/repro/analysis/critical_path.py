@@ -1,0 +1,110 @@
+"""Critical-path characterization over the DSCG (future work, Section 6).
+
+"Other promising avenues ... to provide richer end-to-end system behavior
+characterization support." A natural extension once the full call chain
+is available: for each chain, the *latency critical path* — the root-to-
+leaf path that dominates end-to-end latency — and each node's share of
+its parent's time (self vs children vs unattributed gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.dscg import CallNode, ChainTree, Dscg
+from repro.analysis.latency import end_to_end_latency
+
+
+@dataclass
+class PathStep:
+    function: str
+    object_id: str
+    latency_ns: int
+    self_share_ns: int  # latency not explained by child calls
+
+
+@dataclass
+class CriticalPath:
+    chain_uuid: str
+    total_latency_ns: int
+    steps: list[PathStep] = field(default_factory=list)
+
+    @property
+    def display(self) -> str:
+        return " -> ".join(step.function for step in self.steps)
+
+    def dominant_step(self) -> PathStep | None:
+        """The step with the largest unexplained (self) share."""
+        if not self.steps:
+            return None
+        return max(self.steps, key=lambda step: step.self_share_ns)
+
+
+def _children_latency(node: CallNode) -> int:
+    total = 0
+    for child in node.children:
+        latency = end_to_end_latency(child)
+        if latency is not None and latency > 0:
+            total += latency
+    return total
+
+
+def critical_path(tree: ChainTree) -> CriticalPath | None:
+    """Follow the slowest child from the chain's slowest root downwards."""
+    candidates = [
+        (end_to_end_latency(root) or 0, root) for root in tree.roots
+    ]
+    if not candidates:
+        return None
+    total, node = max(candidates, key=lambda pair: pair[0])
+    path = CriticalPath(chain_uuid=tree.chain_uuid, total_latency_ns=total)
+    while node is not None:
+        latency = end_to_end_latency(node) or 0
+        self_share = max(latency - _children_latency(node), 0)
+        path.steps.append(
+            PathStep(
+                function=node.function,
+                object_id=node.object_id,
+                latency_ns=latency,
+                self_share_ns=self_share,
+            )
+        )
+        slowest_child = None
+        slowest_latency = -1
+        for child in node.children:
+            child_latency = end_to_end_latency(child)
+            if child_latency is not None and child_latency > slowest_latency:
+                slowest_latency = child_latency
+                slowest_child = child
+        node = slowest_child
+    return path
+
+
+def critical_paths(dscg: Dscg, top: int = 5) -> list[CriticalPath]:
+    """The ``top`` slowest chains' critical paths, slowest first."""
+    paths = []
+    for tree in dscg.chains.values():
+        path = critical_path(tree)
+        if path is not None and path.total_latency_ns > 0:
+            paths.append(path)
+    paths.sort(key=lambda p: p.total_latency_ns, reverse=True)
+    return paths[:top]
+
+
+def render_critical_path(path: CriticalPath) -> str:
+    """Human-readable breakdown with per-step latency shares."""
+    lines = [
+        f"chain {path.chain_uuid[:8]}: total {path.total_latency_ns / 1e6:.3f} ms"
+    ]
+    for depth, step in enumerate(path.steps):
+        share = (
+            step.latency_ns / path.total_latency_ns * 100
+            if path.total_latency_ns
+            else 0.0
+        )
+        lines.append(
+            f"  {'  ' * depth}{step.function}"
+            f"  {step.latency_ns / 1e6:.3f} ms ({share:.0f}% of chain,"
+            f" self {step.self_share_ns / 1e6:.3f} ms)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,214 @@
+"""The Dynamic System Call Graph (DSCG).
+
+Each causal chain (one Function UUID) unfolds into a tree of
+:class:`CallNode` invocations; the DSCG groups the chain trees {Ti} under
+a virtual root and cross-links oneway forks (parent chain → child chain),
+"capturing all component object invocation and preserving the complete
+call chains the application ever experienced" (Section 3.1) — full call
+paths, not the depth-1 caller/callee pairs of GPROF-style profilers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.core.events import CallKind, Domain, TracingEvent
+from repro.core.records import ProbeRecord
+
+
+@dataclass
+class CallNode:
+    """One function invocation in the reconstructed call hierarchy."""
+
+    interface: str
+    operation: str
+    object_id: str
+    component: str
+    chain_uuid: str
+    call_kind: CallKind = CallKind.SYNC
+    collocated: bool = False
+    domain: Domain = Domain.CORBA
+    #: Which side(s) of a oneway call this node represents.
+    oneway_side: str = ""  # "" | "stub" | "skel"
+    records: dict[TracingEvent, ProbeRecord] = field(default_factory=dict)
+    children: list["CallNode"] = field(default_factory=list)
+    parent: "CallNode | None" = None
+    #: UUID of the chain forked by this oneway stub-side call, if any.
+    forked_chain_uuid: str | None = None
+    #: Set when some probe records are missing (e.g. unmonitored peer).
+    partial: bool = False
+
+    @property
+    def function(self) -> str:
+        return f"{self.interface}::{self.operation}"
+
+    @property
+    def qualified(self) -> str:
+        return f"{self.function}@{self.object_id}"
+
+    def record(self, event: TracingEvent) -> ProbeRecord | None:
+        return self.records.get(event)
+
+    def add_child(self, child: "CallNode") -> None:
+        child.parent = self
+        self.children.append(child)
+
+    def depth(self) -> int:
+        depth, node = 0, self
+        while node.parent is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+    def walk(self) -> Iterator["CallNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def subtree_size(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    #: Execution locality helpers -------------------------------------
+
+    @property
+    def client_process(self) -> str | None:
+        record = self.records.get(TracingEvent.STUB_START)
+        return record.process if record else None
+
+    @property
+    def server_process(self) -> str | None:
+        record = self.records.get(TracingEvent.SKEL_START)
+        return record.process if record else None
+
+    @property
+    def server_processor_type(self) -> str | None:
+        record = self.records.get(TracingEvent.SKEL_START)
+        return record.processor_type if record else None
+
+    @property
+    def server_thread(self) -> tuple[str, int] | None:
+        record = self.records.get(TracingEvent.SKEL_START)
+        return (record.process, record.thread_id) if record else None
+
+    def __repr__(self) -> str:
+        return (
+            f"CallNode({self.function}, kind={self.call_kind.value},"
+            f" children={len(self.children)})"
+        )
+
+
+@dataclass
+class AbnormalEvent:
+    """A log record that violated the Figure-4 state machine."""
+
+    chain_uuid: str
+    event_seq: int
+    reason: str
+    record: ProbeRecord | None = None
+
+
+@dataclass
+class ChainTree:
+    """One causal chain unfolded into a tree (Ti in the paper)."""
+
+    chain_uuid: str
+    roots: list[CallNode] = field(default_factory=list)
+    abnormal: list[AbnormalEvent] = field(default_factory=list)
+    #: Chain that forked this one via a oneway call (if any).
+    parent_chain_uuid: str | None = None
+
+    def walk(self) -> Iterator[CallNode]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def node_count(self) -> int:
+        return sum(1 for _ in self.walk())
+
+    @property
+    def is_clean(self) -> bool:
+        return not self.abnormal
+
+
+class Dscg:
+    """The grouped forest of chain trees plus oneway cross-links."""
+
+    def __init__(self):
+        self.chains: dict[str, ChainTree] = {}
+        #: (parent chain uuid, forking node) -> child chain uuid
+        self.links: list[tuple[str, CallNode, str]] = []
+
+    def add_chain(self, tree: ChainTree) -> None:
+        self.chains[tree.chain_uuid] = tree
+
+    def link_chains(self) -> None:
+        """Wire oneway forks: parent stub-side node → child chain tree."""
+        self.links.clear()
+        for tree in self.chains.values():
+            for node in tree.walk():
+                if node.forked_chain_uuid and node.forked_chain_uuid in self.chains:
+                    child = self.chains[node.forked_chain_uuid]
+                    child.parent_chain_uuid = tree.chain_uuid
+                    self.links.append((tree.chain_uuid, node, child.chain_uuid))
+
+    # ------------------------------------------------------------------
+
+    def root_chains(self) -> list[ChainTree]:
+        """Chains not forked from any other chain (the forest's top level)."""
+        return [t for t in self.chains.values() if t.parent_chain_uuid is None]
+
+    def walk(self) -> Iterator[CallNode]:
+        for tree in self.chains.values():
+            yield from tree.walk()
+
+    def node_count(self) -> int:
+        return sum(tree.node_count() for tree in self.chains.values())
+
+    def abnormal_events(self) -> list[AbnormalEvent]:
+        result: list[AbnormalEvent] = []
+        for tree in self.chains.values():
+            result.extend(tree.abnormal)
+        return result
+
+    def find_nodes(self, predicate: Callable[[CallNode], bool]) -> list[CallNode]:
+        return [node for node in self.walk() if predicate(node)]
+
+    def nodes_for_function(self, interface: str, operation: str) -> list[CallNode]:
+        return self.find_nodes(
+            lambda n: n.interface == interface and n.operation == operation
+        )
+
+    def max_depth(self) -> int:
+        best = 0
+        for tree in self.chains.values():
+            stack = [(root, 1) for root in tree.roots]
+            while stack:
+                node, depth = stack.pop()
+                best = max(best, depth)
+                stack.extend((child, depth + 1) for child in node.children)
+        return best
+
+    def stats(self) -> dict[str, int]:
+        """Summary counters used by the Figure-5 benchmark report."""
+        functions: set[str] = set()
+        interfaces: set[str] = set()
+        components: set[str] = set()
+        objects: set[str] = set()
+        nodes = 0
+        for node in self.walk():
+            nodes += 1
+            functions.add(node.function)
+            interfaces.add(node.interface)
+            components.add(node.component)
+            objects.add(node.object_id)
+        return {
+            "chains": len(self.chains),
+            "nodes": nodes,
+            "unique_methods": len(functions),
+            "unique_interfaces": len(interfaces),
+            "unique_components": len(components),
+            "unique_objects": len(objects),
+            "oneway_links": len(self.links),
+            "abnormal_events": len(self.abnormal_events()),
+            "max_depth": self.max_depth(),
+        }

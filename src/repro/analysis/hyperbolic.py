@@ -1,0 +1,168 @@
+"""Hyperbolic (Poincaré-disk) layout for the DSCG — Figure 5's viewer.
+
+"A large-scale application's DSCG potentially consists of millions of
+nodes. Conventional visualization tools based on planar graph display are
+incapable of presenting, navigating and inspecting such enormous amount
+of graph nodes. The hyperbolic space viewer demonstrates its promising
+capability" (Section 3.1). The paper used Inxight's closed-source viewer;
+this module computes the layout itself: each node receives a position in
+the unit disk using the classic hyperbolic tree algorithm (wedge
+subdivision with hyperbolic translation), and exporters emit JSON (for
+any client) and a self-contained SVG snapshot.
+"""
+
+from __future__ import annotations
+
+import cmath
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.analysis.dscg import CallNode, Dscg
+
+
+@dataclass
+class LayoutNode:
+    """One positioned node."""
+
+    label: str
+    x: float
+    y: float
+    depth: int
+    children: list["LayoutNode"] = field(default_factory=list)
+    #: Extra annotation rendered by viewers (latency, CPU, ...).
+    annotation: str = ""
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def _mobius_translate(z: complex, a: complex) -> complex:
+    """Translate ``z`` by the hyperbolic isometry sending 0 to ``a``."""
+    return (z + a) / (1 + a.conjugate() * z)
+
+
+def _leaf_weight(node: CallNode) -> int:
+    if not node.children:
+        return 1
+    return sum(_leaf_weight(child) for child in node.children)
+
+
+class HyperbolicLayout:
+    """Computes Poincaré-disk coordinates for a DSCG (or any tree)."""
+
+    def __init__(self, step: float = 0.45):
+        """``step`` is the hyperbolic distance (as a disk radius fraction)
+        between a parent and its children; the Figure-5 look uses ~0.45."""
+        if not 0.0 < step < 1.0:
+            raise ValueError("step must be in (0, 1)")
+        self.step = step
+
+    def layout_dscg(self, dscg: Dscg, annotate=None) -> LayoutNode:
+        """Lay out the whole grouped DSCG under a virtual root."""
+        root = LayoutNode(label="<system>", x=0.0, y=0.0, depth=0)
+        trees = dscg.root_chains() or list(dscg.chains.values())
+        call_roots: list[CallNode] = []
+        for tree in trees:
+            call_roots.extend(tree.roots)
+        weights = [_leaf_weight(node) for node in call_roots]
+        total = sum(weights) or 1
+        angle = 0.0
+        for node, weight in zip(call_roots, weights):
+            span = 2.0 * math.pi * weight / total
+            child = self._place(node, complex(0, 0), angle + span / 2.0, span, 1, annotate)
+            root.children.append(child)
+            angle += span
+        return root
+
+    def _place(
+        self,
+        node: CallNode,
+        origin: complex,
+        heading: float,
+        wedge: float,
+        depth: int,
+        annotate,
+    ) -> LayoutNode:
+        # Position the node at hyperbolic distance `step` from its parent
+        # along the wedge bisector, then map into the disk.
+        local = self.step * cmath.exp(1j * heading)
+        position = _mobius_translate(local, origin)
+        layout = LayoutNode(
+            label=node.function,
+            x=position.real,
+            y=position.imag,
+            depth=depth,
+            annotation=annotate(node) if annotate else "",
+        )
+        children = node.children
+        if children:
+            weights = [_leaf_weight(child) for child in children]
+            total = sum(weights)
+            start = heading - wedge / 2.0
+            for child, weight in zip(children, weights):
+                span = wedge * weight / total
+                layout.children.append(
+                    self._place(
+                        child, position, start + span / 2.0, span, depth + 1, annotate
+                    )
+                )
+                start += span
+        return layout
+
+
+def layout_to_json(root: LayoutNode) -> str:
+    """Serialize a layout as JSON for external viewers."""
+
+    def encode(node: LayoutNode) -> dict:
+        return {
+            "label": node.label,
+            "x": round(node.x, 6),
+            "y": round(node.y, 6),
+            "depth": node.depth,
+            "annotation": node.annotation,
+            "children": [encode(child) for child in node.children],
+        }
+
+    return json.dumps(encode(root), indent=2)
+
+
+def layout_to_svg(root: LayoutNode, size: int = 800) -> str:
+    """Render the layout as a static SVG snapshot (Figure 5 stand-in)."""
+    half = size / 2.0
+    scale = half * 0.95
+
+    def disk(x: float, y: float) -> tuple[float, float]:
+        return half + x * scale, half - y * scale
+
+    lines: list[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" height="{size}"'
+        f' viewBox="0 0 {size} {size}">',
+        f'<circle cx="{half}" cy="{half}" r="{scale}" fill="none" stroke="#ccc"/>',
+    ]
+    for node in root.walk():
+        px, py = disk(node.x, node.y)
+        for child in node.children:
+            cx, cy = disk(child.x, child.y)
+            lines.append(
+                f'<line x1="{px:.1f}" y1="{py:.1f}" x2="{cx:.1f}" y2="{cy:.1f}"'
+                ' stroke="#888" stroke-width="0.5"/>'
+            )
+    for node in root.walk():
+        px, py = disk(node.x, node.y)
+        radius = max(1.5, 5.0 - node.depth)
+        lines.append(
+            f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{radius:.1f}" fill="#2a6"/>'
+        )
+        if node.depth <= 1:
+            lines.append(
+                f'<text x="{px + 6:.1f}" y="{py:.1f}" font-size="9">{_svg_escape(node.label)}</text>'
+            )
+    lines.append("</svg>")
+    return "\n".join(lines)
+
+
+def _svg_escape(text: str) -> str:
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")

@@ -1,0 +1,162 @@
+"""CPU-impact estimation (after HP Labs report HPL-2002-50 [9]).
+
+The paper's CPU characterization is backed by a companion report titled
+"Characterization and **Impact Estimation** of CPU Consumption in
+Multi-Threaded Distributed Applications". With self/descendent CPU per
+invocation available, the natural what-if follows: *if function F's self
+CPU were scaled by a factor s, how much total CPU would each chain (and
+the system) save?* Because SC/DC decompose exactly, the estimate is
+linear and needs no re-execution:
+
+    saving(F, s) = (1 - s) × Σ SC over F's invocation instances
+
+This module ranks functions by that system-wide saving and projects
+per-chain totals, giving the "which component should we optimize first"
+answer the paper's motivation calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cpu import CpuAnalysis
+from repro.analysis.dscg import Dscg
+
+
+@dataclass
+class FunctionImpact:
+    """What scaling one function's self CPU does system-wide."""
+
+    function: str
+    invocation_count: int
+    total_self_cpu_ns: int
+    system_total_ns: int
+    scale: float
+
+    @property
+    def saving_ns(self) -> int:
+        return int((1.0 - self.scale) * self.total_self_cpu_ns)
+
+    @property
+    def system_share(self) -> float:
+        """Fraction of all CPU attributable to this function's self time."""
+        if not self.system_total_ns:
+            return 0.0
+        return self.total_self_cpu_ns / self.system_total_ns
+
+    @property
+    def projected_system_total_ns(self) -> int:
+        return self.system_total_ns - self.saving_ns
+
+
+@dataclass
+class ChainImpact:
+    """Projected total of one chain under the what-if."""
+
+    chain_uuid: str
+    original_total_ns: int
+    projected_total_ns: int
+
+    @property
+    def saving_ns(self) -> int:
+        return self.original_total_ns - self.projected_total_ns
+
+
+@dataclass
+class ImpactReport:
+    function: str
+    scale: float
+    system: FunctionImpact
+    chains: list[ChainImpact] = field(default_factory=list)
+
+    def most_improved_chain(self) -> ChainImpact | None:
+        if not self.chains:
+            return None
+        return max(self.chains, key=lambda c: c.saving_ns)
+
+
+class ImpactEstimator:
+    """What-if projections over one DSCG's CPU accounting."""
+
+    def __init__(self, dscg: Dscg, cpu: CpuAnalysis | None = None):
+        self.dscg = dscg
+        self.cpu = cpu if cpu is not None else CpuAnalysis(dscg)
+        self._system_total = self.cpu.total_by_processor().total_ns()
+
+    # ------------------------------------------------------------------
+
+    def estimate(self, function: str, scale: float = 0.5) -> ImpactReport:
+        """Project scaling ``function``'s self CPU by ``scale`` (0..1+).
+
+        ``scale=0.5`` models making it twice as fast; ``scale=0`` removes
+        it entirely; values >1 model regressions.
+        """
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+        total_self = 0
+        count = 0
+        per_chain_self: dict[str, int] = {}
+        for tree in self.dscg.chains.values():
+            chain_self = 0
+            for node in tree.walk():
+                if node.function != function:
+                    continue
+                self_cpu = self.cpu.self_cpu(node)
+                if self_cpu is None:
+                    continue
+                count += 1
+                total_self += self_cpu
+                chain_self += self_cpu
+            if chain_self:
+                per_chain_self[tree.chain_uuid] = chain_self
+
+        system = FunctionImpact(
+            function=function,
+            invocation_count=count,
+            total_self_cpu_ns=total_self,
+            system_total_ns=self._system_total,
+            scale=scale,
+        )
+        report = ImpactReport(function=function, scale=scale, system=system)
+        for tree in self.dscg.chains.values():
+            chain_total = 0
+            for root in tree.roots:
+                chain_total += self.cpu.inclusive_cpu(root).total_ns()
+            saved = int((1.0 - scale) * per_chain_self.get(tree.chain_uuid, 0))
+            report.chains.append(
+                ChainImpact(
+                    chain_uuid=tree.chain_uuid,
+                    original_total_ns=chain_total,
+                    projected_total_ns=chain_total - saved,
+                )
+            )
+        return report
+
+    def rank_by_saving(self, scale: float = 0.5, top: int = 10) -> list[FunctionImpact]:
+        """Functions ranked by system-wide saving at the given scale."""
+        functions = {node.function for node in self.dscg.walk()}
+        impacts = [self.estimate(function, scale).system for function in functions]
+        impacts.sort(key=lambda impact: impact.saving_ns, reverse=True)
+        return impacts[:top]
+
+
+def render_impact(report: ImpactReport) -> str:
+    """Human-readable what-if summary."""
+    system = report.system
+    lines = [
+        f"what-if: {report.function} self CPU x{report.scale:g}",
+        f"  invocations           : {system.invocation_count}",
+        f"  self CPU today        : {system.total_self_cpu_ns / 1e6:.3f} ms"
+        f" ({system.system_share * 100:.1f}% of system)",
+        f"  projected saving      : {system.saving_ns / 1e6:.3f} ms",
+        f"  system total          : {system.system_total_ns / 1e6:.3f} ms ->"
+        f" {system.projected_system_total_ns / 1e6:.3f} ms",
+    ]
+    best = report.most_improved_chain()
+    if best is not None and best.saving_ns > 0:
+        lines.append(
+            f"  most improved chain   : {best.chain_uuid[:8]}"
+            f" ({best.original_total_ns / 1e6:.3f} ->"
+            f" {best.projected_total_ns / 1e6:.3f} ms)"
+        )
+    return "\n".join(lines)

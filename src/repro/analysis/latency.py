@@ -1,0 +1,128 @@
+"""End-to-end timing latency (Section 3.2).
+
+The latency of one invocation F is computed from the probe wall readings:
+
+- ``L(F) = P(F,4,start) − P(F,1,end) − O_F`` for synchronous calls and the
+  stub side of oneway calls (probe 4 start minus probe 1 end — both taken
+  on the client host, so no clock synchronization is needed);
+- ``L(F) = P(F,3,start) − P(F,2,end) − O_F`` for collocated calls and the
+  skeleton side of oneway calls (both readings on the server host).
+
+``O_F`` compensates the causality-capture overhead spent inside F's
+measured window: the summed probe self-intervals of F's immediate child
+invocations, where the probe set R is {1,2,3,4} for synchronous children
+and {1,4} for oneway children (which have no skeleton probes in this
+chain). All O_F terms are *durations*, so mixing hosts is safe.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.events import CallKind, TracingEvent
+from repro.analysis.dscg import CallNode, Dscg
+
+_SYNC_PROBES = (
+    TracingEvent.STUB_START,
+    TracingEvent.SKEL_START,
+    TracingEvent.SKEL_END,
+    TracingEvent.STUB_END,
+)
+_ONEWAY_STUB_PROBES = (TracingEvent.STUB_START, TracingEvent.STUB_END)
+
+
+def probe_set(node: CallNode) -> tuple[TracingEvent, ...]:
+    """R(F): which probes' overhead a child contributes (paper Sec. 3.2)."""
+    if node.call_kind is CallKind.ONEWAY and node.oneway_side == "stub":
+        return _ONEWAY_STUB_PROBES
+    return _SYNC_PROBES
+
+
+def causality_overhead(node: CallNode) -> int:
+    """O_F — total probe self-time of F's immediate children."""
+    total = 0
+    for child in node.children:
+        for event in probe_set(child):
+            record = child.records.get(event)
+            if record is not None:
+                total += record.probe_wall_cost()
+    return total
+
+
+def end_to_end_latency(node: CallNode) -> int | None:
+    """L(F) in nanoseconds, or None when the needed readings are missing."""
+    overhead = causality_overhead(node)
+    records = node.records
+    use_skel_window = node.collocated or (
+        node.call_kind is CallKind.ONEWAY and node.oneway_side == "skel"
+    )
+    if use_skel_window:
+        start = records.get(TracingEvent.SKEL_START)
+        end = records.get(TracingEvent.SKEL_END)
+        if start is None or end is None:
+            return None
+        if start.wall_end is None or end.wall_start is None:
+            return None
+        return end.wall_start - start.wall_end - overhead
+    start = records.get(TracingEvent.STUB_START)
+    end = records.get(TracingEvent.STUB_END)
+    if start is None or end is None:
+        return None
+    if start.wall_end is None or end.wall_start is None:
+        return None
+    return end.wall_start - start.wall_end - overhead
+
+
+def annotate_latency(dscg: Dscg) -> None:
+    """Attach ``latency_ns`` to every node (None when not measurable).
+
+    "Latency can be annotated to the DSCG's nodes to help perceive latency
+    dispersed throughout the system-wide call hierarchy."
+    """
+    for node in dscg.walk():
+        node.latency_ns = end_to_end_latency(node)
+
+
+@dataclass
+class FunctionLatency:
+    """Latency statistics for one function (interface::operation)."""
+
+    function: str
+    samples: list[int] = field(default_factory=list)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.samples)
+
+    @property
+    def mean_ns(self) -> float:
+        return statistics.fmean(self.samples) if self.samples else 0.0
+
+    @property
+    def min_ns(self) -> int:
+        return min(self.samples) if self.samples else 0
+
+    @property
+    def max_ns(self) -> int:
+        return max(self.samples) if self.samples else 0
+
+
+def latency_report(dscg: Dscg) -> dict[str, FunctionLatency]:
+    """Per-function latency statistics over the whole DSCG."""
+    report: dict[str, FunctionLatency] = defaultdict(
+        lambda: FunctionLatency(function="")
+    )
+    for node in dscg.walk():
+        latency = end_to_end_latency(node)
+        if latency is None:
+            continue
+        entry = report[node.function]
+        entry.function = node.function
+        entry.samples.append(latency)
+    return dict(report)

@@ -1,0 +1,229 @@
+"""On-line causality monitoring (paper future work, Section 6).
+
+"Other promising avenues for future research are ... to apply the global
+causality capturing technique from the on-line perspective for
+application-level system management."
+
+The off-line analyzer collects at quiescence; this module consumes probe
+records *as they are produced* and maintains live per-chain state with
+the same Figure-4 state machine semantics, exposing:
+
+- currently open invocations (who is in flight, where, for how long),
+- per-function running latency statistics,
+- threshold alerts (latency SLO violations, abnormal transitions),
+
+which is exactly the "runtime quality of adaptation" hook the paper
+contrasts with BBN's Resource Status Service.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.events import CallKind, TracingEvent
+from repro.core.records import ProbeRecord
+from repro.platform.process import SimProcess
+
+
+@dataclass
+class OpenInvocation:
+    """One in-flight call on a live chain."""
+
+    function: str
+    object_id: str
+    chain_uuid: str
+    started_wall_ns: int | None
+    depth: int
+
+
+@dataclass
+class Alert:
+    kind: str  # "latency" | "abnormal"
+    function: str
+    chain_uuid: str
+    detail: str
+    latency_ns: int | None = None
+
+
+@dataclass
+class _LiveStats:
+    count: int = 0
+    total_ns: int = 0
+    max_ns: int = 0
+
+    def add(self, latency_ns: int) -> None:
+        self.count += 1
+        self.total_ns += latency_ns
+        self.max_ns = max(self.max_ns, latency_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        return self.total_ns / self.count if self.count else 0.0
+
+
+class OnlineMonitor:
+    """Streaming analyzer over live probe records.
+
+    Feed records with :meth:`ingest` (or attach to processes and call
+    :meth:`poll`). Thread-safe; alert callbacks fire inline with ingest.
+    """
+
+    def __init__(
+        self,
+        latency_slo_ns: int | None = None,
+        on_alert: Callable[[Alert], None] | None = None,
+    ):
+        self.latency_slo_ns = latency_slo_ns
+        self.on_alert = on_alert
+        self._stacks: dict[str, list[OpenInvocation]] = defaultdict(list)
+        self._stats: dict[str, _LiveStats] = defaultdict(_LiveStats)
+        self._alerts: list[Alert] = []
+        self._completed_calls = 0
+        self._abnormal = 0
+        self._lock = threading.Lock()
+        self._cursors: dict[int, int] = {}
+        # Records from different process buffers arrive interleaved; the
+        # FTL's event number lets us re-serialize each chain on the fly.
+        self._expected_seq: dict[str, int] = defaultdict(int)
+        self._pending: dict[str, dict[int, ProbeRecord]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------
+
+    def ingest(self, record: ProbeRecord) -> None:
+        """Advance live chain state with one record."""
+        with self._lock:
+            self._enqueue_locked(record)
+
+    def ingest_many(self, records) -> None:
+        with self._lock:
+            for record in records:
+                self._enqueue_locked(record)
+
+    def _enqueue_locked(self, record: ProbeRecord) -> None:
+        """Re-serialize per chain by event number before applying."""
+        chain = record.chain_uuid
+        expected = self._expected_seq[chain]
+        if record.event_seq < expected:
+            # A duplicate or an event number collision: genuinely abnormal.
+            self._abnormal_event(record)
+            return
+        if record.event_seq > expected:
+            self._pending[chain][record.event_seq] = record
+            return
+        self._ingest_locked(record)
+        self._expected_seq[chain] = expected + 1
+        pending = self._pending.get(chain)
+        while pending:
+            next_record = pending.pop(self._expected_seq[chain], None)
+            if next_record is None:
+                break
+            self._ingest_locked(next_record)
+            self._expected_seq[chain] += 1
+
+    def poll(self, processes: list[SimProcess]) -> int:
+        """Pull any new records from process buffers (non-draining)."""
+        new = 0
+        with self._lock:
+            for process in processes:
+                snapshot = process.log_buffer.snapshot()
+                cursor = self._cursors.get(process.pid, 0)
+                for record in snapshot[cursor:]:
+                    self._enqueue_locked(record)
+                    new += 1
+                self._cursors[process.pid] = len(snapshot)
+        return new
+
+    # ------------------------------------------------------------------
+
+    def _ingest_locked(self, record: ProbeRecord) -> None:
+        stack = self._stacks[record.chain_uuid]
+        event = record.event
+        if event is TracingEvent.STUB_START or (
+            event is TracingEvent.SKEL_START and not stack
+        ):
+            stack.append(
+                OpenInvocation(
+                    function=record.function,
+                    object_id=record.object_id,
+                    chain_uuid=record.chain_uuid,
+                    started_wall_ns=record.wall_end,
+                    depth=len(stack) + 1,
+                )
+            )
+            return
+        if event in (TracingEvent.SKEL_START, TracingEvent.SKEL_END):
+            if not stack or stack[-1].function != record.function:
+                self._abnormal_event(record)
+            return
+        if event is TracingEvent.STUB_END:
+            if not stack or stack[-1].function != record.function:
+                self._abnormal_event(record)
+                return
+            invocation = stack.pop()
+            if not stack:
+                del self._stacks[record.chain_uuid]
+            self._completed_calls += 1
+            if invocation.started_wall_ns is not None and record.wall_start is not None:
+                latency = record.wall_start - invocation.started_wall_ns
+                self._stats[record.function].add(latency)
+                if self.latency_slo_ns is not None and latency > self.latency_slo_ns:
+                    self._raise_alert(
+                        Alert(
+                            kind="latency",
+                            function=record.function,
+                            chain_uuid=record.chain_uuid,
+                            detail=f"latency {latency}ns exceeds SLO"
+                            f" {self.latency_slo_ns}ns",
+                            latency_ns=latency,
+                        )
+                    )
+
+    def _abnormal_event(self, record: ProbeRecord) -> None:
+        self._abnormal += 1
+        self._raise_alert(
+            Alert(
+                kind="abnormal",
+                function=record.function,
+                chain_uuid=record.chain_uuid,
+                detail=f"unexpected {record.event.name} at seq {record.event_seq}",
+            )
+        )
+
+    def _raise_alert(self, alert: Alert) -> None:
+        self._alerts.append(alert)
+        if self.on_alert is not None:
+            self.on_alert(alert)
+
+    # ------------------------------------------------------------------
+    # Views
+
+    def open_invocations(self) -> list[OpenInvocation]:
+        """Everything currently in flight, deepest frames last."""
+        with self._lock:
+            result = []
+            for stack in self._stacks.values():
+                result.extend(stack)
+            return result
+
+    def live_chain_count(self) -> int:
+        with self._lock:
+            return len(self._stacks)
+
+    def completed_calls(self) -> int:
+        with self._lock:
+            return self._completed_calls
+
+    def alerts(self) -> list[Alert]:
+        with self._lock:
+            return list(self._alerts)
+
+    def latency_stats(self) -> dict[str, tuple[int, float, int]]:
+        """function -> (count, mean ns, max ns) for completed calls."""
+        with self._lock:
+            return {
+                function: (stats.count, stats.mean_ns, stats.max_ns)
+                for function, stats in self._stats.items()
+            }

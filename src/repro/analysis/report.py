@@ -1,0 +1,87 @@
+"""Text report tables used by the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from repro.analysis.cpu import CpuAnalysis
+from repro.analysis.dscg import Dscg
+from repro.analysis.latency import latency_report
+from repro.analysis.xmlview import split_sec_usec
+
+
+def format_ns(ns: float) -> str:
+    """Human-readable duration."""
+    if ns >= 1_000_000_000:
+        return f"{ns / 1e9:.3f}s"
+    if ns >= 1_000_000:
+        return f"{ns / 1e6:.3f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def format_sec_usec(ns: int) -> str:
+    """The paper's ``[second, microsecond]`` rendering."""
+    seconds, microseconds = split_sec_usec(ns)
+    return f"[{seconds}, {microseconds}]"
+
+
+def table(rows: list[list[str]], headers: list[str]) -> str:
+    """Render an aligned monospace table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def fmt(row):
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def dscg_summary(dscg: Dscg) -> str:
+    """One-paragraph DSCG summary (the Figure-5 style statistics)."""
+    stats = dscg.stats()
+    return (
+        f"DSCG: {stats['nodes']} invocation nodes in {stats['chains']} causal"
+        f" chain(s); {stats['unique_methods']} unique methods,"
+        f" {stats['unique_interfaces']} unique interfaces,"
+        f" {stats['unique_components']} unique components,"
+        f" {stats['unique_objects']} objects; max depth {stats['max_depth']};"
+        f" {stats['oneway_links']} oneway fork(s);"
+        f" {stats['abnormal_events']} abnormal event(s)."
+    )
+
+
+def latency_table(dscg: Dscg, limit: int = 20) -> str:
+    """Per-function latency table sorted by total latency."""
+    report = latency_report(dscg)
+    entries = sorted(report.values(), key=lambda e: e.total_ns, reverse=True)[:limit]
+    rows = [
+        [
+            entry.function,
+            str(entry.count),
+            format_ns(entry.mean_ns),
+            format_ns(entry.min_ns),
+            format_ns(entry.max_ns),
+            format_ns(entry.total_ns),
+        ]
+        for entry in entries
+    ]
+    return table(rows, ["function", "calls", "mean", "min", "max", "total"])
+
+
+def cpu_table(dscg: Dscg, cpu: CpuAnalysis | None = None, limit: int = 20) -> str:
+    """Per-function self-CPU table, vectors flattened per processor."""
+    if cpu is None:
+        cpu = CpuAnalysis(dscg)
+    per_function = cpu.per_function_self_cpu()
+    entries = sorted(
+        per_function.items(), key=lambda item: item[1].total_ns(), reverse=True
+    )[:limit]
+    rows = []
+    for function, vector in entries:
+        breakdown = ", ".join(
+            f"{proc}: {format_sec_usec(ns)}" for proc, ns in sorted(vector.by_processor.items())
+        )
+        rows.append([function, format_ns(vector.total_ns()), breakdown or "(no data)"])
+    return table(rows, ["function", "self CPU", "per processor [s, us]"])

@@ -1,0 +1,77 @@
+"""Application-semantics reports (parameters, results, exceptions).
+
+The probes can capture "application semantics about each function call
+behavior (input/output/return parameter, thrown exceptions)"; the paper
+notes this is "primarily useful for application debugging and testing"
+(Section 2.1). This module summarizes what was captured in SEMANTICS
+monitor mode.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.events import TracingEvent
+from repro.core.records import ProbeRecord
+
+
+@dataclass
+class FunctionSemantics:
+    """Semantic summary for one function."""
+
+    function: str
+    invocations: int = 0
+    ok: int = 0
+    user_exceptions: int = 0
+    system_exceptions: int = 0
+    sample_args: list[list[str]] = field(default_factory=list)
+    exception_samples: list[str] = field(default_factory=list)
+
+    @property
+    def failure_rate(self) -> float:
+        total = self.ok + self.user_exceptions + self.system_exceptions
+        if not total:
+            return 0.0
+        return (self.user_exceptions + self.system_exceptions) / total
+
+
+def semantics_report(
+    records: list[ProbeRecord], max_samples: int = 5
+) -> dict[str, FunctionSemantics]:
+    """Aggregate semantics payloads per function."""
+    report: dict[str, FunctionSemantics] = {}
+    for record in records:
+        if record.semantics is None:
+            continue
+        entry = report.get(record.function)
+        if entry is None:
+            entry = FunctionSemantics(function=record.function)
+            report[record.function] = entry
+        payload = record.semantics
+        if record.event is TracingEvent.STUB_START:
+            entry.invocations += 1
+            if "args" in payload and len(entry.sample_args) < max_samples:
+                entry.sample_args.append(list(payload["args"]))
+        elif record.event is TracingEvent.SKEL_END:
+            status = payload.get("status", "ok")
+            if status == "ok":
+                entry.ok += 1
+            elif status == "user_exception":
+                entry.user_exceptions += 1
+                if len(entry.exception_samples) < max_samples:
+                    entry.exception_samples.append(payload.get("exception", ""))
+            else:
+                entry.system_exceptions += 1
+                if len(entry.exception_samples) < max_samples:
+                    entry.exception_samples.append(payload.get("exception", ""))
+    return report
+
+
+def exception_hotspots(
+    report: dict[str, FunctionSemantics], threshold: float = 0.0
+) -> list[FunctionSemantics]:
+    """Functions sorted by failure rate (debugging aid)."""
+    entries = [e for e in report.values() if e.failure_rate > threshold]
+    entries.sort(key=lambda e: e.failure_rate, reverse=True)
+    return entries

@@ -1,0 +1,105 @@
+"""DSCG serialization for interchange and archival.
+
+Reconstructed graphs can be exported to a self-contained JSON document
+(structure + identities + annotations, no raw probe records) and loaded
+back into lightweight node objects — enough for viewers, diffing and the
+CLI, without re-reading the monitoring database.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.cpu import CpuAnalysis
+from repro.analysis.dscg import CallNode, ChainTree, Dscg
+from repro.analysis.latency import end_to_end_latency
+from repro.core.events import CallKind, Domain
+
+
+def _node_to_dict(node: CallNode, cpu: CpuAnalysis | None) -> dict[str, Any]:
+    payload: dict[str, Any] = {
+        "interface": node.interface,
+        "operation": node.operation,
+        "object_id": node.object_id,
+        "component": node.component,
+        "call_kind": node.call_kind.value,
+        "collocated": node.collocated,
+        "domain": node.domain.value,
+        "oneway_side": node.oneway_side,
+        "partial": node.partial,
+        "children": [_node_to_dict(child, cpu) for child in node.children],
+    }
+    if node.forked_chain_uuid:
+        payload["forked_chain_uuid"] = node.forked_chain_uuid
+    latency = end_to_end_latency(node)
+    if latency is not None:
+        payload["latency_ns"] = latency
+    if cpu is not None:
+        self_cpu = cpu.self_cpu(node)
+        if self_cpu is not None:
+            payload["self_cpu_ns"] = self_cpu
+        descendant = cpu.descendant_cpu(node)
+        if descendant.by_processor:
+            payload["descendant_cpu_ns"] = dict(descendant.by_processor)
+    return payload
+
+
+def dscg_to_json(dscg: Dscg, include_cpu: bool = True, indent: int = 2) -> str:
+    """Serialize a DSCG (with annotations) to a JSON document."""
+    cpu = CpuAnalysis(dscg) if include_cpu else None
+    document = {
+        "format": "repro-dscg",
+        "version": 1,
+        "stats": dscg.stats(),
+        "chains": [
+            {
+                "chain_uuid": tree.chain_uuid,
+                "parent_chain_uuid": tree.parent_chain_uuid,
+                "abnormal": [
+                    {"event_seq": a.event_seq, "reason": a.reason}
+                    for a in tree.abnormal
+                ],
+                "roots": [_node_to_dict(root, cpu) for root in tree.roots],
+            }
+            for tree in dscg.chains.values()
+        ],
+    }
+    return json.dumps(document, indent=indent)
+
+
+def _node_from_dict(payload: dict[str, Any], chain_uuid: str) -> CallNode:
+    node = CallNode(
+        interface=payload["interface"],
+        operation=payload["operation"],
+        object_id=payload["object_id"],
+        component=payload["component"],
+        chain_uuid=chain_uuid,
+        call_kind=CallKind(payload["call_kind"]),
+        collocated=payload["collocated"],
+        domain=Domain(payload["domain"]),
+        oneway_side=payload.get("oneway_side", ""),
+        forked_chain_uuid=payload.get("forked_chain_uuid"),
+        partial=payload.get("partial", False),
+    )
+    node.latency_ns = payload.get("latency_ns")
+    node.self_cpu_ns = payload.get("self_cpu_ns")
+    for child_payload in payload["children"]:
+        node.add_child(_node_from_dict(child_payload, chain_uuid))
+    return node
+
+
+def dscg_from_json(document: str) -> Dscg:
+    """Load a serialized DSCG (structure + annotations; no probe records)."""
+    payload = json.loads(document)
+    if payload.get("format") != "repro-dscg":
+        raise ValueError("not a repro DSCG document")
+    dscg = Dscg()
+    for chain_payload in payload["chains"]:
+        tree = ChainTree(chain_uuid=chain_payload["chain_uuid"])
+        tree.parent_chain_uuid = chain_payload.get("parent_chain_uuid")
+        for root_payload in chain_payload["roots"]:
+            tree.roots.append(_node_from_dict(root_payload, tree.chain_uuid))
+        dscg.add_chain(tree)
+    dscg.link_chains()
+    return dscg

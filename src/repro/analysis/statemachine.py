@@ -1,0 +1,187 @@
+"""Causality reconstruction — the Figure-4 state machine.
+
+For each Function UUID, the analyzer scans the event records in ascending
+event-number order and rebuilds the call hierarchy, "similar to the
+compiler parsing that creates an abstract syntax tree and performs type
+checking". The machine is a pushdown automaton: starts open a frame,
+matching ends close it, and the event repeating patterns of Table 1
+uniquely determine sibling versus parent/child structure.
+
+Transitions (solid lines in Figure 4 = synchronous, dashed = oneway):
+
+- ``F.stub_start``  → push a new frame as a child of the open frame.
+- ``F.skel_start``  → attach to the open frame (sync), or open a
+  skeleton-side oneway root when the chain begins with it.
+- ``F.skel_end``    → attach; closes a skeleton-side oneway frame.
+- ``F.stub_end``    → attach and pop the frame (sync return, or
+  stub-side oneway return).
+
+Any record fitting none of these takes the "abnormal" transition: the
+analyzer records the failure and restarts from the next log record
+(Section 3.1). Mingled causal chains — the COM STA hazard of Section 2.2
+— surface as abnormal events, which is how the benchmarks count them.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Sequence
+
+from repro.collector.database import MonitoringDatabase
+from repro.core.events import CallKind, TracingEvent
+from repro.core.records import ProbeRecord
+from repro.analysis.dscg import AbnormalEvent, CallNode, ChainTree, Dscg
+
+
+def _same_call(node: CallNode, record: ProbeRecord) -> bool:
+    return (
+        node.interface == record.interface
+        and node.operation == record.operation
+        and node.object_id == record.object_id
+    )
+
+
+def _node_from_record(record: ProbeRecord, oneway_side: str) -> CallNode:
+    return CallNode(
+        interface=record.interface,
+        operation=record.operation,
+        object_id=record.object_id,
+        component=record.component,
+        chain_uuid=record.chain_uuid,
+        call_kind=record.call_kind,
+        collocated=record.collocated,
+        domain=record.domain,
+        oneway_side=oneway_side,
+        forked_chain_uuid=record.child_chain_uuid,
+    )
+
+
+def reconstruct_chain(chain_uuid: str, records: Sequence[ProbeRecord]) -> ChainTree:
+    """Unfold one chain's sorted event records into a tree Ti."""
+    tree = ChainTree(chain_uuid=chain_uuid)
+    stack: list[CallNode] = []
+
+    def abnormal(reason: str, record: ProbeRecord) -> None:
+        tree.abnormal.append(
+            AbnormalEvent(
+                chain_uuid=chain_uuid,
+                event_seq=record.event_seq,
+                reason=reason,
+                record=record,
+            )
+        )
+
+    for record in records:
+        event = record.event
+        top = stack[-1] if stack else None
+
+        if event is TracingEvent.STUB_START:
+            oneway_side = "stub" if record.call_kind is CallKind.ONEWAY else ""
+            node = _node_from_record(record, oneway_side)
+            node.records[event] = record
+            if top is not None:
+                top.add_child(node)
+            else:
+                tree.roots.append(node)
+            stack.append(node)
+
+        elif event is TracingEvent.SKEL_START:
+            if (
+                top is not None
+                and _same_call(top, record)
+                and TracingEvent.STUB_START in top.records
+                and TracingEvent.SKEL_START not in top.records
+            ):
+                top.records[event] = record
+            elif top is None:
+                # Chain begins at a skeleton: either the skeleton side of a
+                # oneway fork (the dashed Figure-4 path) or a sync call
+                # whose client process is unmonitored.
+                oneway_side = "skel" if record.call_kind is CallKind.ONEWAY else ""
+                node = _node_from_record(record, oneway_side)
+                node.records[event] = record
+                if record.call_kind is not CallKind.ONEWAY:
+                    node.partial = True
+                tree.roots.append(node)
+                stack.append(node)
+            else:
+                abnormal(
+                    f"skel_start for {record.interface}::{record.operation} does not"
+                    f" match open frame {top.function if top else '<none>'}",
+                    record,
+                )
+
+        elif event is TracingEvent.SKEL_END:
+            if (
+                top is not None
+                and _same_call(top, record)
+                and TracingEvent.SKEL_START in top.records
+                and TracingEvent.SKEL_END not in top.records
+            ):
+                top.records[event] = record
+                # A skeleton-side frame with no stub side closes here:
+                # oneway skeleton-side return, or an unmonitored client.
+                if TracingEvent.STUB_START not in top.records:
+                    stack.pop()
+            else:
+                abnormal(
+                    f"skel_end for {record.interface}::{record.operation} without"
+                    " a matching open skel_start",
+                    record,
+                )
+
+        elif event is TracingEvent.STUB_END:
+            if (
+                top is not None
+                and _same_call(top, record)
+                and TracingEvent.STUB_START in top.records
+                and TracingEvent.STUB_END not in top.records
+            ):
+                top.records[event] = record
+                if top.call_kind is not CallKind.ONEWAY and (
+                    TracingEvent.SKEL_START not in top.records
+                    or TracingEvent.SKEL_END not in top.records
+                ):
+                    # Sync call whose server side produced no records
+                    # (unmonitored peer process).
+                    top.partial = True
+                stack.pop()
+            else:
+                abnormal(
+                    f"stub_end for {record.interface}::{record.operation} does not"
+                    f" close open frame {top.function if top else '<none>'}",
+                    record,
+                )
+
+    for leftover in stack:
+        tree.abnormal.append(
+            AbnormalEvent(
+                chain_uuid=chain_uuid,
+                event_seq=-1,
+                reason=f"call {leftover.function} never completed (missing end events)",
+            )
+        )
+    return tree
+
+
+def reconstruct_from_records(records: Iterable[ProbeRecord]) -> Dscg:
+    """Build a DSCG directly from in-memory records (tests, small runs)."""
+    by_chain: dict[str, list[ProbeRecord]] = defaultdict(list)
+    for record in records:
+        by_chain[record.chain_uuid].append(record)
+    dscg = Dscg()
+    for chain_uuid, chain_records in by_chain.items():
+        chain_records.sort(key=lambda r: r.event_seq)
+        dscg.add_chain(reconstruct_chain(chain_uuid, chain_records))
+    dscg.link_chains()
+    return dscg
+
+
+def reconstruct(database: MonitoringDatabase, run_id: str) -> Dscg:
+    """Build the DSCG for one collected run using the two standard queries."""
+    dscg = Dscg()
+    for chain_uuid in database.unique_chain_uuids(run_id):
+        records = database.events_for_chain(run_id, chain_uuid)
+        dscg.add_chain(reconstruct_chain(chain_uuid, records))
+    dscg.link_chains()
+    return dscg

@@ -1,0 +1,15 @@
+"""Synthetic large-scale embedded system (the Figure-5 subject)."""
+
+from repro.apps.embedded.generator import (
+    EmbeddedConfig,
+    EmbeddedSplitter,
+    generate_embedded_idl,
+)
+from repro.apps.embedded.system import EmbeddedSystem
+
+__all__ = [
+    "EmbeddedConfig",
+    "EmbeddedSplitter",
+    "EmbeddedSystem",
+    "generate_embedded_idl",
+]

@@ -1,0 +1,22 @@
+"""Printing Pipeline Simulator (PPS): the paper's CORBA example system."""
+
+from repro.apps.pps.idl import PPS_COMPONENTS, PPS_IDL
+from repro.apps.pps.pipeline import (
+    HostSpec,
+    PpsDeployment,
+    PpsSystem,
+    four_process_deployment,
+    mixed_platform_deployment,
+    monolithic_deployment,
+)
+
+__all__ = [
+    "HostSpec",
+    "PPS_COMPONENTS",
+    "PPS_IDL",
+    "PpsDeployment",
+    "PpsSystem",
+    "four_process_deployment",
+    "mixed_platform_deployment",
+    "monolithic_deployment",
+]

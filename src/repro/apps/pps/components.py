@@ -1,0 +1,153 @@
+"""PPS servant implementations.
+
+Each servant charges a deterministic CPU cost proportional to its input
+(via :func:`repro.workloads.burn.burn_cpu`, so the same code runs exactly
+on a virtual clock and realistically on a real one) and forwards work to
+its downstream peers through ordinary generated stubs — which is what
+drives the causal chains the monitoring captures.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.platform.host import Host
+from repro.workloads.burn import burn_cpu
+
+
+class PpsWiring:
+    """Late-bound stubs connecting the pipeline stages."""
+
+    def __init__(self):
+        self.scheduler: Any = None
+        self.interpreter: Any = None
+        self.font_manager: Any = None
+        self.color_transform: Any = None
+        self.halftone: Any = None
+        self.compressor: Any = None
+        self.decompressor: Any = None
+        self.marking_engine: Any = None
+        self.resource_manager: Any = None
+        self.status_logger: Any = None
+
+
+def build_servant_classes(compiled) -> dict[str, type]:
+    """Create the 11 servant classes over the compiled PPS IDL.
+
+    Every class takes ``(host, wiring, cost_scale)``; ``host`` supplies
+    the clock used for CPU burning, ``wiring`` the downstream stubs.
+    """
+    ns = compiled.namespace
+    Job = ns["PPS_Job"]
+    OutOfResources = ns["PPS_OutOfResources"]
+
+    class _Base:
+        def __init__(self, host: Host, wiring: PpsWiring, cost_scale: int = 1_000):
+            self.host = host
+            self.wiring = wiring
+            self.cost_scale = cost_scale
+
+        def _burn(self, units: int) -> None:
+            burn_cpu(self.host, units * self.cost_scale)
+
+    class JobSource(_Base, ns["PPS_JobSource"]):
+        """Produces print jobs and submits them to the scheduler."""
+
+        def produce(self, njobs, pages, complexity):
+            for job_id in range(njobs):
+                self._burn(2)  # job assembly
+                job = Job(id=job_id, pages=pages, complexity=complexity)
+                self.wiring.scheduler.submit(job)
+
+    class JobScheduler(_Base, ns["PPS_JobScheduler"]):
+        """Orchestrates one job through the pipeline."""
+
+        def submit(self, job):
+            self._burn(3)  # admission + queueing decisions
+            self.wiring.resource_manager.reserve(job.pages)
+            page_data = self.wiring.interpreter.interpret(job)
+            for _page in range(job.pages):
+                data = self.wiring.color_transform.transform(page_data)
+                data = self.wiring.halftone.halftone(data)
+                data = self.wiring.compressor.compress(data)
+                data = self.wiring.decompressor.decompress(data)
+                self.wiring.marking_engine.mark(data)
+            self.wiring.resource_manager.free_resources(job.pages)
+            self.wiring.status_logger.log_event(f"job {job.id} done")
+
+    class Interpreter(_Base, ns["PPS_Interpreter"]):
+        """Raster image processor; loads fonts for complex jobs."""
+
+        def interpret(self, job):
+            fonts = self.wiring.font_manager.load_fonts(job.complexity)
+            self._burn(5 + 2 * job.complexity)  # RIP work
+            return job.id * 1_000 + fonts
+
+    class FontManager(_Base, ns["PPS_FontManager"]):
+        def load_fonts(self, complexity):
+            self._burn(1 + complexity)
+            return complexity * 3
+
+    class ColorTransform(_Base, ns["PPS_ColorTransform"]):
+        def transform(self, page_data):
+            self._burn(4)
+            return page_data + 1
+
+    class Halftone(_Base, ns["PPS_Halftone"]):
+        def halftone(self, page_data):
+            self._burn(3)
+            return page_data + 1
+
+    class Compressor(_Base, ns["PPS_Compressor"]):
+        def compress(self, page_data):
+            self._burn(2)
+            return page_data + 1
+
+    class Decompressor(_Base, ns["PPS_Decompressor"]):
+        def decompress(self, page_data):
+            self._burn(2)
+            return page_data + 1
+
+    class MarkingEngine(_Base, ns["PPS_MarkingEngine"]):
+        def mark(self, page_data):
+            self._burn(6)  # the physical marking pass dominates
+
+    class ResourceManager(_Base, ns["PPS_ResourceManager"]):
+        def __init__(self, host, wiring, cost_scale: int = 1_000, capacity: int = 1_000_000):
+            super().__init__(host, wiring, cost_scale)
+            self.capacity = capacity
+            self.reserved = 0
+
+        def reserve(self, amount):
+            self._burn(1)
+            if self.reserved + amount > self.capacity:
+                raise OutOfResources(resource="pages", requested=amount)
+            self.reserved += amount
+            return self.capacity - self.reserved
+
+        def free_resources(self, amount):
+            self._burn(1)
+            self.reserved = max(0, self.reserved - amount)
+
+    class StatusLogger(_Base, ns["PPS_StatusLogger"]):
+        def __init__(self, host, wiring, cost_scale: int = 1_000):
+            super().__init__(host, wiring, cost_scale)
+            self.events: list[str] = []
+
+        def log_event(self, message):
+            self._burn(1)
+            self.events.append(message)
+
+    return {
+        "JobSource": JobSource,
+        "JobScheduler": JobScheduler,
+        "Interpreter": Interpreter,
+        "FontManager": FontManager,
+        "ColorTransform": ColorTransform,
+        "Halftone": Halftone,
+        "Compressor": Compressor,
+        "Decompressor": Decompressor,
+        "MarkingEngine": MarkingEngine,
+        "ResourceManager": ResourceManager,
+        "StatusLogger": StatusLogger,
+    }

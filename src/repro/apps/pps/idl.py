@@ -1,0 +1,85 @@
+"""The Printing Pipeline Simulator's IDL definition.
+
+The PPS "is ORBlite based and consists of 11 components" and "has been
+flexibly configured into multiple processes hosted by different platforms
+that include HPUX, Windows and VxWorks" (Section 4). The interfaces below
+model a raster printing pipeline: job production, scheduling, raster
+image processing (with font loading), per-page color transform →
+halftone → compress → decompress → mark, resource accounting and a
+oneway status logger.
+"""
+
+PPS_IDL = """
+module PPS {
+  struct Job {
+    long id;
+    long pages;
+    long complexity;
+  };
+
+  exception OutOfResources {
+    string resource;
+    long requested;
+  };
+
+  interface StatusLogger {
+    oneway void log_event(in string message);
+  };
+
+  interface FontManager {
+    long load_fonts(in long complexity);
+  };
+
+  interface ResourceManager {
+    long reserve(in long amount) raises (OutOfResources);
+    void free_resources(in long amount);
+  };
+
+  interface Interpreter {
+    long interpret(in Job job);
+  };
+
+  interface ColorTransform {
+    long transform(in long page_data);
+  };
+
+  interface Halftone {
+    long halftone(in long page_data);
+  };
+
+  interface Compressor {
+    long compress(in long page_data);
+  };
+
+  interface Decompressor {
+    long decompress(in long page_data);
+  };
+
+  interface MarkingEngine {
+    void mark(in long page_data);
+  };
+
+  interface JobScheduler {
+    void submit(in Job job);
+  };
+
+  interface JobSource {
+    void produce(in long njobs, in long pages, in long complexity);
+  };
+};
+"""
+
+#: The 11 PPS components and their interfaces, in pipeline order.
+PPS_COMPONENTS = (
+    ("JobSource", "PPS::JobSource"),
+    ("JobScheduler", "PPS::JobScheduler"),
+    ("Interpreter", "PPS::Interpreter"),
+    ("FontManager", "PPS::FontManager"),
+    ("ColorTransform", "PPS::ColorTransform"),
+    ("Halftone", "PPS::Halftone"),
+    ("Compressor", "PPS::Compressor"),
+    ("Decompressor", "PPS::Decompressor"),
+    ("MarkingEngine", "PPS::MarkingEngine"),
+    ("ResourceManager", "PPS::ResourceManager"),
+    ("StatusLogger", "PPS::StatusLogger"),
+)

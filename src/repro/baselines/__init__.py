@@ -1,0 +1,37 @@
+"""Related-work baselines: trace object, interceptor-only, gprof-like."""
+
+from repro.baselines.gprof_like import GprofProfile, gprof_profile, path_loss
+from repro.baselines.interceptor_only import (
+    Anchor,
+    CorrelationComparison,
+    anchors_from_records,
+    compare_correlation,
+    recover_same_thread_edges,
+)
+from repro.baselines.trace_object import (
+    DEFAULT_MESSAGE_CAP_BYTES,
+    TraceObject,
+    TraceObjectOverflow,
+    ftl_size_at,
+    growth_series,
+    max_chain_events,
+    trace_object_size_at,
+)
+
+__all__ = [
+    "Anchor",
+    "CorrelationComparison",
+    "DEFAULT_MESSAGE_CAP_BYTES",
+    "GprofProfile",
+    "TraceObject",
+    "TraceObjectOverflow",
+    "anchors_from_records",
+    "compare_correlation",
+    "ftl_size_at",
+    "gprof_profile",
+    "growth_series",
+    "max_chain_events",
+    "path_loss",
+    "recover_same_thread_edges",
+    "trace_object_size_at",
+]

@@ -1,0 +1,174 @@
+"""Interceptor-only monitoring baseline (OVATION [15]).
+
+OVATION's interceptors provide "four different timing anchors: client
+pre-invoke and post-invoke, servant pre-invoke and post-invoke" plus the
+execution entity (thread, process, host) — but **no global causality
+capture**: "for each method invocation ever happens between two
+distributed objects, the tool cannot determine how this particular
+invocation is related to the rest of method invocations."
+
+This module strips our probe records down to what such a monitor sees
+(timing + locality, no chain UUID and no event numbers) and then tries
+its best to correlate: within one thread, invocation nesting is
+recoverable from time containment; across threads, processes and
+processors it is not. The correlation benchmark quantifies the gap.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.events import TracingEvent
+from repro.core.records import ProbeRecord
+from repro.analysis.dscg import Dscg
+
+
+@dataclass(frozen=True)
+class Anchor:
+    """What an interceptor records: timing + locality, nothing causal."""
+
+    function: str
+    object_id: str
+    kind: str  # "client_pre" | "client_post" | "servant_pre" | "servant_post"
+    process: str
+    host: str
+    thread_id: int
+    timestamp_ns: int
+
+
+_KIND_FOR_EVENT = {
+    TracingEvent.STUB_START: "client_pre",
+    TracingEvent.STUB_END: "client_post",
+    TracingEvent.SKEL_START: "servant_pre",
+    TracingEvent.SKEL_END: "servant_post",
+}
+
+
+def anchors_from_records(records: list[ProbeRecord]) -> list[Anchor]:
+    """Degrade full probe records into interceptor anchors."""
+    anchors = []
+    for record in records:
+        if record.wall_start is None:
+            continue
+        anchors.append(
+            Anchor(
+                function=record.function,
+                object_id=record.object_id,
+                kind=_KIND_FOR_EVENT[record.event],
+                process=record.process,
+                host=record.host,
+                thread_id=record.thread_id,
+                timestamp_ns=record.wall_start,
+            )
+        )
+    anchors.sort(key=lambda a: a.timestamp_ns)
+    return anchors
+
+
+def recover_same_thread_edges(anchors: list[Anchor]) -> set[tuple[str, str]]:
+    """Best-effort caller/callee edges from per-thread time nesting.
+
+    A ``client_pre`` observed on a thread while a ``servant_pre`` of
+    another function is open on the *same thread* implies a nesting edge.
+    This is all an interceptor-only monitor can infer; every cross-thread
+    hop (i.e. every remote dispatch) is invisible.
+    """
+    edges: set[tuple[str, str]] = set()
+    open_servants: dict[tuple[str, int], list[str]] = defaultdict(list)
+    for anchor in anchors:
+        key = (anchor.process, anchor.thread_id)
+        if anchor.kind == "servant_pre":
+            open_servants[key].append(anchor.function)
+        elif anchor.kind == "servant_post":
+            stack = open_servants[key]
+            if stack and stack[-1] == anchor.function:
+                stack.pop()
+        elif anchor.kind == "client_pre":
+            stack = open_servants[key]
+            if stack:
+                edges.add((stack[-1], anchor.function))
+    return edges
+
+
+def true_edges(dscg: Dscg) -> set[tuple[str, str]]:
+    """Ground-truth caller/callee function edges from the DSCG."""
+    edges: set[tuple[str, str]] = set()
+    for node in dscg.walk():
+        if node.parent is not None:
+            edges.add((node.parent.function, node.function))
+    return edges
+
+
+def cross_entity_edges(dscg: Dscg) -> set[tuple[str, str]]:
+    """True edges whose callee executed on a different thread/process."""
+    edges: set[tuple[str, str]] = set()
+    for node in dscg.walk():
+        if node.parent is None:
+            continue
+        parent_entity = node.parent.server_thread
+        child_entity = node.server_thread
+        if parent_entity is None or child_entity is None or parent_entity != child_entity:
+            edges.add((node.parent.function, node.function))
+    return edges
+
+
+def instance_attribution(dscg: Dscg) -> tuple[int, int]:
+    """(attributable, total) parent→child *instance* attributions.
+
+    Function-name edges are recoverable by a per-thread interceptor when
+    the child's client-side span nests inside the parent's servant span —
+    but attributing the child's actual *execution* (its servant-side span
+    on another thread, process or host) to the parent instance requires a
+    causal marker: timestamps cannot do it across unsynchronized hosts,
+    and identical concurrent calls make time-matching ambiguous even on
+    one host. This metric counts a child instance as attributable by an
+    interceptor-only monitor only when its execution shares the parent's
+    thread (the collocated case).
+    """
+    total = 0
+    attributable = 0
+    for node in dscg.walk():
+        if node.parent is None:
+            continue
+        total += 1
+        parent_entity = node.parent.server_thread
+        child_entity = node.server_thread
+        if parent_entity is not None and parent_entity == child_entity:
+            attributable += 1
+    return attributable, total
+
+
+@dataclass
+class CorrelationComparison:
+    """How much causal structure each approach recovers."""
+
+    true_edge_count: int
+    ours_recovered: int
+    interceptor_recovered: int
+
+    @property
+    def ours_rate(self) -> float:
+        return self.ours_recovered / self.true_edge_count if self.true_edge_count else 1.0
+
+    @property
+    def interceptor_rate(self) -> float:
+        return (
+            self.interceptor_recovered / self.true_edge_count
+            if self.true_edge_count
+            else 1.0
+        )
+
+
+def compare_correlation(
+    dscg: Dscg, records: list[ProbeRecord]
+) -> CorrelationComparison:
+    """Ground truth vs. interceptor-only edge recovery."""
+    truth = true_edges(dscg)
+    anchors = anchors_from_records(records)
+    recovered = recover_same_thread_edges(anchors) & truth
+    return CorrelationComparison(
+        true_edge_count=len(truth),
+        ours_recovered=len(truth),  # the DSCG is the ground truth we built
+        interceptor_recovered=len(recovered),
+    )

@@ -1,0 +1,131 @@
+"""Trace-Object baseline (Universal Delegator [2] / RSS trace records [21]).
+
+The related-work carrier appends ("concatenates") a log entry to the
+in-flight trace record at every probe activation, so the transported
+payload grows linearly with the call chain and "unavoidably introduces
+the barrier for the call chains that exceed tens of thousands calls".
+The FTL, by contrast, is updated in place and stays constant-size.
+
+This module implements the concatenating carrier faithfully enough to
+measure the growth curve and the barrier, which the
+``bench_ftl_vs_trace_object`` benchmark reproduces.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.core.ftl import FTL_WIRE_SIZE
+
+#: A realistic per-entry payload: event kind (1), function name (~32),
+#: object id (~16), timestamp (8), thread id (4). See _entry_size.
+_ENTRY_HEADER = struct.Struct(">BIQ")
+
+#: Default transport cap. ORPC/GIOP implementations of the era degraded
+#: or refused messages in the single-digit-megabyte range; at ~230 bytes
+#: of concatenated trace per call this puts the barrier at "the call
+#: chains that exceed tens of thousands calls", as the paper states.
+DEFAULT_MESSAGE_CAP_BYTES = 8 * 1024 * 1024
+
+
+class TraceObjectOverflow(RuntimeError):
+    """The concatenated trace record exceeded the transport cap."""
+
+
+@dataclass
+class TraceEntry:
+    """One appended probe entry."""
+
+    event: int
+    function: str
+    object_id: str
+    timestamp_ns: int
+    thread_id: int
+
+    def encoded_size(self) -> int:
+        return (
+            _ENTRY_HEADER.size
+            + 4 + len(self.function.encode("utf-8"))
+            + 4 + len(self.object_id.encode("utf-8"))
+        )
+
+    def encode(self) -> bytes:
+        function = self.function.encode("utf-8")
+        object_id = self.object_id.encode("utf-8")
+        return (
+            _ENTRY_HEADER.pack(self.event, self.thread_id & 0xFFFFFFFF, self.timestamp_ns)
+            + struct.pack(">I", len(function))
+            + function
+            + struct.pack(">I", len(object_id))
+            + object_id
+        )
+
+
+@dataclass
+class TraceObject:
+    """The concatenating carrier: every probe appends, nothing is dropped."""
+
+    cap_bytes: int = DEFAULT_MESSAGE_CAP_BYTES
+    entries: list[TraceEntry] = field(default_factory=list)
+    _size: int = 8  # fixed header
+
+    def append(self, entry: TraceEntry) -> None:
+        grown = self._size + entry.encoded_size()
+        if grown > self.cap_bytes:
+            raise TraceObjectOverflow(
+                f"trace object would reach {grown} bytes (> cap {self.cap_bytes});"
+                f" chain length {len(self.entries)}"
+            )
+        self.entries.append(entry)
+        self._size = grown
+
+    @property
+    def wire_size(self) -> int:
+        return self._size
+
+    def encode(self) -> bytes:
+        body = b"".join(entry.encode() for entry in self.entries)
+        return struct.pack(">Q", len(self.entries)) + body
+
+
+def _entry_for_depth(depth: int) -> TraceEntry:
+    return TraceEntry(
+        event=1 + (depth % 4),
+        function=f"Module::Interface{depth % 16}::op{depth % 8}",
+        object_id=f"proc-{depth % 4}.obj-{depth % 32}",
+        timestamp_ns=depth * 1_000,
+        thread_id=depth % 64,
+    )
+
+
+def trace_object_size_at(chain_events: int, cap_bytes: int | None = None) -> int:
+    """Wire size of the trace object after ``chain_events`` probe events."""
+    trace = TraceObject(cap_bytes=cap_bytes or 1 << 62)
+    for depth in range(chain_events):
+        trace.append(_entry_for_depth(depth))
+    return trace.wire_size
+
+
+def ftl_size_at(chain_events: int) -> int:
+    """Wire size of the FTL after any number of events — constant."""
+    return FTL_WIRE_SIZE
+
+
+def max_chain_events(cap_bytes: int = DEFAULT_MESSAGE_CAP_BYTES) -> int:
+    """How many probe events fit before the trace object hits the barrier."""
+    trace = TraceObject(cap_bytes=cap_bytes)
+    depth = 0
+    try:
+        while True:
+            trace.append(_entry_for_depth(depth))
+            depth += 1
+    except TraceObjectOverflow:
+        return depth
+
+
+def growth_series(depths: list[int]) -> list[tuple[int, int, int]]:
+    """(chain events, trace-object bytes, FTL bytes) rows for the bench."""
+    return [
+        (depth, trace_object_size_at(depth), ftl_size_at(depth)) for depth in depths
+    ]

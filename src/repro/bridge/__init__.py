@@ -1,0 +1,5 @@
+"""Bi-directional CORBA/COM bridge."""
+
+from repro.bridge.bridge import com_facade_for_corba, corba_facade_for_com
+
+__all__ = ["com_facade_for_corba", "corba_facade_for_com"]

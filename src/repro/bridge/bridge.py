@@ -1,0 +1,90 @@
+"""Bi-directional CORBA/COM bridging (Section 2.3).
+
+"In a heterogeneous environment like a CORBA/COM application where
+different subsystems are flexibly built upon either CORBA or COM, as long
+as the bi-directional CORBA-COM bridge is aware of the extra FTL data
+hidden in the instrumented calls, and delivers it from the caller's
+domain to the callee's domain, causality will seamlessly propagate across
+the boundary, and continue to advance in the other domain."
+
+Our bridge is a process hosting both runtimes. Within it the FTL crosses
+domains through thread-specific storage: the inbound skeleton start probe
+binds the FTL to the bridging thread, and the outbound stub start probe
+of the *other* domain picks it up — the exact mechanism the paper's
+tunnel uses between a function implementation and its child calls. The
+facades below forward every operation one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.com.interfaces import ComInterface, ComObject
+from repro.com.orpc import Proxy
+from repro.errors import BridgeError
+
+
+def corba_facade_for_com(servant_base: type, com_proxy: Proxy) -> Any:
+    """Build a CORBA servant that forwards each operation to a COM proxy.
+
+    ``servant_base`` is a generated servant base class (from
+    :func:`repro.idl.compile_idl`); the returned instance implements every
+    IDL operation by invoking the method of the same name on
+    ``com_proxy``. Operation names must match between the IDL interface
+    and the COM interface.
+    """
+    interface = getattr(servant_base, "_repro_interface", None)
+    if interface is None:
+        raise BridgeError("servant_base is not a generated IDL servant base")
+
+    operations = [
+        name
+        for name in dir(servant_base)
+        if not name.startswith("_") and callable(getattr(servant_base, name))
+    ]
+    missing = [op for op in operations if op not in com_proxy.interface.methods]
+    if missing:
+        raise BridgeError(
+            f"COM interface {com_proxy.interface.name} lacks operations {missing}"
+            f" required to bridge {interface}"
+        )
+
+    namespace: dict[str, Any] = {}
+    for op_name in operations:
+
+        def forward(self, *args, _op=op_name, **kwargs):
+            return getattr(com_proxy, _op)(*args, **kwargs)
+
+        forward.__name__ = op_name
+        forward.__doc__ = f"Bridged to COM {com_proxy.interface.name}.{op_name}"
+        namespace[op_name] = forward
+
+    bridged = type(f"CorbaToCom_{servant_base.__name__}", (servant_base,), namespace)
+    return bridged()
+
+
+def com_facade_for_corba(interface: ComInterface, corba_stub: Any) -> ComObject:
+    """Build a COM object that forwards each method to a CORBA stub.
+
+    The returned object implements ``interface``; every method delegates
+    to the method of the same name on ``corba_stub`` (a generated stub).
+    """
+    missing = [m for m in interface.methods if not callable(getattr(corba_stub, m, None))]
+    if missing:
+        raise BridgeError(
+            f"CORBA stub {type(corba_stub).__name__} lacks methods {missing}"
+            f" required to bridge {interface.name}"
+        )
+
+    namespace: dict[str, Any] = {"implements": (interface,)}
+    for method_name in interface.methods:
+
+        def forward(self, *args, _m=method_name, **kwargs):
+            return getattr(corba_stub, _m)(*args, **kwargs)
+
+        forward.__name__ = method_name
+        forward.__doc__ = f"Bridged to CORBA {type(corba_stub).__name__}.{method_name}"
+        namespace[method_name] = forward
+
+    bridged = type(f"ComToCorba_{interface.name}", (ComObject,), namespace)
+    return bridged()

@@ -1,0 +1,268 @@
+"""Command-line front-end: ``python -m repro <command>``.
+
+Commands operate on a monitoring database file (sqlite) produced by
+:class:`repro.collector.LogCollector`, or demonstrate the system with the
+bundled example applications:
+
+- ``demo-pps``        run the PPS, collect into a database file
+- ``demo-embedded``   run the synthetic embedded system, collect
+- ``summary``         DSCG summary of a collected run
+- ``latency``         per-function latency table
+- ``cpu``             per-function self-CPU table
+- ``ccsg``            emit the Figure-6 CCSG XML
+- ``critical-path``   slowest chains' latency critical paths
+- ``dscg-json``       export the annotated DSCG as JSON
+- ``svg``             hyperbolic-layout SVG of the DSCG
+- ``harness``         generate a replay harness script
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import (
+    CpuAnalysis,
+    HyperbolicLayout,
+    build_ccsg,
+    critical_paths,
+    layout_to_svg,
+    reconstruct,
+    render_ccsg_xml,
+    render_critical_path,
+)
+from repro.analysis.report import cpu_table, dscg_summary, latency_table
+from repro.analysis.serialize import dscg_to_json
+from repro.collector import MonitoringDatabase
+from repro.testing_harness import derive_plan, render_harness_script
+
+
+def _open_run(args) -> tuple[MonitoringDatabase, str]:
+    database = MonitoringDatabase(args.database)
+    runs = database.runs()
+    if not runs:
+        raise SystemExit(f"no runs in {args.database}")
+    run_id = args.run or runs[-1].run_id
+    if run_id not in {r.run_id for r in runs}:
+        raise SystemExit(f"run {run_id!r} not found; available:"
+                         f" {[r.run_id for r in runs]}")
+    return database, run_id
+
+
+def cmd_demo_pps(args) -> int:
+    from repro.apps.pps import PpsSystem, four_process_deployment, monolithic_deployment
+    from repro.collector import LogCollector
+    from repro.core import MonitorMode
+
+    deployment = (
+        monolithic_deployment() if args.monolithic else four_process_deployment()
+    )
+    pps = PpsSystem(deployment, mode=MonitorMode[args.mode.upper()])
+    try:
+        pps.run(njobs=args.jobs, pages=args.pages, complexity=args.complexity)
+        pps.quiesce()
+        collector = LogCollector(MonitoringDatabase(args.database))
+        run_id = collector.collect(pps.processes.values(),
+                                   description=f"PPS {deployment.name} (CLI)")
+        print(f"collected run {run_id!r} into {args.database}")
+        return 0
+    finally:
+        pps.shutdown()
+
+
+def cmd_demo_embedded(args) -> int:
+    from repro.apps.embedded import EmbeddedConfig, EmbeddedSystem
+    from repro.collector import LogCollector
+
+    system = EmbeddedSystem(EmbeddedConfig())
+    try:
+        system.run(total_calls=args.calls, roots=args.roots)
+        system.quiesce()
+        collector = LogCollector(MonitoringDatabase(args.database))
+        run_id = collector.collect(system.processes,
+                                   description="embedded synthetic (CLI)")
+        print(f"collected run {run_id!r} ({args.calls} calls) into {args.database}")
+        return 0
+    finally:
+        system.shutdown()
+
+
+def cmd_summary(args) -> int:
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    print(f"run: {run_id}")
+    print(dscg_summary(dscg))
+    stats = database.population_stats(run_id)
+    print(f"population: {stats}")
+    return 0
+
+
+def cmd_latency(args) -> int:
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    print(latency_table(dscg, limit=args.limit))
+    return 0
+
+
+def cmd_cpu(args) -> int:
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    print(cpu_table(dscg, limit=args.limit))
+    return 0
+
+
+def cmd_ccsg(args) -> int:
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    xml = render_ccsg_xml(build_ccsg(dscg, CpuAnalysis(dscg)), description=run_id)
+    _emit(args.output, xml)
+    return 0
+
+
+def cmd_critical_path(args) -> int:
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    paths = critical_paths(dscg, top=args.top)
+    if not paths:
+        print("(no measurable chains — was the run in latency mode?)")
+        return 1
+    for path in paths:
+        print(render_critical_path(path))
+        print()
+    return 0
+
+
+def cmd_impact(args) -> int:
+    from repro.analysis.impact import ImpactEstimator, render_impact
+
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    estimator = ImpactEstimator(dscg)
+    if args.function:
+        print(render_impact(estimator.estimate(args.function, scale=args.scale)))
+        return 0
+    print(f"top functions by saving at self-CPU x{args.scale:g}:")
+    for impact in estimator.rank_by_saving(scale=args.scale, top=args.top):
+        if impact.saving_ns <= 0:
+            continue
+        print(
+            f"  {impact.function:44s} saves {impact.saving_ns / 1e6:8.3f} ms"
+            f" ({impact.system_share * 100:5.1f}% of system CPU)"
+        )
+    return 0
+
+
+def cmd_dscg_json(args) -> int:
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    _emit(args.output, dscg_to_json(dscg))
+    return 0
+
+
+def cmd_svg(args) -> int:
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    layout = HyperbolicLayout().layout_dscg(dscg)
+    _emit(args.output, layout_to_svg(layout))
+    return 0
+
+
+def cmd_harness(args) -> int:
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    script = render_harness_script(derive_plan(dscg),
+                                   module_docstring=f"Derived from run {run_id!r}.")
+    _emit(args.output, script)
+    return 0
+
+
+def _emit(output: str | None, text: str) -> None:
+    if output:
+        with open(output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {output}")
+    else:
+        print(text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Global causality capture toolkit (ICDCS 2003)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo_pps = sub.add_parser("demo-pps", help="run the PPS and collect a database")
+    demo_pps.add_argument("database")
+    demo_pps.add_argument("--mode", default="cpu",
+                          choices=["causality", "latency", "cpu", "semantics", "full"])
+    demo_pps.add_argument("--jobs", type=int, default=3)
+    demo_pps.add_argument("--pages", type=int, default=4)
+    demo_pps.add_argument("--complexity", type=int, default=2)
+    demo_pps.add_argument("--monolithic", action="store_true")
+    demo_pps.set_defaults(func=cmd_demo_pps)
+
+    demo_embedded = sub.add_parser("demo-embedded",
+                                   help="run the synthetic embedded system")
+    demo_embedded.add_argument("database")
+    demo_embedded.add_argument("--calls", type=int, default=5_000)
+    demo_embedded.add_argument("--roots", type=int, default=8)
+    demo_embedded.set_defaults(func=cmd_demo_embedded)
+
+    def add_run_command(name, func, help_text, extra=None):
+        command = sub.add_parser(name, help=help_text)
+        command.add_argument("database")
+        command.add_argument("--run", default=None, help="run id (default: latest)")
+        if extra:
+            extra(command)
+        command.set_defaults(func=func)
+        return command
+
+    add_run_command("summary", cmd_summary, "DSCG summary of a collected run")
+    add_run_command(
+        "latency", cmd_latency, "per-function latency table",
+        lambda c: c.add_argument("--limit", type=int, default=20),
+    )
+    add_run_command(
+        "cpu", cmd_cpu, "per-function self-CPU table",
+        lambda c: c.add_argument("--limit", type=int, default=20),
+    )
+    add_run_command(
+        "ccsg", cmd_ccsg, "emit the CCSG XML (Figure 6)",
+        lambda c: c.add_argument("--output", default=None),
+    )
+    add_run_command(
+        "critical-path", cmd_critical_path, "latency critical paths",
+        lambda c: c.add_argument("--top", type=int, default=3),
+    )
+    def impact_args(command):
+        command.add_argument("--function", default=None,
+                             help="qualified function (default: rank all)")
+        command.add_argument("--scale", type=float, default=0.5)
+        command.add_argument("--top", type=int, default=10)
+
+    add_run_command(
+        "impact", cmd_impact, "what-if CPU impact estimation", impact_args
+    )
+    add_run_command(
+        "dscg-json", cmd_dscg_json, "export the annotated DSCG as JSON",
+        lambda c: c.add_argument("--output", default=None),
+    )
+    add_run_command(
+        "svg", cmd_svg, "hyperbolic DSCG layout as SVG (Figure 5)",
+        lambda c: c.add_argument("--output", default=None),
+    )
+    add_run_command(
+        "harness", cmd_harness, "generate a replay harness script",
+        lambda c: c.add_argument("--output", default=None),
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Log collection into the relational monitoring database."""
+
+from repro.collector.collector import LogCollector, collect_run
+from repro.collector.database import MonitoringDatabase
+
+__all__ = ["LogCollector", "MonitoringDatabase", "collect_run"]

@@ -1,0 +1,71 @@
+"""Quiescence-time log collection.
+
+"When the application ceases to exist or reaches a quiescent state (e.g.
+finishes processing a collection of transactions), the scattered logs are
+collected and eventually synthesized into a relational database"
+(Section 3). The collector drains each process's local buffer — there is
+no runtime coordination between probes and collection.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable
+
+from repro.collector.database import MonitoringDatabase
+from repro.core.records import RunMetadata
+from repro.platform.process import SimProcess
+
+_run_counter = itertools.count(1)
+
+
+class LogCollector:
+    """Gathers per-process log buffers into a monitoring database."""
+
+    def __init__(self, database: MonitoringDatabase | None = None):
+        self.database = database if database is not None else MonitoringDatabase()
+
+    def collect(
+        self,
+        processes: Iterable[SimProcess],
+        run_id: str | None = None,
+        description: str = "",
+        drain: bool = True,
+    ) -> str:
+        """Collect all buffers into one run; returns the run id.
+
+        With ``drain=True`` (default) the process buffers are emptied, so
+        consecutive collections partition the records into disjoint runs.
+        """
+        if run_id is None:
+            run_id = f"run-{next(_run_counter)}"
+        modes: set[str] = set()
+        total = 0
+        processes = list(processes)
+        for process in processes:
+            if process.monitor is not None:
+                modes.add(process.monitor.config.mode.value)
+        self.database.create_run(
+            RunMetadata(
+                run_id=run_id,
+                description=description,
+                monitor_mode=",".join(sorted(modes)),
+                extra={"processes": [p.name for p in processes]},
+            )
+        )
+        for process in processes:
+            records = process.log_buffer.drain() if drain else process.log_buffer.snapshot()
+            total += self.database.insert_records(run_id, records)
+        return run_id
+
+
+def collect_run(
+    processes: Iterable[SimProcess],
+    database: MonitoringDatabase | None = None,
+    run_id: str | None = None,
+    description: str = "",
+) -> tuple[MonitoringDatabase, str]:
+    """One-shot helper: collect ``processes`` into a (new) database."""
+    collector = LogCollector(database)
+    run = collector.collect(processes, run_id=run_id, description=description)
+    return collector.database, run

@@ -1,0 +1,196 @@
+"""The monitoring database and the analyzer's two standard queries.
+
+Section 3.1 describes the reconstruction input as two queries:
+
+1. "a query on the overall monitoring data [that] identifies the set of
+   unique Function UUIDs ever created" — :meth:`MonitoringDatabase.unique_chain_uuids`;
+2. "for each identified UUID, the second query sorts the events associated
+   with the invocations sharing the UUID by ascending order" —
+   :meth:`MonitoringDatabase.events_for_chain`.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import Iterable, Iterator
+
+from repro.core.events import CallKind, Domain, TracingEvent
+from repro.core.records import ProbeRecord, RunMetadata
+from repro.collector.schema import RECORD_COLUMNS, SCHEMA_STATEMENTS
+
+
+def _record_row(run_id: str, record: ProbeRecord) -> tuple:
+    return (
+        run_id,
+        record.chain_uuid,
+        record.event_seq,
+        int(record.event),
+        record.interface,
+        record.operation,
+        record.object_id,
+        record.component,
+        record.process,
+        record.pid,
+        record.host,
+        record.thread_id,
+        record.processor_type,
+        record.platform,
+        str(record.call_kind),
+        int(record.collocated),
+        str(record.domain),
+        record.wall_start,
+        record.wall_end,
+        record.cpu_start,
+        record.cpu_end,
+        record.child_chain_uuid,
+        json.dumps(record.semantics) if record.semantics is not None else None,
+    )
+
+
+def _row_to_record(row: sqlite3.Row) -> ProbeRecord:
+    return ProbeRecord(
+        chain_uuid=row["chain_uuid"],
+        event_seq=row["event_seq"],
+        event=TracingEvent(row["event"]),
+        interface=row["interface"],
+        operation=row["operation"],
+        object_id=row["object_id"],
+        component=row["component"],
+        process=row["process"],
+        pid=row["pid"],
+        host=row["host"],
+        thread_id=row["thread_id"],
+        processor_type=row["processor_type"],
+        platform=row["platform"],
+        call_kind=CallKind(row["call_kind"]),
+        collocated=bool(row["collocated"]),
+        domain=Domain(row["domain"]),
+        wall_start=row["wall_start"],
+        wall_end=row["wall_end"],
+        cpu_start=row["cpu_start"],
+        cpu_end=row["cpu_end"],
+        child_chain_uuid=row["child_chain_uuid"],
+        semantics=json.loads(row["semantics"]) if row["semantics"] else None,
+    )
+
+
+class MonitoringDatabase:
+    """sqlite-backed store for probe records, keyed by run id."""
+
+    def __init__(self, path: str = ":memory:"):
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._lock = threading.Lock()
+        with self._lock:
+            for statement in SCHEMA_STATEMENTS:
+                self._conn.execute(statement)
+            self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Ingest
+
+    def create_run(self, meta: RunMetadata) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO runs (run_id, description, monitor_mode, extra)"
+                " VALUES (?, ?, ?, ?)",
+                (meta.run_id, meta.description, meta.monitor_mode, json.dumps(meta.extra)),
+            )
+            self._conn.commit()
+
+    def insert_records(self, run_id: str, records: Iterable[ProbeRecord]) -> int:
+        rows = [_record_row(run_id, record) for record in records]
+        placeholders = ", ".join("?" for _ in RECORD_COLUMNS)
+        columns = ", ".join(RECORD_COLUMNS)
+        with self._lock:
+            self._conn.executemany(
+                f"INSERT INTO records ({columns}) VALUES ({placeholders})", rows
+            )
+            self._conn.commit()
+        return len(rows)
+
+    # ------------------------------------------------------------------
+    # The two standard analyzer queries
+
+    def unique_chain_uuids(self, run_id: str) -> list[str]:
+        """Every Function UUID ever created during the run (query 1)."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT DISTINCT chain_uuid FROM records WHERE run_id = ?"
+                " ORDER BY chain_uuid",
+                (run_id,),
+            )
+            return [row["chain_uuid"] for row in cursor.fetchall()]
+
+    def events_for_chain(self, run_id: str, chain_uuid: str) -> list[ProbeRecord]:
+        """All events of one chain, ascending by event number (query 2)."""
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT * FROM records WHERE run_id = ? AND chain_uuid = ?"
+                " ORDER BY event_seq ASC, id ASC",
+                (run_id, chain_uuid),
+            )
+            return [_row_to_record(row) for row in cursor.fetchall()]
+
+    # ------------------------------------------------------------------
+    # Supporting queries
+
+    def record_count(self, run_id: str) -> int:
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT COUNT(*) AS n FROM records WHERE run_id = ?", (run_id,)
+            )
+            return cursor.fetchone()["n"]
+
+    def all_records(self, run_id: str) -> Iterator[ProbeRecord]:
+        with self._lock:
+            cursor = self._conn.execute(
+                "SELECT * FROM records WHERE run_id = ? ORDER BY id ASC", (run_id,)
+            )
+            rows = cursor.fetchall()
+        for row in rows:
+            yield _row_to_record(row)
+
+    def population_stats(self, run_id: str) -> dict[str, int]:
+        """Unique methods/interfaces/components/processes — the Figure-5 stats."""
+        queries = {
+            "calls": "SELECT COUNT(*) AS n FROM records WHERE run_id = ?"
+            " AND event = 1",
+            "unique_methods": "SELECT COUNT(DISTINCT interface || '::' || operation) AS n"
+            " FROM records WHERE run_id = ?",
+            "unique_interfaces": "SELECT COUNT(DISTINCT interface) AS n FROM records"
+            " WHERE run_id = ?",
+            "unique_components": "SELECT COUNT(DISTINCT component) AS n FROM records"
+            " WHERE run_id = ?",
+            "unique_objects": "SELECT COUNT(DISTINCT object_id) AS n FROM records"
+            " WHERE run_id = ?",
+            "processes": "SELECT COUNT(DISTINCT process) AS n FROM records WHERE run_id = ?",
+            "threads": "SELECT COUNT(DISTINCT process || '/' || thread_id) AS n"
+            " FROM records WHERE run_id = ?",
+            "chains": "SELECT COUNT(DISTINCT chain_uuid) AS n FROM records WHERE run_id = ?",
+        }
+        stats: dict[str, int] = {}
+        with self._lock:
+            for key, sql in queries.items():
+                stats[key] = self._conn.execute(sql, (run_id,)).fetchone()["n"]
+        return stats
+
+    def runs(self) -> list[RunMetadata]:
+        with self._lock:
+            cursor = self._conn.execute("SELECT * FROM runs ORDER BY run_id")
+            rows = cursor.fetchall()
+        return [
+            RunMetadata(
+                run_id=row["run_id"],
+                description=row["description"],
+                monitor_mode=row["monitor_mode"],
+                extra=json.loads(row["extra"]),
+            )
+            for row in rows
+        ]
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()

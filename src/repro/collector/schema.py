@@ -1,0 +1,81 @@
+"""Relational schema for collected monitoring data.
+
+"The scattered logs are collected and eventually synthesized into a
+relational database" (Section 3). We use the standard-library sqlite3;
+an in-memory database by default, a file path for persistent runs.
+"""
+
+from __future__ import annotations
+
+SCHEMA_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS runs (
+        run_id        TEXT PRIMARY KEY,
+        description   TEXT NOT NULL DEFAULT '',
+        monitor_mode  TEXT NOT NULL DEFAULT '',
+        extra         TEXT NOT NULL DEFAULT '{}'
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS records (
+        id               INTEGER PRIMARY KEY,
+        run_id           TEXT NOT NULL REFERENCES runs(run_id),
+        chain_uuid       TEXT NOT NULL,
+        event_seq        INTEGER NOT NULL,
+        event            INTEGER NOT NULL,
+        interface        TEXT NOT NULL,
+        operation        TEXT NOT NULL,
+        object_id        TEXT NOT NULL,
+        component        TEXT NOT NULL,
+        process          TEXT NOT NULL,
+        pid              INTEGER NOT NULL,
+        host             TEXT NOT NULL,
+        thread_id        INTEGER NOT NULL,
+        processor_type   TEXT NOT NULL,
+        platform         TEXT NOT NULL,
+        call_kind        TEXT NOT NULL,
+        collocated       INTEGER NOT NULL,
+        domain           TEXT NOT NULL,
+        wall_start       INTEGER,
+        wall_end         INTEGER,
+        cpu_start        INTEGER,
+        cpu_end          INTEGER,
+        child_chain_uuid TEXT,
+        semantics        TEXT
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_records_chain
+        ON records (run_id, chain_uuid, event_seq)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_records_function
+        ON records (run_id, interface, operation)
+    """,
+)
+
+RECORD_COLUMNS = (
+    "run_id",
+    "chain_uuid",
+    "event_seq",
+    "event",
+    "interface",
+    "operation",
+    "object_id",
+    "component",
+    "process",
+    "pid",
+    "host",
+    "thread_id",
+    "processor_type",
+    "platform",
+    "call_kind",
+    "collocated",
+    "domain",
+    "wall_start",
+    "wall_end",
+    "cpu_start",
+    "cpu_end",
+    "child_chain_uuid",
+    "semantics",
+)

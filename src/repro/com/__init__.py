@@ -1,0 +1,25 @@
+"""COM-like runtime: apartments, ORPC channel, channel hooks."""
+
+from repro.com.apartments import Apartment, CallMessage, Mta, ReplySlot, Sta
+from repro.com.guids import clsid_for, iid_for
+from repro.com.interfaces import IUNKNOWN, ComInterface, ComObject
+from repro.com.orpc import ObjectIdentity, Proxy, invoke_through_channel
+from repro.com.runtime import ClassFactory, ComRuntime
+
+__all__ = [
+    "Apartment",
+    "CallMessage",
+    "ClassFactory",
+    "ComInterface",
+    "ComObject",
+    "ComRuntime",
+    "IUNKNOWN",
+    "Mta",
+    "ObjectIdentity",
+    "Proxy",
+    "ReplySlot",
+    "Sta",
+    "clsid_for",
+    "iid_for",
+    "invoke_through_channel",
+]

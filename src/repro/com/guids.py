@@ -1,0 +1,24 @@
+"""GUID/IID utilities for the COM-like runtime.
+
+Interface identifiers are deterministic (name-derived UUID5-style), so a
+rebuilt system keeps stable IIDs — convenient for tests and logs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import uuid
+
+_NAMESPACE = uuid.UUID("6ba7b811-9dad-11d1-80b4-00c04fd430c8")  # RFC 4122 URL ns
+
+
+def iid_for(interface_name: str) -> str:
+    """Deterministic IID for an interface name, in registry format."""
+    digest = hashlib.sha1(_NAMESPACE.bytes + interface_name.encode("utf-8")).digest()
+    derived = uuid.UUID(bytes=digest[:16], version=5)
+    return "{" + str(derived).upper() + "}"
+
+
+def clsid_for(class_name: str) -> str:
+    """Deterministic CLSID for a coclass name."""
+    return iid_for(f"coclass:{class_name}")

@@ -1,0 +1,91 @@
+"""COM interface declarations and the IUnknown-like object model.
+
+A :class:`ComInterface` declares a named method set with a deterministic
+IID. Component objects list the interfaces they implement; proxies are
+obtained per interface via ``QueryInterface``, exactly restricting the
+callable surface — the COM discipline the paper's embedded infrastructure
+follows.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.com.guids import iid_for
+from repro.errors import ComError, InterfaceNotSupported
+
+
+@dataclass(frozen=True)
+class ComInterface:
+    """One COM interface: a name plus its method set."""
+
+    name: str
+    methods: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.name:
+            raise ComError("interface name must be non-empty")
+        if not self.methods:
+            raise ComError(f"interface {self.name} declares no methods")
+        if len(set(self.methods)) != len(self.methods):
+            raise ComError(f"interface {self.name} has duplicate methods")
+
+    @property
+    def iid(self) -> str:
+        return iid_for(self.name)
+
+
+#: Every COM object implicitly supports IUnknown.
+IUNKNOWN = ComInterface("IUnknown", ("query_interface", "add_ref", "release"))
+
+_instance_counter = itertools.count(1)
+
+
+class ComObject:
+    """Base class for COM component objects.
+
+    Subclasses set ``implements`` to the interfaces they expose and define
+    the corresponding methods. Reference counting is tracked faithfully
+    (``add_ref``/``release``) though the simulation never frees objects.
+    """
+
+    implements: tuple[ComInterface, ...] = ()
+
+    def __init__(self):
+        self._refcount = 1
+        self.instance_id = f"com-{next(_instance_counter)}"
+        for interface in self.implements:
+            for method in interface.methods:
+                if not callable(getattr(self, method, None)):
+                    raise ComError(
+                        f"{type(self).__name__} declares {interface.name} but does"
+                        f" not implement {method!r}"
+                    )
+
+    # -- IUnknown -------------------------------------------------------
+
+    def supports(self, interface: ComInterface) -> bool:
+        return interface == IUNKNOWN or interface in self.implements
+
+    def query_interface(self, interface: ComInterface) -> "ComObject":
+        if not self.supports(interface):
+            raise InterfaceNotSupported(
+                f"{type(self).__name__} does not support {interface.name} ({interface.iid})"
+            )
+        self.add_ref()
+        return self
+
+    def add_ref(self) -> int:
+        self._refcount += 1
+        return self._refcount
+
+    def release(self) -> int:
+        if self._refcount <= 0:
+            raise ComError("release() below zero refcount")
+        self._refcount -= 1
+        return self._refcount
+
+    @property
+    def component(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,195 @@
+"""The ORPC channel: proxies, dispatch, probes, and channel hooks.
+
+The channel is where the paper's COM story happens:
+
+- instrumented **proxies** fire the stub start/end probes (probes 1/4);
+- the **stub-manager dispatch** inside the target apartment fires the
+  skeleton start/end probes (probes 2/3);
+- the FTL rides the call message — COM's ORPC channel-hook extension
+  point — crossing apartments, processes and (simulated) machines;
+- with ``causality_hooks=True`` the channel saves the dispatching
+  thread's current FTL before an incoming call and restores it after —
+  "only a very limited amount of instrumentation before and after call
+  sending and dispatching is required to the COM infrastructure"
+  (Section 2.2). With hooks off, STA nested pumping mingles chains,
+  which the analyzer then reports as abnormal events.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any
+
+from repro.com.apartments import Apartment, CallMessage, ReplySlot
+from repro.com.interfaces import ComInterface, ComObject
+from repro.core.events import Domain
+from repro.core.records import OperationInfo
+from repro.errors import ComError
+
+
+class ObjectIdentity:
+    """Server-side identity of one exported object."""
+
+    def __init__(self, obj: ComObject, apartment: Apartment, runtime):
+        self.obj = obj
+        self.apartment = apartment
+        self.runtime = runtime
+
+    @property
+    def object_id(self) -> str:
+        return f"{self.runtime.process.name}.{self.obj.instance_id}"
+
+
+class Proxy:
+    """Client-side interface pointer to an object in another apartment."""
+
+    def __init__(
+        self,
+        identity: ObjectIdentity,
+        interface: ComInterface,
+        client_runtime,
+    ):
+        self._identity = identity
+        self._interface = interface
+        self._client_runtime = client_runtime
+
+    @property
+    def interface(self) -> ComInterface:
+        return self._interface
+
+    def query_interface(self, interface: ComInterface) -> "Proxy":
+        if not self._identity.obj.supports(interface):
+            from repro.errors import InterfaceNotSupported
+
+            raise InterfaceNotSupported(
+                f"{type(self._identity.obj).__name__} does not support {interface.name}"
+            )
+        return Proxy(self._identity, interface, self._client_runtime)
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        if name not in self._interface.methods:
+            raise AttributeError(
+                f"{self._interface.name} has no method {name!r}"
+            )
+
+        def call(*args, **kwargs):
+            return invoke_through_channel(
+                self._client_runtime, self._identity, self._interface, name, args, kwargs
+            )
+
+        call.__name__ = name
+        return call
+
+    def __repr__(self) -> str:
+        return f"<proxy {self._interface.name} -> {self._identity.object_id}>"
+
+
+def _op_info(identity: ObjectIdentity, interface: ComInterface, method: str) -> OperationInfo:
+    return OperationInfo(
+        interface=interface.name,
+        operation=method,
+        object_id=identity.object_id,
+        component=identity.obj.component,
+        domain=Domain.COM,
+    )
+
+
+def invoke_through_channel(
+    client_runtime,
+    identity: ObjectIdentity,
+    interface: ComInterface,
+    method: str,
+    args: tuple,
+    kwargs: dict,
+) -> Any:
+    """One synchronous ORPC call: proxy side.
+
+    Same-apartment calls are direct (COM semantics: no marshalling when
+    the caller already lives in the object's apartment).
+    """
+    apartment = identity.apartment
+    monitor = client_runtime.process.monitor if client_runtime.instrumented else None
+    op = _op_info(identity, interface, method)
+
+    if apartment.hosts_current_thread():
+        # Direct call within the apartment — degenerate probe pairs, like
+        # the CORBA collocated case.
+        if monitor is not None:
+            stub_ctx, skel_ctx = monitor.collocated_call_start(op)
+            try:
+                return getattr(identity.obj, method)(*args, **kwargs)
+            finally:
+                monitor.collocated_call_end(stub_ctx, skel_ctx)
+        return getattr(identity.obj, method)(*args, **kwargs)
+
+    # Probe 1: stub start (client side of the channel).
+    ctx = monitor.stub_start(op) if monitor is not None else None
+
+    server_runtime = identity.runtime
+    marshalled_args = copy.deepcopy(args)
+    marshalled_kwargs = copy.deepcopy(kwargs)
+
+    def dispatch(message: CallMessage):
+        return _dispatch_on_server(
+            server_runtime, identity, interface, method,
+            marshalled_args, marshalled_kwargs, message.ftl,
+        )
+
+    slot = ReplySlot()
+    caller_apartment = client_runtime.apartment_of_current_thread()
+    message = CallMessage(
+        dispatch=dispatch,
+        reply_slot=slot,
+        reply_apartment=caller_apartment,
+        ftl=ctx.request_ftl_payload if ctx is not None else None,
+    )
+    apartment.post(message)
+
+    # Wait — on an STA thread this pumps nested dispatches (the hazard).
+    if caller_apartment is not None:
+        caller_apartment.wait_for_reply(slot, client_runtime.call_timeout)
+    else:
+        if not slot.done.wait(client_runtime.call_timeout):
+            raise ComError("outbound COM call timed out")
+
+    # Probe 4: stub end (reads the thread's FTL from TSS — mingles when
+    # hooks are off and the pump dispatched another chain meanwhile).
+    if monitor is not None:
+        monitor.stub_end(ctx, slot.ftl)
+    if slot.error is not None:
+        raise slot.error
+    return copy.deepcopy(slot.value)
+
+
+def _dispatch_on_server(
+    server_runtime,
+    identity: ObjectIdentity,
+    interface: ComInterface,
+    method: str,
+    args: tuple,
+    kwargs: dict,
+    ftl: bytes | None,
+):
+    """Server side of the channel: stub-manager dispatch with probes 2/3."""
+    monitor = server_runtime.process.monitor if server_runtime.instrumented else None
+    op = _op_info(identity, interface, method)
+    saved_ftl = None
+    hooks = server_runtime.causality_hooks and monitor is not None
+    if hooks:
+        # Channel hook, dispatch enter: save the thread's current FTL so a
+        # nested dispatch cannot mingle the chain being pumped over.
+        saved_ftl = monitor.current_ftl()
+    skel_ctx = monitor.skel_start(op, ftl) if monitor is not None else None
+    error: BaseException | None = None
+    value: Any = None
+    try:
+        value = getattr(identity.obj, method)(*args, **kwargs)
+    except BaseException as exc:  # noqa: BLE001 — forwarded to the caller
+        error = exc
+    reply_ftl = monitor.skel_end(skel_ctx) if monitor is not None else None
+    if hooks and saved_ftl is not None:
+        # Channel hook, dispatch exit: restore the interrupted chain.
+        monitor.bind_ftl(saved_ftl)
+    return value, error, reply_ftl

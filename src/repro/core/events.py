@@ -1,0 +1,54 @@
+"""Tracing events and call kinds.
+
+The four tracing events correspond one-to-one with the four probes of
+Figure 1: stub start (probe 1), skeleton start (probe 2), skeleton end
+(probe 3) and stub end (probe 4). Their chaining patterns uniquely
+identify sibling and parent/child call structures (Table 1).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class TracingEvent(enum.IntEnum):
+    """One of the four probe activations; the value is the probe number."""
+
+    STUB_START = 1
+    SKEL_START = 2
+    SKEL_END = 3
+    STUB_END = 4
+
+    @property
+    def is_stub_side(self) -> bool:
+        return self in (TracingEvent.STUB_START, TracingEvent.STUB_END)
+
+    @property
+    def is_start(self) -> bool:
+        return self in (TracingEvent.STUB_START, TracingEvent.SKEL_START)
+
+    def label(self, function: str) -> str:
+        """Human-readable ``F.stub_start``-style label, as in Table 1."""
+        return f"{function}.{self.name.lower()}"
+
+
+class CallKind(str, enum.Enum):
+    """How the invocation was dispatched."""
+
+    SYNC = "sync"
+    ONEWAY = "oneway"
+
+    def __str__(self) -> str:  # keeps records compact
+        return self.value
+
+
+class Domain(str, enum.Enum):
+    """Which remote-invocation infrastructure carried the call."""
+
+    CORBA = "corba"
+    COM = "com"
+    J2EE = "j2ee"
+    LOCAL = "local"
+
+    def __str__(self) -> str:
+        return self.value

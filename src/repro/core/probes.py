@@ -1,0 +1,50 @@
+"""Probe primitives shared by the monitoring runtime.
+
+A probe activation has a uniform shape regardless of which of the four
+probe points it implements:
+
+1. sample the local wall clock and/or per-thread CPU counter,
+2. manipulate the FTL (advance the event number, fork a child chain,
+   store to / load from thread-specific storage),
+3. append a :class:`~repro.core.records.ProbeRecord` to the process-local
+   log buffer,
+4. sample the clocks again and stamp the record's completion readings.
+
+Steps 1 and 4 bracket the probe so the analyzer can subtract probe
+overhead (the O_F term) from end-to-end latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.events import CallKind
+from repro.core.ftl import FunctionTxLog
+from repro.core.records import OperationInfo, ProbeRecord
+
+
+@dataclass
+class ProbeSample:
+    """One paired reading of the local clocks."""
+
+    wall: int | None
+    cpu: int | None
+
+
+@dataclass
+class CallContext:
+    """State threaded from a start probe to the matching end probe.
+
+    The stub keeps one across the request/reply round trip; the skeleton
+    keeps one across the servant up-call.
+    """
+
+    op: OperationInfo
+    ftl: FunctionTxLog
+    call_kind: CallKind
+    collocated: bool
+    start_record: ProbeRecord
+    #: For oneway stubs: the forked child chain's FTL (sent in the request).
+    child_ftl: FunctionTxLog | None = None
+    #: Wire payload of the FTL to transport with the request, if any.
+    request_ftl_payload: bytes | None = None

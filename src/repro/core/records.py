@@ -1,0 +1,113 @@
+"""Probe records: what each probe writes to its process-local log.
+
+A record is self-contained — it carries the FTL snapshot (chain UUID and
+event number), the identity of the call (interface, operation, object,
+component), the execution locality (process, thread, host, processor
+type), and the probe's own start/finish readings of the local wall clock
+and/or per-thread CPU counter.
+
+The probe's *own* interval (``wall_start``..``wall_end``) is what the
+analyzer sums into the overhead term O_F when compensating end-to-end
+latency (paper Section 3.2), so every record keeps both readings even
+though only one of them is "the" timestamp.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.events import CallKind, Domain, TracingEvent
+
+
+@dataclass(frozen=True)
+class OperationInfo:
+    """Static identity of one IDL operation on one component object."""
+
+    interface: str
+    operation: str
+    object_id: str
+    component: str
+    domain: Domain = Domain.CORBA
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.interface}::{self.operation}"
+
+
+@dataclass
+class ProbeRecord:
+    """One tracing event as logged by a probe."""
+
+    chain_uuid: str
+    event_seq: int
+    event: TracingEvent
+    interface: str
+    operation: str
+    object_id: str
+    component: str
+    process: str
+    pid: int
+    host: str
+    thread_id: int
+    processor_type: str
+    platform: str
+    call_kind: CallKind = CallKind.SYNC
+    collocated: bool = False
+    domain: Domain = Domain.CORBA
+    # Probe-local readings; None when the active monitor mode does not
+    # sample that quantity (latency and CPU probes are never simultaneous).
+    wall_start: int | None = None
+    wall_end: int | None = None
+    cpu_start: int | None = None
+    cpu_end: int | None = None
+    # Oneway stub-start records link the parent chain to the forked child.
+    child_chain_uuid: str | None = None
+    # Application-semantics capture (parameters, results, exceptions).
+    semantics: dict[str, Any] | None = None
+
+    def finish(self, wall_end: int | None, cpu_end: int | None) -> None:
+        """Stamp the probe's completion readings (called by the probe)."""
+        self.wall_end = wall_end
+        self.cpu_end = cpu_end
+
+    @property
+    def function(self) -> str:
+        return f"{self.interface}::{self.operation}"
+
+    @property
+    def event_label(self) -> str:
+        """Table-1-style label such as ``Foo::funcA.stub_start``."""
+        return self.event.label(self.function)
+
+    def probe_wall_cost(self) -> int:
+        """Wall-clock nanoseconds this probe itself consumed (for O_F)."""
+        if self.wall_start is None or self.wall_end is None:
+            return 0
+        return self.wall_end - self.wall_start
+
+    def probe_cpu_cost(self) -> int:
+        """CPU nanoseconds this probe itself consumed on its thread."""
+        if self.cpu_start is None or self.cpu_end is None:
+            return 0
+        return self.cpu_end - self.cpu_start
+
+
+@dataclass
+class ChainLink:
+    """Parent/child relationship between two causal chains (oneway fork)."""
+
+    parent_uuid: str
+    parent_seq: int
+    child_uuid: str
+    operation: str = ""
+
+
+@dataclass
+class RunMetadata:
+    """Descriptive metadata the collector attaches to a monitoring run."""
+
+    run_id: str
+    description: str = ""
+    monitor_mode: str = ""
+    extra: dict[str, Any] = field(default_factory=dict)

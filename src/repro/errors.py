@@ -1,0 +1,93 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch framework failures without also swallowing application
+exceptions that legitimately propagate through remote calls.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all framework errors."""
+
+
+class IdlError(ReproError):
+    """Base class for IDL compiler errors."""
+
+
+class IdlSyntaxError(IdlError):
+    """Raised by the lexer or parser on malformed IDL source."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class IdlSemanticError(IdlError):
+    """Raised by semantic analysis (unknown types, duplicate names, ...)."""
+
+
+class MarshalError(ReproError):
+    """Raised when a value cannot be marshalled or unmarshalled."""
+
+
+class TransportError(ReproError):
+    """Raised when a network endpoint cannot deliver a message."""
+
+
+class ObjectNotFound(ReproError):
+    """Raised when an object reference does not resolve to a servant."""
+
+
+class OrbError(ReproError):
+    """Raised for ORB lifecycle and dispatch failures."""
+
+
+class ComError(ReproError):
+    """Raised for COM runtime failures (apartments, QueryInterface, ...)."""
+
+
+class InterfaceNotSupported(ComError):
+    """COM E_NOINTERFACE: QueryInterface for an unimplemented IID."""
+
+
+class BridgeError(ReproError):
+    """Raised when the CORBA/COM bridge cannot forward a call."""
+
+
+class RemoteApplicationError(ReproError):
+    """An exception raised by a remote servant, re-raised at the caller.
+
+    Carries the remote exception's repr so the caller can distinguish
+    application failures from framework failures.
+    """
+
+    def __init__(self, exc_type: str, message: str):
+        self.exc_type = exc_type
+        self.message = message
+        super().__init__(f"{exc_type}: {message}")
+
+
+class MonitorError(ReproError):
+    """Raised for monitoring runtime misconfiguration."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the off-line analyzer on unusable monitoring data."""
+
+
+class AbnormalTransition(AnalysisError):
+    """A log event stream violated the Figure-4 state machine.
+
+    The analyzer records the failure and restarts from the next record,
+    as described in the paper (Section 3.1).
+    """
+
+    def __init__(self, message: str, chain_uuid: str = "", event_seq: int = -1):
+        self.chain_uuid = chain_uuid
+        self.event_seq = event_seq
+        super().__init__(message)

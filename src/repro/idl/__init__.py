@@ -1,0 +1,15 @@
+"""IDL compiler: lexer, parser, semantic analysis and code generation."""
+
+from repro.idl.compiler import CompiledIdl, compile_idl
+from repro.idl.codegen import render_internal_idl
+from repro.idl.parser import parse_idl
+from repro.idl.semantics import ResolvedSpec, analyze
+
+__all__ = [
+    "CompiledIdl",
+    "ResolvedSpec",
+    "analyze",
+    "compile_idl",
+    "parse_idl",
+    "render_internal_idl",
+]

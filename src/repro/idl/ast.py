@@ -1,0 +1,162 @@
+"""Abstract syntax tree for the IDL subset.
+
+Nodes are plain dataclasses; type *references* are kept as syntactic
+:class:`TypeRef` objects until semantic analysis resolves them against the
+scoped symbol table into the runtime type model of :mod:`repro.idl.types`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+# ---------------------------------------------------------------------------
+# Type references (syntactic)
+
+
+@dataclass(frozen=True)
+class TypeRef:
+    """A (possibly scoped) name such as ``Example::Foo`` or ``long``."""
+
+    name: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SequenceRef:
+    """``sequence<T>`` with a syntactic element reference."""
+
+    element: "TypeRefLike"
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"sequence<{self.element}>"
+
+
+TypeRefLike = Union[TypeRef, SequenceRef]
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+
+
+@dataclass
+class Parameter:
+    direction: str  # "in" | "out" | "inout"
+    type_ref: TypeRefLike
+    name: str
+    line: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.direction} {self.type_ref} {self.name}"
+
+
+@dataclass
+class Operation:
+    name: str
+    return_type: TypeRefLike  # TypeRef("void") for void
+    parameters: list[Parameter] = field(default_factory=list)
+    oneway: bool = False
+    raises: list[TypeRef] = field(default_factory=list)
+    line: int = 0
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.parameters)
+        prefix = "oneway " if self.oneway else ""
+        raises = ""
+        if self.raises:
+            raises = " raises (" + ", ".join(r.name for r in self.raises) + ")"
+        return f"{prefix}{self.return_type} {self.name}({params}){raises}"
+
+
+@dataclass
+class Attribute:
+    name: str
+    type_ref: TypeRefLike
+    readonly: bool = False
+    line: int = 0
+
+
+@dataclass
+class StructField:
+    type_ref: TypeRefLike
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Struct:
+    name: str
+    fields: list[StructField] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Enum:
+    name: str
+    labels: list[str] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Typedef:
+    name: str
+    type_ref: TypeRefLike
+    line: int = 0
+
+
+@dataclass
+class ExceptionDef:
+    name: str
+    fields: list[StructField] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Const:
+    name: str
+    type_ref: TypeRefLike
+    value: object = None
+    line: int = 0
+
+
+@dataclass
+class Interface:
+    name: str
+    bases: list[TypeRef] = field(default_factory=list)
+    operations: list[Operation] = field(default_factory=list)
+    attributes: list[Attribute] = field(default_factory=list)
+    line: int = 0
+
+
+Declaration = Union[Struct, Enum, Typedef, ExceptionDef, Const, Interface, "Module"]
+
+
+@dataclass
+class Module:
+    name: str
+    declarations: list[Declaration] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class Specification:
+    """A whole IDL translation unit (top-level declarations)."""
+
+    declarations: list[Declaration] = field(default_factory=list)
+
+    def iter_interfaces(self):
+        """Yield (scoped_name, Interface) for every interface, depth-first."""
+        yield from _iter_interfaces(self.declarations, prefix="")
+
+
+def _iter_interfaces(declarations, prefix: str):
+    for decl in declarations:
+        if isinstance(decl, Interface):
+            scoped = f"{prefix}{decl.name}"
+            yield scoped, decl
+        elif isinstance(decl, Module):
+            yield from _iter_interfaces(decl.declarations, prefix=f"{prefix}{decl.name}::")

@@ -1,0 +1,221 @@
+"""Lexer for the CORBA IDL subset understood by the compiler.
+
+Supports the constructs the paper's examples use (Figure 3) plus enough of
+OMG IDL to express realistic component systems: modules, interfaces with
+inheritance, operations with ``in``/``out``/``inout`` parameters and
+``raises`` clauses, ``oneway`` operations, attributes, structs, enums,
+typedefs, sequences, exceptions and constants.
+
+Comments (``//`` and ``/* */``) and preprocessor lines (``#include`` etc.)
+are skipped.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import IdlSyntaxError
+
+KEYWORDS = {
+    "module",
+    "interface",
+    "struct",
+    "enum",
+    "typedef",
+    "exception",
+    "const",
+    "attribute",
+    "readonly",
+    "oneway",
+    "raises",
+    "in",
+    "out",
+    "inout",
+    "void",
+    "boolean",
+    "octet",
+    "char",
+    "short",
+    "long",
+    "unsigned",
+    "float",
+    "double",
+    "string",
+    "sequence",
+    "TRUE",
+    "FALSE",
+}
+
+PUNCTUATION = {
+    "{",
+    "}",
+    "(",
+    ")",
+    "<",
+    ">",
+    ",",
+    ";",
+    ":",
+    "::",
+    "=",
+    "[",
+    "]",
+}
+
+
+class TokenKind(enum.Enum):
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.value}, {self.value!r}, {self.line}:{self.column})"
+
+
+class Lexer:
+    """Streaming tokenizer with one-token lookahead handled by the parser."""
+
+    def __init__(self, source: str):
+        self._source = source
+        self._pos = 0
+        self._line = 1
+        self._col = 1
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole source, appending a trailing EOF token."""
+        result: list[Token] = []
+        while True:
+            token = self._next_token()
+            result.append(token)
+            if token.kind is TokenKind.EOF:
+                return result
+
+    # ------------------------------------------------------------------
+
+    def _peek_char(self, ahead: int = 0) -> str:
+        index = self._pos + ahead
+        if index >= len(self._source):
+            return ""
+        return self._source[index]
+
+    def _advance(self, count: int = 1) -> str:
+        text = self._source[self._pos : self._pos + count]
+        for ch in text:
+            if ch == "\n":
+                self._line += 1
+                self._col = 1
+            else:
+                self._col += 1
+        self._pos += count
+        return text
+
+    def _skip_trivia(self) -> None:
+        while self._pos < len(self._source):
+            ch = self._peek_char()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek_char(1) == "/":
+                while self._pos < len(self._source) and self._peek_char() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek_char(1) == "*":
+                start_line = self._line
+                self._advance(2)
+                while self._pos < len(self._source):
+                    if self._peek_char() == "*" and self._peek_char(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise IdlSyntaxError("unterminated block comment", start_line, 0)
+            elif ch == "#" and self._col == 1:
+                while self._pos < len(self._source) and self._peek_char() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        self._skip_trivia()
+        line, col = self._line, self._col
+        ch = self._peek_char()
+        if not ch:
+            return Token(TokenKind.EOF, "", line, col)
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, col)
+        if ch.isdigit() or (ch == "." and self._peek_char(1).isdigit()):
+            return self._lex_number(line, col)
+        if ch == '"':
+            return self._lex_string(line, col)
+        if ch == ":" and self._peek_char(1) == ":":
+            self._advance(2)
+            return Token(TokenKind.PUNCT, "::", line, col)
+        if ch in "{}()<>,;:=[]":
+            self._advance()
+            return Token(TokenKind.PUNCT, ch, line, col)
+        raise IdlSyntaxError(f"unexpected character {ch!r}", line, col)
+
+    def _lex_word(self, line: int, col: int) -> Token:
+        start = self._pos
+        while self._pos < len(self._source) and (
+            self._peek_char().isalnum() or self._peek_char() == "_"
+        ):
+            self._advance()
+        word = self._source[start : self._pos]
+        kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+        return Token(kind, word, line, col)
+
+    def _lex_number(self, line: int, col: int) -> Token:
+        start = self._pos
+        seen_dot = False
+        if self._peek_char() == "0" and self._peek_char(1) in "xX":
+            self._advance(2)
+            while self._peek_char() and self._peek_char() in "0123456789abcdefABCDEF":
+                self._advance()
+            return Token(TokenKind.NUMBER, self._source[start : self._pos], line, col)
+        while self._pos < len(self._source):
+            ch = self._peek_char()
+            if ch.isdigit():
+                self._advance()
+            elif ch == "." and not seen_dot:
+                seen_dot = True
+                self._advance()
+            elif ch in "eE" and self._peek_char(1) and (
+                self._peek_char(1).isdigit() or self._peek_char(1) in "+-"
+            ):
+                self._advance(2)
+            else:
+                break
+        return Token(TokenKind.NUMBER, self._source[start : self._pos], line, col)
+
+    def _lex_string(self, line: int, col: int) -> Token:
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek_char()
+            if not ch:
+                raise IdlSyntaxError("unterminated string literal", line, col)
+            if ch == '"':
+                self._advance()
+                return Token(TokenKind.STRING, "".join(chars), line, col)
+            if ch == "\\":
+                self._advance()
+                escape = self._advance()
+                chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+            else:
+                chars.append(self._advance())
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper used by the parser and tests."""
+    return Lexer(source).tokens()

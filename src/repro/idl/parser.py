@@ -1,0 +1,350 @@
+"""Recursive-descent parser for the IDL subset."""
+
+from __future__ import annotations
+
+from repro.errors import IdlSyntaxError
+from repro.idl import ast
+from repro.idl.lexer import Token, TokenKind, tokenize
+
+_PRIMITIVE_STARTERS = {
+    "void",
+    "boolean",
+    "octet",
+    "char",
+    "short",
+    "long",
+    "unsigned",
+    "float",
+    "double",
+    "string",
+    "sequence",
+}
+
+
+class Parser:
+    def __init__(self, source: str):
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+
+    def _peek(self, ahead: int = 0) -> Token:
+        index = min(self._index + ahead, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _next(self) -> Token:
+        token = self._tokens[self._index]
+        if token.kind is not TokenKind.EOF:
+            self._index += 1
+        return token
+
+    def _error(self, message: str, token: Token | None = None) -> IdlSyntaxError:
+        token = token or self._peek()
+        return IdlSyntaxError(f"{message}, found {token.value!r}", token.line, token.column)
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._next()
+        if token.kind is not TokenKind.PUNCT or token.value != value:
+            raise self._error(f"expected {value!r}", token)
+        return token
+
+    def _expect_keyword(self, value: str) -> Token:
+        token = self._next()
+        if token.kind is not TokenKind.KEYWORD or token.value != value:
+            raise self._error(f"expected keyword {value!r}", token)
+        return token
+
+    def _expect_ident(self) -> Token:
+        token = self._next()
+        if token.kind is not TokenKind.IDENT:
+            raise self._error("expected identifier", token)
+        return token
+
+    def _at_keyword(self, *values: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.KEYWORD and token.value in values
+
+    def _at_punct(self, value: str) -> bool:
+        token = self._peek()
+        return token.kind is TokenKind.PUNCT and token.value == value
+
+    # ------------------------------------------------------------------
+    # Entry point
+
+    def parse(self) -> ast.Specification:
+        declarations: list[ast.Declaration] = []
+        while self._peek().kind is not TokenKind.EOF:
+            declarations.append(self._parse_declaration())
+        return ast.Specification(declarations=declarations)
+
+    # ------------------------------------------------------------------
+    # Declarations
+
+    def _parse_declaration(self) -> ast.Declaration:
+        token = self._peek()
+        if token.kind is not TokenKind.KEYWORD:
+            raise self._error("expected a declaration keyword")
+        handlers = {
+            "module": self._parse_module,
+            "interface": self._parse_interface,
+            "struct": self._parse_struct,
+            "enum": self._parse_enum,
+            "typedef": self._parse_typedef,
+            "exception": self._parse_exception,
+            "const": self._parse_const,
+        }
+        handler = handlers.get(token.value)
+        if handler is None:
+            raise self._error("expected a declaration keyword")
+        return handler()
+
+    def _parse_module(self) -> ast.Module:
+        start = self._expect_keyword("module")
+        name = self._expect_ident().value
+        self._expect_punct("{")
+        declarations: list[ast.Declaration] = []
+        while not self._at_punct("}"):
+            declarations.append(self._parse_declaration())
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return ast.Module(name=name, declarations=declarations, line=start.line)
+
+    def _parse_interface(self) -> ast.Interface:
+        start = self._expect_keyword("interface")
+        name = self._expect_ident().value
+        bases: list[ast.TypeRef] = []
+        if self._at_punct(":"):
+            self._next()
+            bases.append(self._parse_scoped_name())
+            while self._at_punct(","):
+                self._next()
+                bases.append(self._parse_scoped_name())
+        interface = ast.Interface(name=name, bases=bases, line=start.line)
+        self._expect_punct("{")
+        while not self._at_punct("}"):
+            if self._at_keyword("readonly", "attribute"):
+                interface.attributes.extend(self._parse_attribute())
+            else:
+                interface.operations.append(self._parse_operation())
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return interface
+
+    def _parse_attribute(self) -> list[ast.Attribute]:
+        readonly = False
+        start = self._peek()
+        if self._at_keyword("readonly"):
+            self._next()
+            readonly = True
+        self._expect_keyword("attribute")
+        type_ref = self._parse_type_ref()
+        attributes = [
+            ast.Attribute(
+                name=self._expect_ident().value,
+                type_ref=type_ref,
+                readonly=readonly,
+                line=start.line,
+            )
+        ]
+        while self._at_punct(","):
+            self._next()
+            attributes.append(
+                ast.Attribute(
+                    name=self._expect_ident().value,
+                    type_ref=type_ref,
+                    readonly=readonly,
+                    line=start.line,
+                )
+            )
+        self._expect_punct(";")
+        return attributes
+
+    def _parse_operation(self) -> ast.Operation:
+        start = self._peek()
+        oneway = False
+        if self._at_keyword("oneway"):
+            self._next()
+            oneway = True
+        return_type = self._parse_type_ref(allow_void=True)
+        name = self._expect_ident().value
+        self._expect_punct("(")
+        parameters: list[ast.Parameter] = []
+        if not self._at_punct(")"):
+            parameters.append(self._parse_parameter())
+            while self._at_punct(","):
+                self._next()
+                parameters.append(self._parse_parameter())
+        self._expect_punct(")")
+        raises: list[ast.TypeRef] = []
+        if self._at_keyword("raises"):
+            self._next()
+            self._expect_punct("(")
+            raises.append(self._parse_scoped_name())
+            while self._at_punct(","):
+                self._next()
+                raises.append(self._parse_scoped_name())
+            self._expect_punct(")")
+        self._expect_punct(";")
+        return ast.Operation(
+            name=name,
+            return_type=return_type,
+            parameters=parameters,
+            oneway=oneway,
+            raises=raises,
+            line=start.line,
+        )
+
+    def _parse_parameter(self) -> ast.Parameter:
+        token = self._next()
+        if token.kind is not TokenKind.KEYWORD or token.value not in ("in", "out", "inout"):
+            raise self._error("expected parameter direction (in/out/inout)", token)
+        type_ref = self._parse_type_ref()
+        name = self._expect_ident().value
+        return ast.Parameter(
+            direction=token.value, type_ref=type_ref, name=name, line=token.line
+        )
+
+    def _parse_struct(self) -> ast.Struct:
+        start = self._expect_keyword("struct")
+        name = self._expect_ident().value
+        self._expect_punct("{")
+        fields: list[ast.StructField] = []
+        while not self._at_punct("}"):
+            fields.extend(self._parse_field_group())
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return ast.Struct(name=name, fields=fields, line=start.line)
+
+    def _parse_exception(self) -> ast.ExceptionDef:
+        start = self._expect_keyword("exception")
+        name = self._expect_ident().value
+        self._expect_punct("{")
+        fields: list[ast.StructField] = []
+        while not self._at_punct("}"):
+            fields.extend(self._parse_field_group())
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return ast.ExceptionDef(name=name, fields=fields, line=start.line)
+
+    def _parse_field_group(self) -> list[ast.StructField]:
+        type_ref = self._parse_type_ref()
+        token = self._expect_ident()
+        fields = [ast.StructField(type_ref=type_ref, name=token.value, line=token.line)]
+        while self._at_punct(","):
+            self._next()
+            token = self._expect_ident()
+            fields.append(ast.StructField(type_ref=type_ref, name=token.value, line=token.line))
+        self._expect_punct(";")
+        return fields
+
+    def _parse_enum(self) -> ast.Enum:
+        start = self._expect_keyword("enum")
+        name = self._expect_ident().value
+        self._expect_punct("{")
+        labels = [self._expect_ident().value]
+        while self._at_punct(","):
+            self._next()
+            if self._at_punct("}"):
+                break  # trailing comma
+            labels.append(self._expect_ident().value)
+        self._expect_punct("}")
+        self._expect_punct(";")
+        return ast.Enum(name=name, labels=labels, line=start.line)
+
+    def _parse_typedef(self) -> ast.Typedef:
+        start = self._expect_keyword("typedef")
+        type_ref = self._parse_type_ref()
+        name = self._expect_ident().value
+        self._expect_punct(";")
+        return ast.Typedef(name=name, type_ref=type_ref, line=start.line)
+
+    def _parse_const(self) -> ast.Const:
+        start = self._expect_keyword("const")
+        type_ref = self._parse_type_ref()
+        name = self._expect_ident().value
+        self._expect_punct("=")
+        value = self._parse_const_value()
+        self._expect_punct(";")
+        return ast.Const(name=name, type_ref=type_ref, value=value, line=start.line)
+
+    def _parse_const_value(self):
+        token = self._next()
+        if token.kind is TokenKind.NUMBER:
+            text = token.value
+            if text.startswith(("0x", "0X")):
+                return int(text, 16)
+            if any(ch in text for ch in ".eE"):
+                return float(text)
+            return int(text)
+        if token.kind is TokenKind.STRING:
+            return token.value
+        if token.kind is TokenKind.KEYWORD and token.value in ("TRUE", "FALSE"):
+            return token.value == "TRUE"
+        raise self._error("expected a constant value", token)
+
+    # ------------------------------------------------------------------
+    # Types
+
+    def _parse_type_ref(self, allow_void: bool = False) -> ast.TypeRefLike:
+        token = self._peek()
+        if token.kind is TokenKind.KEYWORD:
+            if token.value == "void":
+                if not allow_void:
+                    raise self._error("'void' only allowed as a return type", token)
+                self._next()
+                return ast.TypeRef("void", line=token.line)
+            if token.value == "sequence":
+                self._next()
+                self._expect_punct("<")
+                element = self._parse_type_ref()
+                self._expect_punct(">")
+                return ast.SequenceRef(element=element, line=token.line)
+            if token.value in _PRIMITIVE_STARTERS:
+                return self._parse_primitive_name()
+            raise self._error("expected a type", token)
+        if token.kind is TokenKind.IDENT:
+            return self._parse_scoped_name()
+        raise self._error("expected a type", token)
+
+    def _parse_primitive_name(self) -> ast.TypeRef:
+        token = self._next()
+        line = token.line
+        name = token.value
+        if name == "unsigned":
+            follower = self._expect_keyword_oneof("short", "long")
+            name = f"unsigned {follower}"
+            if follower == "long" and self._at_keyword("long"):
+                self._next()
+                name = "unsigned long long"
+        elif name == "long":
+            if self._at_keyword("long"):
+                self._next()
+                name = "long long"
+            elif self._at_keyword("double"):
+                self._next()
+                name = "double"  # treated as double
+        return ast.TypeRef(name, line=line)
+
+    def _expect_keyword_oneof(self, *values: str) -> str:
+        token = self._next()
+        if token.kind is not TokenKind.KEYWORD or token.value not in values:
+            raise self._error(f"expected one of {values}", token)
+        return token.value
+
+    def _parse_scoped_name(self) -> ast.TypeRef:
+        parts: list[str] = []
+        token = self._peek()
+        line = token.line
+        if self._at_punct("::"):
+            self._next()  # global scope prefix
+        parts.append(self._expect_ident().value)
+        while self._at_punct("::"):
+            self._next()
+            parts.append(self._expect_ident().value)
+        return ast.TypeRef("::".join(parts), line=line)
+
+
+def parse_idl(source: str) -> ast.Specification:
+    """Parse IDL source text into a :class:`~repro.idl.ast.Specification`."""
+    return Parser(source).parse()

@@ -1,0 +1,16 @@
+"""J2EE-like container — the paper's future-work adoption target."""
+
+from repro.j2ee.beans import BeanHandle, bean_kind, remote_methods, stateful, stateless
+from repro.j2ee.container import Container, DynamicProxy, EjbError, Jndi
+
+__all__ = [
+    "BeanHandle",
+    "Container",
+    "DynamicProxy",
+    "EjbError",
+    "Jndi",
+    "bean_kind",
+    "remote_methods",
+    "stateful",
+    "stateless",
+]

@@ -1,0 +1,40 @@
+"""CORBA-like ORB: marshalling, transport, object adapter, threading."""
+
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.giop import ReplyMessage, ReplyStatus, RequestMessage, decode_message
+from repro.orb.orb import Orb, create_orb
+from repro.orb.poa import ObjectAdapter
+from repro.orb.refs import ObjectRef
+from repro.orb.runtime import (
+    GLOBAL_INTERFACE_REGISTRY,
+    InterfaceRegistry,
+    SkeletonBase,
+    StubBase,
+)
+from repro.orb.threading_policies import (
+    ThreadingPolicy,
+    ThreadPerConnection,
+    ThreadPerRequest,
+    ThreadPool,
+)
+
+__all__ = [
+    "CdrDecoder",
+    "CdrEncoder",
+    "GLOBAL_INTERFACE_REGISTRY",
+    "InterfaceRegistry",
+    "ObjectAdapter",
+    "ObjectRef",
+    "Orb",
+    "ReplyMessage",
+    "ReplyStatus",
+    "RequestMessage",
+    "SkeletonBase",
+    "StubBase",
+    "ThreadPerConnection",
+    "ThreadPerRequest",
+    "ThreadPool",
+    "ThreadingPolicy",
+    "create_orb",
+    "decode_message",
+]

@@ -1,0 +1,145 @@
+"""CDR-style marshalling codec.
+
+A simplified Common Data Representation: big-endian, with natural
+alignment of primitives relative to the start of the encapsulation, as in
+GIOP. Strings are length-prefixed (including a terminating NUL, as CDR
+does); sequences are length-prefixed element streams.
+
+The IDL type model (:mod:`repro.idl.types`) drives these primitives; the
+generated stubs and skeletons never touch raw bytes directly.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import MarshalError
+
+_FORMATS = {
+    "octet": ("B", 1),
+    "boolean": ("B", 1),
+    "char": ("B", 1),
+    "short": ("h", 2),
+    "unsigned short": ("H", 2),
+    "long": ("i", 4),
+    "unsigned long": ("I", 4),
+    "long long": ("q", 8),
+    "unsigned long long": ("Q", 8),
+    "float": ("f", 4),
+    "double": ("d", 8),
+}
+
+
+class CdrEncoder:
+    """Append-only big-endian encoder with CDR alignment."""
+
+    def __init__(self):
+        self._chunks = bytearray()
+
+    def _align(self, size: int) -> None:
+        remainder = len(self._chunks) % size
+        if remainder:
+            self._chunks.extend(b"\x00" * (size - remainder))
+
+    def write_primitive(self, kind: str, value) -> None:
+        try:
+            fmt, size = _FORMATS[kind]
+        except KeyError:
+            raise MarshalError(f"unknown primitive kind {kind!r}") from None
+        self._align(size)
+        try:
+            if kind == "boolean":
+                value = 1 if value else 0
+            elif kind == "char":
+                if isinstance(value, str):
+                    if len(value) != 1:
+                        raise MarshalError(f"char must be a single character, got {value!r}")
+                    value = ord(value)
+            self._chunks.extend(struct.pack(">" + fmt, value))
+        except struct.error as exc:
+            raise MarshalError(f"cannot marshal {value!r} as {kind}: {exc}") from None
+
+    def write_string(self, value: str) -> None:
+        if not isinstance(value, str):
+            raise MarshalError(f"expected str, got {type(value).__name__}")
+        encoded = value.encode("utf-8") + b"\x00"
+        self.write_primitive("unsigned long", len(encoded))
+        self._chunks.extend(encoded)
+
+    def write_bytes(self, value: bytes) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise MarshalError(f"expected bytes, got {type(value).__name__}")
+        self.write_primitive("unsigned long", len(value))
+        self._chunks.extend(value)
+
+    def write_length(self, value: int) -> None:
+        self.write_primitive("unsigned long", value)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._chunks)
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+
+class CdrDecoder:
+    """Matching decoder; raises :class:`MarshalError` on underrun."""
+
+    def __init__(self, payload: bytes):
+        self._payload = payload
+        self._pos = 0
+
+    def _align(self, size: int) -> None:
+        remainder = self._pos % size
+        if remainder:
+            self._pos += size - remainder
+
+    def read_primitive(self, kind: str):
+        try:
+            fmt, size = _FORMATS[kind]
+        except KeyError:
+            raise MarshalError(f"unknown primitive kind {kind!r}") from None
+        self._align(size)
+        end = self._pos + size
+        if end > len(self._payload):
+            raise MarshalError(f"buffer underrun reading {kind}")
+        (value,) = struct.unpack(">" + fmt, self._payload[self._pos : end])
+        self._pos = end
+        if kind == "boolean":
+            return bool(value)
+        if kind == "char":
+            return chr(value)
+        return value
+
+    def read_string(self) -> str:
+        length = self.read_primitive("unsigned long")
+        end = self._pos + length
+        if end > len(self._payload):
+            raise MarshalError("buffer underrun reading string")
+        raw = self._payload[self._pos : end]
+        self._pos = end
+        if not raw.endswith(b"\x00"):
+            raise MarshalError("string missing NUL terminator")
+        return raw[:-1].decode("utf-8")
+
+    def read_bytes(self) -> bytes:
+        length = self.read_primitive("unsigned long")
+        end = self._pos + length
+        if end > len(self._payload):
+            raise MarshalError("buffer underrun reading bytes")
+        raw = self._payload[self._pos : end]
+        self._pos = end
+        return bytes(raw)
+
+    def read_length(self) -> int:
+        return self.read_primitive("unsigned long")
+
+    @property
+    def remaining(self) -> int:
+        return len(self._payload) - self._pos
+
+    def expect_exhausted(self) -> None:
+        # Trailing alignment padding (up to 7 zero bytes) is legitimate.
+        tail = self._payload[self._pos :]
+        if len(tail) >= 8 or any(tail):
+            raise MarshalError(f"{len(tail)} unread bytes left in buffer")

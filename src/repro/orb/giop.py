@@ -1,0 +1,111 @@
+"""GIOP-like message framing for the ORB.
+
+Two message kinds cross the wire: requests and replies. The FTL travels
+as a dedicated trailing field — morally the hidden ``inout
+Probe::FunctionTxLogType log`` parameter the paper's IDL compiler splices
+into every operation (Figure 3); framing it explicitly keeps mismatched
+instrumented/uninstrumented peers diagnosable instead of silently
+garbling the argument stream.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import MarshalError
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+
+_MAGIC = 0x52504F47  # "RPOG"
+
+
+class MessageKind(enum.IntEnum):
+    REQUEST = 0
+    REPLY = 1
+
+
+class ReplyStatus(enum.IntEnum):
+    OK = 0
+    USER_EXCEPTION = 1
+    SYSTEM_EXCEPTION = 2
+
+
+@dataclass
+class RequestMessage:
+    request_id: int
+    object_key: str
+    interface: str
+    operation: str
+    oneway: bool
+    body: bytes
+    ftl: bytes | None = None
+
+    def encode(self) -> bytes:
+        encoder = CdrEncoder()
+        encoder.write_primitive("unsigned long", _MAGIC)
+        encoder.write_primitive("octet", MessageKind.REQUEST)
+        encoder.write_primitive("unsigned long", self.request_id)
+        encoder.write_string(self.object_key)
+        encoder.write_string(self.interface)
+        encoder.write_string(self.operation)
+        encoder.write_primitive("boolean", self.oneway)
+        encoder.write_primitive("boolean", self.ftl is not None)
+        if self.ftl is not None:
+            encoder.write_bytes(self.ftl)
+        encoder.write_bytes(self.body)
+        return encoder.getvalue()
+
+
+@dataclass
+class ReplyMessage:
+    request_id: int
+    status: ReplyStatus
+    body: bytes
+    ftl: bytes | None = None
+
+    def encode(self) -> bytes:
+        encoder = CdrEncoder()
+        encoder.write_primitive("unsigned long", _MAGIC)
+        encoder.write_primitive("octet", MessageKind.REPLY)
+        encoder.write_primitive("unsigned long", self.request_id)
+        encoder.write_primitive("octet", int(self.status))
+        encoder.write_primitive("boolean", self.ftl is not None)
+        if self.ftl is not None:
+            encoder.write_bytes(self.ftl)
+        encoder.write_bytes(self.body)
+        return encoder.getvalue()
+
+
+def decode_message(payload: bytes) -> RequestMessage | ReplyMessage:
+    """Decode one framed message, dispatching on the kind octet."""
+    decoder = CdrDecoder(payload)
+    magic = decoder.read_primitive("unsigned long")
+    if magic != _MAGIC:
+        raise MarshalError(f"bad message magic {magic:#x}")
+    kind = decoder.read_primitive("octet")
+    if kind == MessageKind.REQUEST:
+        request_id = decoder.read_primitive("unsigned long")
+        object_key = decoder.read_string()
+        interface = decoder.read_string()
+        operation = decoder.read_string()
+        oneway = decoder.read_primitive("boolean")
+        has_ftl = decoder.read_primitive("boolean")
+        ftl = decoder.read_bytes() if has_ftl else None
+        body = decoder.read_bytes()
+        return RequestMessage(
+            request_id=request_id,
+            object_key=object_key,
+            interface=interface,
+            operation=operation,
+            oneway=oneway,
+            body=body,
+            ftl=ftl,
+        )
+    if kind == MessageKind.REPLY:
+        request_id = decoder.read_primitive("unsigned long")
+        status = ReplyStatus(decoder.read_primitive("octet"))
+        has_ftl = decoder.read_primitive("boolean")
+        ftl = decoder.read_bytes() if has_ftl else None
+        body = decoder.read_bytes()
+        return ReplyMessage(request_id=request_id, status=status, body=body, ftl=ftl)
+    raise MarshalError(f"unknown message kind {kind}")

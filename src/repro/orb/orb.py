@@ -1,0 +1,293 @@
+"""The per-process ORB runtime (ORBlite stand-in).
+
+One :class:`Orb` is attached to each simulated process. It owns:
+
+- the network endpoint (it starts listening at construction, so loopback
+  calls inside one process travel the same path as remote ones — that is
+  the "collocated call with optimization turned off" configuration of the
+  paper's latency experiment),
+- the object adapter mapping object keys to skeletons,
+- the server threading policy (thread-per-request by default, matching
+  the Section-2.1 baseline),
+- client connection management (one connection per calling thread per
+  target endpoint, so replies never interleave and observation O1 holds),
+- collocation optimization (on by default; the generated stubs consult
+  :meth:`Orb.collocated_servant` and short-circuit through the direct
+  pointer when allowed),
+- marshal-by-value support (custom marshalling, Section 2.2): servants
+  activated ``by_value=True`` are copied to the client process at resolve
+  time and run in the client's thread context.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import threading
+from typing import Any
+
+from repro.errors import ObjectNotFound, OrbError, TransportError
+from repro.orb.giop import ReplyMessage, ReplyStatus, RequestMessage, decode_message
+from repro.orb.poa import ObjectAdapter
+from repro.orb.refs import ObjectRef
+from repro.orb.runtime import GLOBAL_INTERFACE_REGISTRY, InterfaceRegistry
+from repro.orb.threading_policies import ThreadingPolicy, ThreadPerRequest
+from repro.platform.network import Connection, Network
+from repro.platform.process import SimProcess
+
+
+class _ByValueRegistry:
+    """Network-wide registry of marshal-by-value servants."""
+
+    def __init__(self):
+        self._servants: dict[str, Any] = {}
+        self._lock = threading.Lock()
+
+    def register(self, url: str, servant: Any) -> None:
+        with self._lock:
+            self._servants[url] = servant
+
+    def lookup(self, url: str) -> Any:
+        with self._lock:
+            return self._servants.get(url)
+
+
+def _by_value_registry(network: Network) -> _ByValueRegistry:
+    registry = getattr(network, "_repro_by_value", None)
+    if registry is None:
+        registry = _ByValueRegistry()
+        network._repro_by_value = registry
+    return registry
+
+
+class Orb:
+    """ORB runtime for one simulated process."""
+
+    def __init__(
+        self,
+        process: SimProcess,
+        network: Network,
+        policy: ThreadingPolicy | None = None,
+        collocation_optimization: bool = True,
+        registry: InterfaceRegistry | None = None,
+        request_timeout: float = 30.0,
+    ):
+        self.process = process
+        self.network = network
+        self.address = process.name
+        self.adapter = ObjectAdapter(self.address)
+        self.policy = policy if policy is not None else ThreadPerRequest()
+        self.collocation_optimization = collocation_optimization
+        self.registry = registry if registry is not None else GLOBAL_INTERFACE_REGISTRY
+        self.request_timeout = request_timeout
+        self._client_state = threading.local()
+        self._request_ids = itertools.count(1)
+        self._connection_serial = itertools.count(1)
+        self._server_connections: list[Connection] = []
+        self._server_connections_lock = threading.Lock()
+        self._shut_down = False
+        process.orb = self
+        self.policy.start(process)
+        network.listen(self.address, self._on_connect)
+
+    # ------------------------------------------------------------------
+    # Activation / resolution
+
+    def activate(
+        self,
+        servant: Any,
+        interface: str | None = None,
+        object_key: str | None = None,
+        component: str | None = None,
+        by_value: bool = False,
+    ) -> ObjectRef:
+        """Activate a servant and return its object reference.
+
+        ``interface`` defaults to the servant base's scoped interface name
+        (generated servant bases carry ``_repro_interface``). ``component``
+        defaults to the servant class name. With ``by_value=True`` the
+        servant is additionally registered for marshal-by-value: remote
+        resolvers receive a deep copy running in their own thread context.
+        """
+        if interface is None:
+            interface = getattr(servant, "_repro_interface", None)
+            if interface is None:
+                raise OrbError(
+                    f"cannot infer interface for {servant!r}; pass interface= explicitly"
+                )
+        skeleton_class = self.registry.skeleton_class(interface)
+        component = component or type(servant).__name__
+        # Reserve the key first so the skeleton knows its identity.
+        object_key = self.adapter.reserve(object_key)
+        skeleton = skeleton_class(servant, self, object_key, component)
+        self.adapter.install(object_key, skeleton)
+        ref = ObjectRef(
+            address=self.address,
+            object_key=object_key,
+            interface=interface,
+            component=component,
+        )
+        servant._repro_object_ref = ref
+        if by_value:
+            _by_value_registry(self.network).register(ref.to_url(), servant)
+        return ref
+
+    def resolve(self, ref_or_url: ObjectRef | str) -> Any:
+        """Create a stub for an object reference.
+
+        If the reference was activated marshal-by-value, a deep copy of
+        the servant is installed locally and a collocated stub over the
+        copy is returned ("custom marshalling ... basically turns remote
+        calls into collocated calls").
+        """
+        ref = (
+            ObjectRef.from_url(ref_or_url) if isinstance(ref_or_url, str) else ref_or_url
+        )
+        by_value = _by_value_registry(self.network).lookup(ref.to_url())
+        if by_value is not None and ref.address != self.address:
+            local_copy = copy.deepcopy(by_value)
+            local_ref = self.activate(
+                local_copy,
+                interface=ref.interface,
+                component=ref.component or type(local_copy).__name__,
+            )
+            ref = local_ref
+        stub_class = self.registry.stub_class(ref.interface)
+        return stub_class(self, ref)
+
+    def localize(self, value: Any) -> Any:
+        """Convert unmarshalled ObjectRef values into live stubs."""
+        if isinstance(value, ObjectRef):
+            return self.resolve(value)
+        if isinstance(value, list):
+            return [self.localize(item) for item in value]
+        return value
+
+    def collocated_servant(self, ref: ObjectRef) -> Any:
+        """Return the servant for a same-process reference, if optimizable."""
+        if not self.collocation_optimization or self._shut_down:
+            return None
+        if ref.address != self.address:
+            return None
+        skeleton = self.adapter.try_find(ref.object_key)
+        if skeleton is None:
+            return None
+        return skeleton.servant
+
+    # ------------------------------------------------------------------
+    # Client side
+
+    def _connections(self) -> dict[str, Connection]:
+        connections = getattr(self._client_state, "connections", None)
+        if connections is None:
+            connections = {}
+            self._client_state.connections = connections
+        return connections
+
+    def _connection_to(self, address: str) -> Connection:
+        connections = self._connections()
+        conn = connections.get(address)
+        if conn is None or conn.closed:
+            label = f"{self.address}/t{next(self._connection_serial)}"
+            conn = self.network.connect(label, address)
+            connections[address] = conn
+        return conn
+
+    def send_request(
+        self,
+        ref: ObjectRef,
+        operation: str,
+        body: bytes,
+        oneway: bool,
+        ftl: bytes | None,
+    ) -> ReplyMessage | None:
+        """Marshal-level entry point used by generated stubs."""
+        if self._shut_down:
+            raise OrbError("ORB has been shut down")
+        request = RequestMessage(
+            request_id=next(self._request_ids),
+            object_key=ref.object_key,
+            interface=ref.interface,
+            operation=operation,
+            oneway=oneway,
+            body=body,
+            ftl=ftl,
+        )
+        conn = self._connection_to(ref.address)
+        conn.send(request.encode(), sender_host=self.process.host)
+        if oneway:
+            return None
+        while True:
+            reply = decode_message(conn.recv(timeout=self.request_timeout))
+            if not isinstance(reply, ReplyMessage):
+                raise TransportError("expected a reply message")
+            if reply.request_id == request.request_id:
+                return reply
+            # Connections are per calling thread, so a mismatched id means
+            # a stale reply from an abandoned call; skip it.
+
+    # ------------------------------------------------------------------
+    # Server side
+
+    def _on_connect(self, conn: Connection) -> None:
+        with self._server_connections_lock:
+            self._server_connections.append(conn)
+        self.process.spawn_thread(
+            self._reader_loop, name=f"reader-{conn.peer_label}", args=(conn,)
+        )
+
+    def _reader_loop(self, conn: Connection) -> None:
+        connection_id = f"{conn.peer_label}#{id(conn)}"
+        inline = getattr(self.policy, "inline_per_connection", False)
+        while not self._shut_down:
+            try:
+                payload = conn.recv(timeout=None)
+            except TransportError:
+                return
+            message = decode_message(payload)
+            if not isinstance(message, RequestMessage):
+                continue
+
+            def dispatch(message=message):
+                self._dispatch_request(message, conn)
+
+            if inline:
+                dispatch()
+            else:
+                self.policy.submit(dispatch, connection_id)
+
+    def _dispatch_request(self, request: RequestMessage, conn: Connection) -> None:
+        try:
+            skeleton = self.adapter.find(request.object_key)
+        except ObjectNotFound as exc:
+            if not request.oneway:
+                from repro.orb.runtime import _marshal_system_exception
+
+                reply = ReplyMessage(
+                    request_id=request.request_id,
+                    status=ReplyStatus.SYSTEM_EXCEPTION,
+                    body=_marshal_system_exception(exc),
+                )
+                conn.send(reply.encode(), sender_host=self.process.host)
+            return
+        reply = skeleton.dispatch(request)
+        if reply is not None and not request.oneway:
+            conn.send(reply.encode(), sender_host=self.process.host)
+
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        if self._shut_down:
+            return
+        self._shut_down = True
+        self.network.unlisten(self.address)
+        with self._server_connections_lock:
+            connections = list(self._server_connections)
+        for conn in connections:
+            conn.close()  # unblocks the reader thread
+        self.policy.shutdown()
+
+
+def create_orb(process: SimProcess, network: Network, **kwargs) -> Orb:
+    """Convenience factory mirroring ``CORBA::ORB_init``."""
+    return Orb(process, network, **kwargs)

@@ -1,0 +1,70 @@
+"""Portable-object-adapter equivalent: the per-process servant registry."""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.errors import ObjectNotFound
+from repro.orb.refs import ObjectRef
+
+
+class ObjectAdapter:
+    """Maps object keys to activated skeletons within one process."""
+
+    def __init__(self, address: str):
+        self.address = address
+        self._skeletons: dict[str, object] = {}
+        self._key_counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def reserve(self, object_key: str | None) -> str:
+        """Reserve an object key (minting one if not given)."""
+        with self._lock:
+            if object_key is None:
+                # Object ids are universal identifiers (paper, Fig. 6), so
+                # the minted key embeds the process address.
+                object_key = f"{self.address}.obj-{next(self._key_counter)}"
+            if object_key in self._skeletons:
+                raise ObjectNotFound(f"object key {object_key!r} already active")
+            self._skeletons[object_key] = None  # reserved, not yet installed
+        return object_key
+
+    def install(self, object_key: str, skeleton) -> None:
+        """Install the skeleton for a previously reserved key."""
+        with self._lock:
+            if object_key not in self._skeletons:
+                raise ObjectNotFound(f"object key {object_key!r} was never reserved")
+            self._skeletons[object_key] = skeleton
+
+    def activate(
+        self, skeleton, object_key: str | None, interface: str, component: str
+    ) -> ObjectRef:
+        """Register a skeleton and mint the object reference for it."""
+        object_key = self.reserve(object_key)
+        self.install(object_key, skeleton)
+        return ObjectRef(
+            address=self.address,
+            object_key=object_key,
+            interface=interface,
+            component=component,
+        )
+
+    def deactivate(self, object_key: str) -> None:
+        with self._lock:
+            self._skeletons.pop(object_key, None)
+
+    def find(self, object_key: str):
+        with self._lock:
+            skeleton = self._skeletons.get(object_key)
+        if skeleton is None:
+            raise ObjectNotFound(f"no active object with key {object_key!r}")
+        return skeleton
+
+    def try_find(self, object_key: str):
+        with self._lock:
+            return self._skeletons.get(object_key)
+
+    def active_keys(self) -> list[str]:
+        with self._lock:
+            return sorted(self._skeletons)

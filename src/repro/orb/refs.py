@@ -1,0 +1,66 @@
+"""Object references — the ORB's IOR equivalent.
+
+A reference names a servant by (endpoint address, object key, interface)
+plus the component that hosts it — the component name is what the
+analyzer's component-level views group by, and the client-side probes need
+it, so it travels inside the reference.
+
+References are transportable: they marshal as their stringified URL, so
+servants can hand out callbacks and the PPS pipeline can wire itself up
+dynamically (callbacks produce nesting calls, Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MarshalError
+
+_SCHEME = "repro://"
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """Location-transparent name of one component object."""
+
+    address: str
+    object_key: str
+    interface: str
+    component: str = ""
+
+    def to_url(self) -> str:
+        pieces = (
+            (self.address, "address"),
+            (self.object_key, "object key"),
+            (self.interface, "interface"),
+            (self.component, "component"),
+        )
+        for piece, label in pieces:
+            if any(ch in piece for ch in "/#!"):
+                raise MarshalError(f"object reference {label} may not contain '/', '#' or '!'")
+        url = f"{_SCHEME}{self.address}/{self.object_key}#{self.interface}"
+        if self.component:
+            url += f"!{self.component}"
+        return url
+
+    @classmethod
+    def from_url(cls, url: str) -> "ObjectRef":
+        if not url.startswith(_SCHEME):
+            raise MarshalError(f"not an object reference URL: {url!r}")
+        rest = url[len(_SCHEME) :]
+        component = ""
+        if "!" in rest:
+            rest, component = rest.rsplit("!", 1)
+        try:
+            location, interface = rest.rsplit("#", 1)
+            address, object_key = location.split("/", 1)
+        except ValueError:
+            raise MarshalError(f"malformed object reference URL: {url!r}") from None
+        if not address or not object_key or not interface:
+            raise MarshalError(f"malformed object reference URL: {url!r}")
+        return cls(
+            address=address, object_key=object_key, interface=interface, component=component
+        )
+
+    def __str__(self) -> str:
+        return self.to_url()

@@ -1,0 +1,357 @@
+"""Runtime support for IDL-generated stubs and skeletons.
+
+The code generator emits subclasses of :class:`StubBase` and
+:class:`SkeletonBase`; the probe calls appear explicitly in the generated
+method bodies (that is the paper's source-level instrumentation), while
+marshalling, transport and the result-tuple convention live here.
+
+Result convention (follows the OMG Python mapping): a servant method
+receives the ``in``/``inout`` parameters in declaration order and returns
+
+- nothing (``None``) if the operation is void with no out parameters,
+- the single result if exactly one of {non-void return, out parameters}
+  yields one value,
+- a tuple ``(return_value, out1, out2, ...)`` otherwise.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Any
+
+from repro.core.events import Domain
+from repro.core.records import OperationInfo
+from repro.errors import MarshalError, OrbError, RemoteApplicationError
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+
+if TYPE_CHECKING:  # imported lazily to avoid a circular import with repro.idl
+    from repro.idl.semantics import ResolvedInterface, ResolvedOperation
+from repro.orb.giop import ReplyMessage, ReplyStatus, RequestMessage
+from repro.orb.refs import ObjectRef
+
+
+class InterfaceRegistry:
+    """Global map from scoped interface name to its generated classes.
+
+    Populated when a compiled IDL module is loaded; used by
+    ``Orb.resolve`` to pick the stub class for an incoming object
+    reference (e.g. a callback parameter).
+    """
+
+    def __init__(self):
+        self._entries: dict[str, dict[str, type]] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self, interface: str, stub_class: type, skeleton_class: type, servant_base: type
+    ) -> None:
+        with self._lock:
+            self._entries[interface] = {
+                "stub": stub_class,
+                "skeleton": skeleton_class,
+                "servant": servant_base,
+            }
+
+    def stub_class(self, interface: str) -> type:
+        with self._lock:
+            try:
+                return self._entries[interface]["stub"]
+            except KeyError:
+                raise OrbError(f"no stub registered for interface {interface}") from None
+
+    def skeleton_class(self, interface: str) -> type:
+        with self._lock:
+            try:
+                return self._entries[interface]["skeleton"]
+            except KeyError:
+                raise OrbError(f"no skeleton registered for interface {interface}") from None
+
+    def known_interfaces(self) -> list[str]:
+        with self._lock:
+            return sorted(self._entries)
+
+
+#: Process-wide registry shared by every compiled IDL module.
+GLOBAL_INTERFACE_REGISTRY = InterfaceRegistry()
+
+
+def _marshal_args(op: "ResolvedOperation", values: tuple) -> bytes:
+    """Encode the in/inout arguments of one invocation."""
+    in_params = op.in_params
+    if len(values) != len(in_params):
+        raise MarshalError(
+            f"{op.name} expects {len(in_params)} argument(s), got {len(values)}"
+        )
+    encoder = CdrEncoder()
+    for param, value in zip(in_params, values):
+        param.idl_type.marshal(encoder, value)
+    return encoder.getvalue()
+
+
+def _unmarshal_args(op: "ResolvedOperation", body: bytes) -> tuple:
+    decoder = CdrDecoder(body)
+    values = tuple(param.idl_type.unmarshal(decoder) for param in op.in_params)
+    decoder.expect_exhausted()
+    return values
+
+
+def _result_values(op: "ResolvedOperation", result: Any) -> list:
+    """Normalize a servant return value into [return?] + outs order."""
+    slots = (0 if op.return_type.is_void else 1) + len(op.out_params)
+    if slots == 0:
+        if result is not None:
+            raise MarshalError(f"{op.name} is void but servant returned {result!r}")
+        return []
+    if slots == 1:
+        return [result]
+    if not isinstance(result, tuple) or len(result) != slots:
+        raise MarshalError(
+            f"{op.name} must return a {slots}-tuple (return value then out parameters)"
+        )
+    return list(result)
+
+
+def _marshal_result(op: "ResolvedOperation", result: Any) -> bytes:
+    values = _result_values(op, result)
+    encoder = CdrEncoder()
+    index = 0
+    if not op.return_type.is_void:
+        op.return_type.marshal(encoder, values[index])
+        index += 1
+    for param in op.out_params:
+        param.idl_type.marshal(encoder, values[index])
+        index += 1
+    return encoder.getvalue()
+
+
+def _unmarshal_result(op: "ResolvedOperation", body: bytes) -> Any:
+    decoder = CdrDecoder(body)
+    values: list = []
+    if not op.return_type.is_void:
+        values.append(op.return_type.unmarshal(decoder))
+    for param in op.out_params:
+        values.append(param.idl_type.unmarshal(decoder))
+    decoder.expect_exhausted()
+    if not values:
+        return None
+    if len(values) == 1:
+        return values[0]
+    return tuple(values)
+
+
+def _marshal_user_exception(op: "ResolvedOperation", exc: Exception) -> bytes:
+    encoder = CdrEncoder()
+    for exc_type in op.raises:
+        if isinstance(exc, exc_type.py_class):
+            encoder.write_string(exc_type.idl_name)
+            exc_type.marshal(encoder, exc)
+            return encoder.getvalue()
+    raise MarshalError(f"{type(exc).__name__} is not declared in {op.name}'s raises clause")
+
+
+def _unmarshal_user_exception(op: "ResolvedOperation", body: bytes) -> Exception:
+    decoder = CdrDecoder(body)
+    exc_name = decoder.read_string()
+    for exc_type in op.raises:
+        if exc_type.idl_name == exc_name:
+            exc = exc_type.unmarshal(decoder)
+            decoder.expect_exhausted()
+            return exc
+    return RemoteApplicationError(exc_name, "undeclared user exception")
+
+
+def _marshal_system_exception(exc: BaseException) -> bytes:
+    encoder = CdrEncoder()
+    encoder.write_string(type(exc).__name__)
+    encoder.write_string(str(exc))
+    return encoder.getvalue()
+
+
+def _unmarshal_system_exception(body: bytes) -> RemoteApplicationError:
+    decoder = CdrDecoder(body)
+    exc_type = decoder.read_string()
+    message = decoder.read_string()
+    return RemoteApplicationError(exc_type, message)
+
+
+class StubBase:
+    """Client-side proxy base; generated subclasses add one method per op."""
+
+    _interface: str = "?"
+    _resolved: "ResolvedInterface"
+    _instrumented: bool = False
+
+    def __init__(self, orb, object_ref: ObjectRef):
+        self._orb = orb
+        self.object_ref = object_ref
+
+    # -- helpers used by generated code --------------------------------
+
+    @property
+    def _monitor(self):
+        return self._orb.process.monitor
+
+    def _op(self, name: str) -> "ResolvedOperation":
+        return self._resolved.operation(name)
+
+    def _op_info(self, name: str) -> OperationInfo:
+        return OperationInfo(
+            interface=self._interface,
+            operation=name,
+            object_id=self.object_ref.object_key,
+            component=self.object_ref.component,
+            domain=Domain.CORBA,
+        )
+
+    def _semantics_args(self, op_name: str, args: tuple) -> dict | None:
+        """Application-semantics payload for probe 1 (parameters)."""
+        monitor = self._monitor
+        if monitor is None or not monitor.config.mode.samples_semantics:
+            return None
+        return {"operation": op_name, "args": [repr(a) for a in args]}
+
+    def _remote_call(self, op_name: str, args: tuple, ctx) -> ReplyMessage:
+        body = _marshal_args(self._op(op_name), args)
+        ftl = ctx.request_ftl_payload if ctx is not None else None
+        return self._orb.send_request(
+            self.object_ref, op_name, body, oneway=False, ftl=ftl
+        )
+
+    def _oneway_call(self, op_name: str, args: tuple, ctx) -> None:
+        body = _marshal_args(self._op(op_name), args)
+        ftl = ctx.request_ftl_payload if ctx is not None else None
+        self._orb.send_request(self.object_ref, op_name, body, oneway=True, ftl=ftl)
+
+    def _decode_reply(self, op_name: str, reply: ReplyMessage) -> Any:
+        op = self._op(op_name)
+        if reply.status is ReplyStatus.OK:
+            return _unmarshal_result(op, reply.body)
+        if reply.status is ReplyStatus.USER_EXCEPTION:
+            raise _unmarshal_user_exception(op, reply.body)
+        raise _unmarshal_system_exception(reply.body)
+
+    def _call_servant(self, servant, op_name: str, args: tuple) -> Any:
+        """Direct collocated invocation (bypassing the skeleton)."""
+        method = getattr(servant, op_name)
+        result = method(*args)
+        # Validate the result shape so collocated and remote calls agree.
+        _result_values(self._op(op_name), result)
+        return result
+
+    def _collocated_call_plain(self, op_name: str, servant, args: tuple) -> Any:
+        return self._call_servant(servant, op_name, args)
+
+    def _collocated_call_probed(self, op_name: str, servant, args: tuple) -> Any:
+        """Collocated call with the degenerate probe pairs of Section 2.2."""
+        monitor = self._monitor
+        if monitor is None:
+            return self._call_servant(servant, op_name, args)
+        op_info = self._op_info(op_name)
+        stub_ctx, skel_ctx = monitor.collocated_call_start(op_info)
+        try:
+            return self._call_servant(servant, op_name, args)
+        finally:
+            monitor.collocated_call_end(stub_ctx, skel_ctx)
+
+    def __repr__(self) -> str:
+        return f"<stub {self._interface} -> {self.object_ref.to_url()}>"
+
+
+class SkeletonBase:
+    """Server-side dispatcher base; generated subclasses add _dispatch_*."""
+
+    _interface: str = "?"
+    _resolved: "ResolvedInterface"
+    _instrumented: bool = False
+
+    def __init__(self, servant, orb, object_key: str, component: str = ""):
+        self.servant = servant
+        self._orb = orb
+        self.object_key = object_key
+        self.component = component or type(servant).__name__
+
+    @property
+    def _monitor(self):
+        return self._orb.process.monitor
+
+    def _op(self, name: str) -> "ResolvedOperation":
+        return self._resolved.operation(name)
+
+    def _op_info(self, name: str) -> OperationInfo:
+        return OperationInfo(
+            interface=self._interface,
+            operation=name,
+            object_id=self.object_key,
+            component=self.component,
+            domain=Domain.CORBA,
+        )
+
+    def dispatch(self, request: RequestMessage) -> ReplyMessage | None:
+        """Route a decoded request to the generated per-operation handler."""
+        handler = getattr(self, f"_dispatch_{request.operation}", None)
+        if handler is None:
+            if request.oneway:
+                return None
+            return ReplyMessage(
+                request_id=request.request_id,
+                status=ReplyStatus.SYSTEM_EXCEPTION,
+                body=_marshal_system_exception(
+                    OrbError(f"unknown operation {request.operation!r} on {self._interface}")
+                ),
+            )
+        return handler(request)
+
+    # -- helpers used by generated code --------------------------------
+
+    def _decode_args(self, op_name: str, body: bytes) -> tuple:
+        args = _unmarshal_args(self._op(op_name), body)
+        return tuple(self._orb.localize(value) for value in args)
+
+    def _semantics_outcome(self, status: ReplyStatus, result: Any) -> dict | None:
+        """Application-semantics payload for probe 3 (result/exception)."""
+        monitor = self._monitor
+        if monitor is None or not monitor.config.mode.samples_semantics:
+            return None
+        if status is ReplyStatus.OK:
+            return {"status": "ok", "result": repr(result)}
+        return {"status": status.name.lower(), "exception": repr(result)}
+
+    def _execute(self, op_name: str, args: tuple) -> tuple[ReplyStatus, Any]:
+        """Run the servant method, classifying the outcome."""
+        op = self._op(op_name)
+        declared = tuple(exc_type.py_class for exc_type in op.raises)
+        try:
+            result = getattr(self.servant, op_name)(*args)
+            return ReplyStatus.OK, result
+        except declared as exc:  # user exception listed in raises(...)
+            return ReplyStatus.USER_EXCEPTION, exc
+        except Exception as exc:  # anything else is a system exception
+            return ReplyStatus.SYSTEM_EXCEPTION, exc
+
+    def _encode_reply(
+        self,
+        op_name: str,
+        request: RequestMessage,
+        status: ReplyStatus,
+        result: Any,
+        ftl: bytes | None,
+    ) -> ReplyMessage | None:
+        if request.oneway:
+            return None
+        op = self._op(op_name)
+        if status is ReplyStatus.OK:
+            try:
+                body = _marshal_result(op, result)
+            except MarshalError as exc:
+                status = ReplyStatus.SYSTEM_EXCEPTION
+                body = _marshal_system_exception(exc)
+        elif status is ReplyStatus.USER_EXCEPTION:
+            body = _marshal_user_exception(op, result)
+        else:
+            body = _marshal_system_exception(result)
+        return ReplyMessage(
+            request_id=request.request_id, status=status, body=body, ftl=ftl
+        )
+
+    def __repr__(self) -> str:
+        return f"<skeleton {self._interface} key={self.object_key}>"

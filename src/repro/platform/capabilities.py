@@ -1,0 +1,62 @@
+"""Platform capability modelling.
+
+The paper is explicit that monitoring fidelity depends on the native
+operating system: per-thread CPU counters exist on HPUX 11 but not earlier
+versions, microsecond timing needs an on-chip high-resolution timer, and
+"the VxWorks CORBA does not currently support CPU" (Section 6). We model
+those differences so that a PPS deployment spanning HPUX, Windows and
+VxWorks behaves like the paper's: CPU probes silently degrade to
+causality-only on hosts that cannot supply the counter.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class PlatformKind(enum.Enum):
+    """Operating platforms named in the paper's experiments."""
+
+    HPUX_11 = "HPUX 11"
+    HPUX_10 = "HPUX 10"
+    WINDOWS_NT = "Windows NT"
+    WINDOWS_2000 = "Windows 2000"
+    VXWORKS = "VxWorks"
+    GENERIC = "Generic"
+
+
+class ProcessorType(enum.Enum):
+    """Processor families; CPU totals are reported as a vector over these."""
+
+    PA_RISC = "PA-RISC"
+    X86 = "x86"
+    EMBEDDED = "embedded"
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What the host's OS exposes to the monitoring probes."""
+
+    supports_thread_cpu: bool
+    timer_resolution_ns: int
+
+    def __post_init__(self):
+        if self.timer_resolution_ns <= 0:
+            raise ValueError("timer resolution must be positive")
+
+
+#: Default capability table, following Section 2.1 and Section 6.
+DEFAULT_CAPABILITIES: dict[PlatformKind, Capabilities] = {
+    PlatformKind.HPUX_11: Capabilities(supports_thread_cpu=True, timer_resolution_ns=1_000),
+    PlatformKind.HPUX_10: Capabilities(supports_thread_cpu=False, timer_resolution_ns=10_000),
+    PlatformKind.WINDOWS_NT: Capabilities(supports_thread_cpu=True, timer_resolution_ns=1_000),
+    PlatformKind.WINDOWS_2000: Capabilities(supports_thread_cpu=True, timer_resolution_ns=1_000),
+    PlatformKind.VXWORKS: Capabilities(supports_thread_cpu=False, timer_resolution_ns=1_000),
+    PlatformKind.GENERIC: Capabilities(supports_thread_cpu=True, timer_resolution_ns=1),
+}
+
+
+def capabilities_for(kind: PlatformKind) -> Capabilities:
+    """Look up the default capabilities of a platform kind."""
+    return DEFAULT_CAPABILITIES[kind]

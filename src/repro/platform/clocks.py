@@ -1,0 +1,144 @@
+"""Clock abstractions for the simulated platform.
+
+The paper's probes read two local quantities: a wall-clock timestamp and a
+per-thread CPU counter ("per-thread CPU consumption is available in HPUX
+version 11 but not earlier versions", Section 2.1). Neither requires global
+synchronization — latency is always computed from two readings taken on the
+same host, and CPU from two readings taken on the same thread.
+
+Two clock implementations are provided:
+
+``RealClock``
+    Backed by :func:`time.perf_counter_ns` and :func:`time.thread_time_ns`.
+    Used by the benchmark harness to take laptop-scale measurements with the
+    same semantics as the paper's HPUX counters.
+
+``VirtualClock``
+    A deterministic clock for tests and exact accounting experiments.
+    Workload code *charges* CPU explicitly with :meth:`VirtualClock.consume`,
+    which advances both the calling thread's CPU counter and the global
+    virtual wall clock; :meth:`VirtualClock.idle` advances wall time only
+    (modelling blocking waits).
+
+Each host owns a clock and may apply a constant *skew* to wall readings,
+modelling unsynchronized host clocks. Because the analyzer never subtracts
+timestamps taken on different hosts, skew must not change any analysis
+result — a property exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class Clock:
+    """Interface for platform clocks.
+
+    Subclasses provide monotonic wall time and per-thread CPU time, both in
+    nanoseconds. ``thread_cpu_ns`` always refers to the *calling* thread,
+    matching how the probes read the counter in the paper.
+    """
+
+    def wall_ns(self) -> int:
+        """Return the current wall-clock reading in nanoseconds."""
+        raise NotImplementedError
+
+    def thread_cpu_ns(self) -> int:
+        """Return the calling thread's cumulative CPU time in nanoseconds."""
+        raise NotImplementedError
+
+
+class RealClock(Clock):
+    """Clock backed by the interpreter's high-resolution OS counters."""
+
+    def wall_ns(self) -> int:
+        return time.perf_counter_ns()
+
+    def thread_cpu_ns(self) -> int:
+        return time.thread_time_ns()
+
+
+class VirtualClock(Clock):
+    """Deterministic clock driven entirely by explicit charges.
+
+    The virtual wall clock is global to the clock instance and advances
+    whenever any thread consumes CPU or idles. Per-thread CPU counters are
+    kept in a dictionary keyed by OS thread id.
+
+    The clock is thread-safe: concurrent ``consume`` calls from distinct
+    threads serialize their advances, which models a single-processor host
+    (the configuration used in the paper's experiments).
+    """
+
+    def __init__(self, start_ns: int = 0):
+        self._wall_ns = start_ns
+        self._cpu_ns: dict[int, int] = {}
+        self._lock = threading.Lock()
+
+    def wall_ns(self) -> int:
+        with self._lock:
+            return self._wall_ns
+
+    def thread_cpu_ns(self) -> int:
+        ident = threading.get_ident()
+        with self._lock:
+            return self._cpu_ns.get(ident, 0)
+
+    def consume(self, ns: int) -> None:
+        """Charge ``ns`` nanoseconds of CPU to the calling thread.
+
+        Advances the thread's CPU counter and the shared wall clock by the
+        same amount, as on a single-processor host running this thread.
+        """
+        if ns < 0:
+            raise ValueError(f"cannot consume negative CPU: {ns}")
+        ident = threading.get_ident()
+        with self._lock:
+            self._cpu_ns[ident] = self._cpu_ns.get(ident, 0) + ns
+            self._wall_ns += ns
+
+    def idle(self, ns: int) -> None:
+        """Advance wall time by ``ns`` without charging CPU to any thread."""
+        if ns < 0:
+            raise ValueError(f"cannot idle negative time: {ns}")
+        with self._lock:
+            self._wall_ns += ns
+
+    def cpu_of_thread(self, ident: int) -> int:
+        """Return the accumulated CPU of an arbitrary thread (test helper)."""
+        with self._lock:
+            return self._cpu_ns.get(ident, 0)
+
+    def total_cpu_ns(self) -> int:
+        """Return CPU accumulated across all threads (test helper)."""
+        with self._lock:
+            return sum(self._cpu_ns.values())
+
+
+class SkewedClock(Clock):
+    """A wall-skewed view over another clock.
+
+    Models a host whose wall clock is offset from its peers. CPU readings
+    are passed through unchanged — CPU counters are per-thread and never
+    compared across hosts.
+    """
+
+    def __init__(self, base: Clock, skew_ns: int):
+        self._base = base
+        self._skew_ns = skew_ns
+
+    @property
+    def skew_ns(self) -> int:
+        return self._skew_ns
+
+    def wall_ns(self) -> int:
+        return self._base.wall_ns() + self._skew_ns
+
+    def thread_cpu_ns(self) -> int:
+        return self._base.thread_cpu_ns()
+
+    def __getattr__(self, name: str):
+        # Forward consume()/idle() so workloads can charge the underlying
+        # virtual clock through the skewed view.
+        return getattr(self._base, name)

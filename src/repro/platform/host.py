@@ -1,0 +1,64 @@
+"""Simulated hosts (processors).
+
+A :class:`Host` stands in for one physical machine in the paper's testbed
+(e.g. "two processes on Windows NT and two on HPUX 11.0"). It carries the
+platform kind, the processor type used for CPU vectors, the local clock
+(optionally skewed to model unsynchronized wall clocks), and the OS
+capability flags that gate CPU probing.
+"""
+
+from __future__ import annotations
+
+from repro.platform.capabilities import (
+    Capabilities,
+    PlatformKind,
+    ProcessorType,
+    capabilities_for,
+)
+from repro.platform.clocks import Clock, RealClock, SkewedClock
+
+
+class Host:
+    """One simulated processor/machine."""
+
+    def __init__(
+        self,
+        name: str,
+        platform_kind: PlatformKind = PlatformKind.GENERIC,
+        processor_type: ProcessorType = ProcessorType.X86,
+        clock: Clock | None = None,
+        clock_skew_ns: int = 0,
+        capabilities: Capabilities | None = None,
+    ):
+        if not name:
+            raise ValueError("host name must be non-empty")
+        self.name = name
+        self.platform_kind = platform_kind
+        self.processor_type = processor_type
+        base_clock = clock if clock is not None else RealClock()
+        if clock_skew_ns:
+            base_clock = SkewedClock(base_clock, clock_skew_ns)
+        self.clock = base_clock
+        self.capabilities = (
+            capabilities if capabilities is not None else capabilities_for(platform_kind)
+        )
+
+    def wall_ns(self) -> int:
+        """Read this host's (possibly skewed) wall clock."""
+        return self.clock.wall_ns()
+
+    def thread_cpu_ns(self) -> int | None:
+        """Read the calling thread's CPU counter, or ``None`` if unsupported.
+
+        Mirrors the paper: on platforms without per-thread CPU counters
+        (pre-11 HPUX, the VxWorks CORBA) CPU probing degrades gracefully.
+        """
+        if not self.capabilities.supports_thread_cpu:
+            return None
+        return self.clock.thread_cpu_ns()
+
+    def __repr__(self) -> str:
+        return (
+            f"Host({self.name!r}, {self.platform_kind.value},"
+            f" {self.processor_type.value})"
+        )

@@ -1,0 +1,133 @@
+"""In-memory network connecting simulated processes.
+
+Cross-process invocations travel as byte strings over bidirectional
+:class:`Connection` objects, mimicking TCP connections between ORB
+endpoints. A :class:`Network` matches listeners (server endpoints) with
+``connect`` calls and can impose per-link latency, so remote calls are
+observably slower than collocated ones — the contrast the paper's latency
+accuracy experiment relies on.
+
+Latency injection is clock-aware: on a :class:`~repro.platform.clocks.VirtualClock`
+the delay advances virtual wall time deterministically; on a real clock it
+sleeps.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable
+
+from repro.errors import TransportError
+from repro.platform.clocks import VirtualClock
+from repro.platform.host import Host
+
+
+class Connection:
+    """One direction-pair of byte queues between two endpoints."""
+
+    def __init__(self, local_label: str, peer_label: str, network: "Network"):
+        self.local_label = local_label
+        self.peer_label = peer_label
+        self._network = network
+        self._inbox: queue.Queue[bytes | None] = queue.Queue()
+        self._peer: Connection | None = None
+        self._closed = False
+
+    def _attach(self, peer: "Connection") -> None:
+        self._peer = peer
+
+    def send(self, payload: bytes, sender_host: Host | None = None) -> None:
+        """Deliver ``payload`` to the peer endpoint, applying link latency."""
+        if self._closed or self._peer is None:
+            raise TransportError(f"connection {self.local_label}->{self.peer_label} is closed")
+        self._network.apply_latency(self.local_label, self.peer_label, sender_host)
+        self._peer._inbox.put(payload)
+
+    def recv(self, timeout: float | None = None) -> bytes:
+        """Block until a payload arrives; raise on close or timeout."""
+        try:
+            payload = self._inbox.get(timeout=timeout)
+        except queue.Empty:
+            raise TransportError(
+                f"recv timed out on {self.local_label}<-{self.peer_label}"
+            ) from None
+        if payload is None:
+            raise TransportError(f"connection {self.local_label} closed by peer")
+        return payload
+
+    def close(self) -> None:
+        """Close both directions; local and peer receivers are unblocked."""
+        if self._closed:
+            return
+        self._closed = True
+        # Unblock a local reader stuck in recv() as well as the peer's.
+        self._inbox.put(None)
+        if self._peer is not None and not self._peer._closed:
+            self._peer._inbox.put(None)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class Network:
+    """Registry of listening endpoints plus link-latency configuration."""
+
+    def __init__(self):
+        self._listeners: dict[str, Callable[[Connection], None]] = {}
+        self._latency_ns: dict[tuple[str, str], int] = {}
+        self._default_latency_ns = 0
+        self._lock = threading.Lock()
+
+    def listen(self, address: str, on_connect: Callable[[Connection], None]) -> None:
+        """Register a server endpoint; ``on_connect`` receives each new connection."""
+        with self._lock:
+            if address in self._listeners:
+                raise TransportError(f"address already in use: {address}")
+            self._listeners[address] = on_connect
+
+    def unlisten(self, address: str) -> None:
+        with self._lock:
+            self._listeners.pop(address, None)
+
+    def connect(self, client_label: str, address: str) -> Connection:
+        """Open a connection from ``client_label`` to a listening ``address``."""
+        with self._lock:
+            on_connect = self._listeners.get(address)
+        if on_connect is None:
+            raise TransportError(f"no listener at {address}")
+        client_side = Connection(client_label, address, self)
+        server_side = Connection(address, client_label, self)
+        client_side._attach(server_side)
+        server_side._attach(client_side)
+        on_connect(server_side)
+        return client_side
+
+    def set_default_latency(self, latency_ns: int) -> None:
+        """Latency applied to links without an explicit setting."""
+        self._default_latency_ns = latency_ns
+
+    def set_latency(self, from_label: str, to_label: str, latency_ns: int) -> None:
+        """Latency for one directed link (labels as used by connect/listen)."""
+        with self._lock:
+            self._latency_ns[(from_label, to_label)] = latency_ns
+
+    def apply_latency(self, from_label: str, to_label: str, sender_host: Host | None) -> None:
+        """Charge the configured link latency against the sender's clock."""
+        with self._lock:
+            latency = self._latency_ns.get((from_label, to_label), self._default_latency_ns)
+        if latency <= 0:
+            return
+        clock = sender_host.clock if sender_host is not None else None
+        # SkewedClock forwards idle() to its base, so isinstance on the base
+        # class is insufficient; duck-type on the idle method instead.
+        idle = getattr(clock, "idle", None)
+        if isinstance(clock, VirtualClock) or callable(idle):
+            try:
+                clock.idle(latency)  # type: ignore[union-attr]
+                return
+            except AttributeError:
+                pass
+        time.sleep(latency / 1e9)

@@ -1,0 +1,120 @@
+"""Simulated OS processes.
+
+A :class:`SimProcess` is the deployment unit of the paper's experiments
+("the code base is partitioned into 32 threads in a single-processor
+4-process configuration"). Each one owns:
+
+- its host (processor) binding,
+- a thread-specific storage instance used by the causality tunnel,
+- a local monitoring log buffer (probes record locally, without
+  coordination; the collector gathers buffers at quiescence),
+- the threads it spawned, so shutdown can join them.
+
+Runtimes (the ORB, the COM runtime, the monitoring runtime) attach
+themselves to the process via plain attributes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Callable
+
+from repro.platform.host import Host
+from repro.platform.tss import ThreadSpecificStorage
+
+_pid_counter = itertools.count(1)
+
+
+class LocalLogBuffer:
+    """Append-only per-process store for probe records.
+
+    Probes append without any cross-process coordination (paper: "all
+    runtime behavior information is recorded individually by probes
+    without coordination and global clock synchronization").
+    """
+
+    def __init__(self):
+        self._records: list[Any] = []
+        self._lock = threading.Lock()
+
+    def append(self, record: Any) -> None:
+        with self._lock:
+            self._records.append(record)
+
+    def drain(self) -> list[Any]:
+        """Return and clear all records (used by the collector)."""
+        with self._lock:
+            records = self._records
+            self._records = []
+            return records
+
+    def snapshot(self) -> list[Any]:
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+
+class SimProcess:
+    """One simulated OS process pinned to a host."""
+
+    def __init__(self, name: str, host: Host):
+        self.pid = next(_pid_counter)
+        self.name = name
+        self.host = host
+        self.tss = ThreadSpecificStorage()
+        self.log_buffer = LocalLogBuffer()
+        self.monitor: Any = None  # attached by repro.core.monitor
+        self.orb: Any = None  # attached by repro.orb.orb
+        self.com: Any = None  # attached by repro.com.runtime
+        self._threads: list[threading.Thread] = []
+        self._threads_lock = threading.Lock()
+        self._alive = True
+
+    def spawn_thread(
+        self, target: Callable[..., None], name: str, args: tuple = (), daemon: bool = True
+    ) -> threading.Thread:
+        """Start and track a thread belonging to this process."""
+        thread = threading.Thread(
+            target=target, args=args, name=f"{self.name}/{name}", daemon=daemon
+        )
+        with self._threads_lock:
+            self._threads.append(thread)
+        thread.start()
+        return thread
+
+    def join_threads(self, timeout: float = 2.0) -> None:
+        """Join all spawned threads, bounded by ``timeout`` overall.
+
+        Threads are daemons, so a straggler blocked on I/O cannot keep the
+        interpreter alive; we only wait briefly for orderly completion.
+        """
+        import time
+
+        deadline = time.monotonic() + timeout
+        with self._threads_lock:
+            threads = list(self._threads)
+        for thread in threads:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return
+            thread.join(timeout=remaining)
+
+    def shutdown(self) -> None:
+        """Mark the process dead and stop its attached runtimes."""
+        self._alive = False
+        for runtime in (self.orb, self.com):
+            stop = getattr(runtime, "shutdown", None)
+            if callable(stop):
+                stop()
+        self.join_threads()
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def __repr__(self) -> str:
+        return f"SimProcess(pid={self.pid}, name={self.name!r}, host={self.host.name!r})"

@@ -1,0 +1,73 @@
+"""Thread-specific storage (TSS).
+
+The virtual tunnel's in-process half: after the skeleton start probe, the
+current FTL is stored in thread-specific storage so that any child stub
+invoked from the function implementation can retrieve, update and carry it
+further down the chain (paper Section 2.1, Figure 2). The TSS "is created
+at the monitoring initialization phase by loading the instrumentation-
+associated library, and is independent of user applications".
+
+Because we simulate many OS processes inside one interpreter, the storage
+is owned by each :class:`~repro.platform.process.SimProcess` and keyed by
+the OS thread identifier. A real thread only ever executes inside one
+simulated process at a time, so per-process keying preserves the paper's
+process-isolation semantics.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+
+class ThreadSpecificStorage:
+    """A small per-process map from OS thread id to named slots.
+
+    Slots are arbitrary; the monitoring runtime uses the ``"ftl"`` slot to
+    hold the current :class:`~repro.core.ftl.FunctionTxLog`.
+    """
+
+    def __init__(self):
+        self._slots: dict[int, dict[str, Any]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, slot: str, default: Any = None) -> Any:
+        """Return the calling thread's value for ``slot``."""
+        ident = threading.get_ident()
+        with self._lock:
+            return self._slots.get(ident, {}).get(slot, default)
+
+    def set(self, slot: str, value: Any) -> None:
+        """Bind ``slot`` for the calling thread."""
+        ident = threading.get_ident()
+        with self._lock:
+            self._slots.setdefault(ident, {})[slot] = value
+
+    def pop(self, slot: str, default: Any = None) -> Any:
+        """Remove and return the calling thread's value for ``slot``."""
+        ident = threading.get_ident()
+        with self._lock:
+            thread_slots = self._slots.get(ident)
+            if thread_slots is None:
+                return default
+            return thread_slots.pop(slot, default)
+
+    def clear_thread(self) -> None:
+        """Drop every slot bound to the calling thread.
+
+        Called when a pooled server thread is recycled; observation O2 in
+        the paper notes the stale FTL is harmless because it is always
+        refreshed on the next dispatch, but clearing keeps tests tidy.
+        """
+        ident = threading.get_ident()
+        with self._lock:
+            self._slots.pop(ident, None)
+
+    def threads(self) -> Iterator[int]:
+        """Iterate over thread ids that currently hold any slot."""
+        with self._lock:
+            return iter(list(self._slots))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)

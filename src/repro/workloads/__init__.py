@@ -1,0 +1,26 @@
+"""Workload builders: canonical patterns, burn helpers, call generators."""
+
+from repro.workloads.burn import burn_cpu, idle_wall
+from repro.workloads.generator import BudgetSplitter, FanoutPlan, total_calls_of_budget
+from repro.workloads.patterns import (
+    PatternHarness,
+    PatternScenario,
+    callback_scenario,
+    parent_child_scenario,
+    recursion_scenario,
+    sibling_scenario,
+)
+
+__all__ = [
+    "BudgetSplitter",
+    "FanoutPlan",
+    "PatternHarness",
+    "PatternScenario",
+    "burn_cpu",
+    "callback_scenario",
+    "idle_wall",
+    "parent_child_scenario",
+    "recursion_scenario",
+    "sibling_scenario",
+    "total_calls_of_budget",
+]

@@ -1,0 +1,41 @@
+"""CPU burning that works on both clock kinds.
+
+Workload servants express their cost as "consume N nanoseconds of CPU".
+On a :class:`~repro.platform.clocks.VirtualClock` the charge is exact and
+deterministic (tests, accounting experiments); on a real clock we spin
+until the thread's CPU counter advances by N (benchmarks, where genuine
+timing noise is the point of the accuracy experiments).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.platform.host import Host
+
+
+def burn_cpu(host: Host, ns: int) -> None:
+    """Charge ~``ns`` nanoseconds of CPU to the calling thread."""
+    if ns <= 0:
+        return
+    clock = host.clock
+    consume = getattr(clock, "consume", None)
+    if callable(consume):
+        consume(ns)
+        return
+    deadline = time.thread_time_ns() + ns
+    spin = 0
+    while time.thread_time_ns() < deadline:
+        spin += 1  # busy loop: burns CPU on the calling thread
+
+
+def idle_wall(host: Host, ns: int) -> None:
+    """Advance wall time without charging CPU (I/O wait analogue)."""
+    if ns <= 0:
+        return
+    clock = host.clock
+    idle = getattr(clock, "idle", None)
+    if callable(idle):
+        idle(ns)
+        return
+    time.sleep(ns / 1e9)

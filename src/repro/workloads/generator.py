@@ -1,0 +1,73 @@
+"""Budget-split workload generator.
+
+Used by the large-scale embedded-system experiment: a root invocation
+receives a *call budget*; every invocation consumes one unit and splits
+the remainder among a seeded-random number of child calls to
+seeded-random targets. The total number of component invocations in the
+run therefore equals the root budget exactly — which is how the Figure-5
+benchmark dials in "about 195,000 calls".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FanoutPlan:
+    """How one invocation spends its budget."""
+
+    children: tuple[tuple[int, int, int], ...]  # (target_index, method_index, budget)
+
+
+class BudgetSplitter:
+    """Deterministic fan-out decisions derived from (seed, budget, depth)."""
+
+    def __init__(
+        self,
+        target_count: int,
+        methods_per_target,
+        seed: int,
+        max_fanout: int = 4,
+    ):
+        if target_count < 1:
+            raise ValueError("need at least one target")
+        self.target_count = target_count
+        self.methods_per_target = methods_per_target
+        self.seed = seed
+        self.max_fanout = max_fanout
+
+    def plan(self, budget: int, path_seed: int) -> FanoutPlan:
+        """Split ``budget - 1`` among children (empty plan when exhausted)."""
+        remaining = budget - 1
+        if remaining <= 0:
+            return FanoutPlan(children=())
+        rng = random.Random(self.seed * 2_654_435_761 + path_seed)
+        fanout = min(rng.randint(1, self.max_fanout), remaining)
+        # Random split of `remaining` into `fanout` positive parts.
+        cuts = sorted(rng.sample(range(1, remaining), fanout - 1)) if fanout > 1 else []
+        bounds = [0] + cuts + [remaining]
+        children = []
+        for index in range(fanout):
+            child_budget = bounds[index + 1] - bounds[index]
+            if child_budget <= 0:
+                continue
+            target = rng.randrange(self.target_count)
+            method_count = (
+                self.methods_per_target(target)
+                if callable(self.methods_per_target)
+                else self.methods_per_target
+            )
+            method = rng.randrange(method_count)
+            children.append((target, method, child_budget))
+        return FanoutPlan(children=tuple(children))
+
+    def derive_path_seed(self, path_seed: int, child_index: int) -> int:
+        """Stable per-child seed so the whole tree is reproducible."""
+        return hash((path_seed, child_index)) & 0x7FFFFFFF
+
+
+def total_calls_of_budget(budget: int) -> int:
+    """The invariant the splitter guarantees: calls == budget."""
+    return budget

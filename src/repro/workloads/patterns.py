@@ -1,0 +1,228 @@
+"""Canonical call-pattern scenarios (Table 1 and Section 2).
+
+Builders that stand up small instrumented deployments exercising exactly
+the structures the paper's Table 1 defines:
+
+- **sibling**: ``void main() { F(...); G(...); }``
+- **parent/child (nesting)**: ``void F() { G(); }  void G() { H(); }``
+
+plus cascading mixes, callbacks and recursion (both "produce nesting
+calls", Section 2). Each builder returns the collected probe records and
+the expected Table-1 event-label sequence, so tests and the Table-1
+benchmark can verify the chaining patterns verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.core.records import ProbeRecord
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb
+from repro.platform import Host, Network, PlatformKind, SimProcess, VirtualClock
+
+_PATTERNS_IDL = """
+module Patterns {
+  interface Hop {
+    void F(in long depth);
+    void G(in long depth);
+    void H(in long depth);
+    void recurse(in long depth);
+  };
+  interface Sink {
+    void deliver(in long payload);
+  };
+  interface Source {
+    void pull(in Sink callback);
+  };
+};
+"""
+
+
+@dataclass
+class PatternScenario:
+    """A runnable deployment plus its collected records."""
+
+    processes: list[SimProcess]
+    records: list[ProbeRecord] = field(default_factory=list)
+    expected_labels: list[str] = field(default_factory=list)
+
+    def collect(self) -> list[ProbeRecord]:
+        records: list[ProbeRecord] = []
+        for process in self.processes:
+            records.extend(process.log_buffer.drain())
+        records.sort(key=lambda r: (r.chain_uuid, r.event_seq))
+        self.records = records
+        return records
+
+    def shutdown(self) -> None:
+        for process in self.processes:
+            process.shutdown()
+
+
+class PatternHarness:
+    """Shared two-process instrumented deployment for the scenarios."""
+
+    def __init__(self, seed_prefix: str = "ab", mode: MonitorMode = MonitorMode.LATENCY):
+        self.clock = VirtualClock()
+        self.network = Network()
+        self.host = Host("host1", PlatformKind.HPUX_11, clock=self.clock)
+        self.registry = InterfaceRegistry()
+        self.compiled = compile_idl(_PATTERNS_IDL, instrument=True, registry=self.registry)
+        self.uuid_factory = SequentialUuidFactory(seed_prefix)
+        self.client = self._process("client", mode)
+        self.server = self._process("server", mode)
+        self.client_orb = Orb(self.client, self.network, registry=self.registry)
+        self.server_orb = Orb(self.server, self.network, registry=self.registry)
+
+    def _process(self, name: str, mode: MonitorMode) -> SimProcess:
+        process = SimProcess(name, self.host)
+        MonitoringRuntime(
+            process, MonitorConfig(mode=mode, uuid_factory=self.uuid_factory)
+        )
+        return process
+
+    @property
+    def processes(self) -> list[SimProcess]:
+        return [self.client, self.server]
+
+
+class _HopImpl:
+    """Servant whose F→G→H nesting is driven through real stubs."""
+
+    def __init__(self, harness: PatternHarness, burn_ns: int = 100):
+        self.harness = harness
+        self.burn_ns = burn_ns
+        self.self_stub = None  # wired after activation
+
+    def _work(self) -> None:
+        self.harness.clock.consume(self.burn_ns)
+
+    def F(self, depth):
+        self._work()
+        if depth > 0:
+            self.self_stub.G(depth - 1)
+
+    def G(self, depth):
+        self._work()
+        if depth > 0:
+            self.self_stub.H(depth - 1)
+
+    def H(self, depth):
+        self._work()
+
+    def recurse(self, depth):
+        self._work()
+        if depth > 0:
+            self.self_stub.recurse(depth - 1)
+
+
+def _hop_impl_class(harness: PatternHarness):
+    # _HopImpl first so its method bodies override the servant base's
+    # NotImplementedError placeholders.
+    return type("HopImpl", (_HopImpl, harness.compiled.Patterns_Hop), {})
+
+
+def sibling_scenario() -> PatternScenario:
+    """Table 1 left column: main calls F then G (cascading)."""
+    harness = PatternHarness(seed_prefix="a1")
+    impl = _hop_impl_class(harness)(harness, burn_ns=100)
+    ref = harness.server_orb.activate(impl, interface="Patterns::Hop")
+    impl.self_stub = harness.server_orb.resolve(ref)
+    stub = harness.client_orb.resolve(ref)
+    stub.F(0)
+    stub.G(0)
+    scenario = PatternScenario(processes=harness.processes)
+    scenario.expected_labels = [
+        "Patterns::Hop::F.stub_start",
+        "Patterns::Hop::F.skel_start",
+        "Patterns::Hop::F.skel_end",
+        "Patterns::Hop::F.stub_end",
+        "Patterns::Hop::G.stub_start",
+        "Patterns::Hop::G.skel_start",
+        "Patterns::Hop::G.skel_end",
+        "Patterns::Hop::G.stub_end",
+    ]
+    scenario.collect()
+    return scenario
+
+
+def parent_child_scenario() -> PatternScenario:
+    """Table 1 right column: F calls G, G calls H (nesting)."""
+    harness = PatternHarness(seed_prefix="a2")
+    impl = _hop_impl_class(harness)(harness, burn_ns=100)
+    ref = harness.server_orb.activate(impl, interface="Patterns::Hop")
+    impl.self_stub = harness.server_orb.resolve(ref)
+    stub = harness.client_orb.resolve(ref)
+    stub.F(2)  # F -> G -> H
+    scenario = PatternScenario(processes=harness.processes)
+    scenario.expected_labels = [
+        "Patterns::Hop::F.stub_start",
+        "Patterns::Hop::F.skel_start",
+        "Patterns::Hop::G.stub_start",
+        "Patterns::Hop::G.skel_start",
+        "Patterns::Hop::H.stub_start",
+        "Patterns::Hop::H.skel_start",
+        "Patterns::Hop::H.skel_end",
+        "Patterns::Hop::H.stub_end",
+        "Patterns::Hop::G.skel_end",
+        "Patterns::Hop::G.stub_end",
+        "Patterns::Hop::F.skel_end",
+        "Patterns::Hop::F.stub_end",
+    ]
+    scenario.collect()
+    return scenario
+
+
+def recursion_scenario(depth: int = 4) -> PatternScenario:
+    """Recursion produces nesting calls (Section 2)."""
+    harness = PatternHarness(seed_prefix="a3")
+    impl = _hop_impl_class(harness)(harness, burn_ns=50)
+    ref = harness.server_orb.activate(impl, interface="Patterns::Hop")
+    impl.self_stub = harness.server_orb.resolve(ref)
+    stub = harness.client_orb.resolve(ref)
+    stub.recurse(depth)
+    scenario = PatternScenario(processes=harness.processes)
+    scenario.collect()
+    return scenario
+
+
+def callback_scenario() -> PatternScenario:
+    """Callbacks produce nesting calls (Section 2): client passes a Sink."""
+    harness = PatternHarness(seed_prefix="a4")
+    compiled = harness.compiled
+
+    class SourceImpl(compiled.Patterns_Source):
+        def __init__(self, clock):
+            self.clock = clock
+
+        def pull(self, callback):
+            self.clock.consume(100)
+            callback.deliver(7)  # nested call back into the client process
+
+    class SinkImpl(compiled.Patterns_Sink):
+        def __init__(self, clock):
+            self.clock = clock
+            self.received: list[int] = []
+
+        def deliver(self, payload):
+            self.clock.consume(10)
+            self.received.append(payload)
+
+    source_ref = harness.server_orb.activate(
+        SourceImpl(harness.clock), interface="Patterns::Source"
+    )
+    sink = SinkImpl(harness.clock)
+    harness.client_orb.activate(sink, interface="Patterns::Sink")
+    stub = harness.client_orb.resolve(source_ref)
+    stub.pull(sink)
+    assert sink.received == [7]
+    scenario = PatternScenario(processes=harness.processes)
+    scenario.collect()
+    return scenario

@@ -1,0 +1,74 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.platform import Host, Network, PlatformKind, SimProcess, VirtualClock
+
+
+class Cluster:
+    """A small instrumented deployment helper for tests."""
+
+    def __init__(self, mode: MonitorMode = MonitorMode.LATENCY):
+        self.clock = VirtualClock()
+        self.network = Network()
+        self.uuid_factory = SequentialUuidFactory()
+        self.mode = mode
+        self.hosts: dict[str, Host] = {}
+        self.processes: list[SimProcess] = []
+
+    def host(self, name: str = "host0", platform: PlatformKind = PlatformKind.HPUX_11,
+             **kwargs) -> Host:
+        if name not in self.hosts:
+            self.hosts[name] = Host(name, platform, clock=self.clock, **kwargs)
+        return self.hosts[name]
+
+    def process(
+        self,
+        name: str,
+        host: Host | None = None,
+        mode: MonitorMode | None = None,
+        monitored: bool = True,
+    ) -> SimProcess:
+        process = SimProcess(name, host or self.host())
+        if monitored:
+            MonitoringRuntime(
+                process,
+                MonitorConfig(
+                    mode=mode or self.mode, uuid_factory=self.uuid_factory
+                ),
+            )
+        self.processes.append(process)
+        return process
+
+    def all_records(self):
+        records = []
+        for process in self.processes:
+            records.extend(process.log_buffer.snapshot())
+        records.sort(key=lambda r: (r.chain_uuid, r.event_seq))
+        return records
+
+    def shutdown(self):
+        for process in self.processes:
+            process.shutdown()
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster()
+    yield c
+    c.shutdown()
+
+
+@pytest.fixture
+def cpu_cluster():
+    c = Cluster(mode=MonitorMode.CPU)
+    yield c
+    c.shutdown()

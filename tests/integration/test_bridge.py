@@ -1,0 +1,125 @@
+"""Integration: causality propagation across the CORBA/COM bridge (Sec. 2.3)."""
+
+import pytest
+
+from repro.analysis import reconstruct_from_records
+from repro.bridge import com_facade_for_corba, corba_facade_for_com
+from repro.com import ComInterface, ComObject, ComRuntime
+from repro.core import Domain
+from repro.errors import BridgeError
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb
+
+IDL = """
+module HB {
+  interface Render { long render(in long frame); };
+  interface Encode { long encode(in long frame); };
+};
+"""
+
+IRender = ComInterface("IRender", ("render",))
+IEncode = ComInterface("IEncode", ("encode",))
+
+
+@pytest.fixture
+def hybrid(cluster):
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+    client = cluster.process("corba-client")
+    bridge = cluster.process("bridge")
+    worker = cluster.process("corba-worker")
+    client_orb = Orb(client, cluster.network, registry=registry)
+    bridge_orb = Orb(bridge, cluster.network, registry=registry)
+    worker_orb = Orb(worker, cluster.network, registry=registry)
+    com_runtime = ComRuntime(bridge, causality_hooks=True)
+    return compiled, cluster, client_orb, bridge_orb, worker_orb, com_runtime
+
+
+class TestCorbaToComToCorba:
+    def test_single_chain_crosses_both_domains(self, hybrid):
+        compiled, cluster, client_orb, bridge_orb, worker_orb, com_runtime = hybrid
+
+        class EncodeImpl(compiled.Encode):
+            def encode(self, frame):
+                cluster.clock.consume(1_000)
+                return frame * 10
+
+        encode_ref = worker_orb.activate(EncodeImpl())
+        encode_stub = bridge_orb.resolve(encode_ref)
+        com_encode = com_facade_for_corba(IEncode, encode_stub)
+
+        class RenderObj(ComObject):
+            implements = (IRender,)
+
+            def render(self, frame):
+                return com_encode.encode(frame) + 1
+
+        sta = com_runtime.create_sta("render")
+        render_identity = com_runtime.create_object(RenderObj, sta)
+        render_proxy = com_runtime.proxy_for(render_identity, IRender)
+        bridge_servant = corba_facade_for_com(compiled.Render, render_proxy)
+        render_ref = bridge_orb.activate(bridge_servant, interface="HB::Render")
+
+        stub = client_orb.resolve(render_ref)
+        assert stub.render(7) == 71
+
+        records = cluster.all_records()
+        dscg = reconstruct_from_records(records)
+        assert len(dscg.chains) == 1
+        assert not dscg.abnormal_events()
+        domains = {r.domain for r in records}
+        assert domains == {Domain.CORBA, Domain.COM}
+        # nesting: Render (corba) -> render (com) -> encode (corba)
+        (tree,) = dscg.chains.values()
+        top = tree.roots[0]
+        assert top.domain is Domain.CORBA
+        com_node = top.children[0]
+        assert com_node.domain is Domain.COM
+        assert com_node.children[0].domain is Domain.CORBA
+
+    def test_bridge_validates_method_coverage(self, hybrid):
+        compiled, cluster, client_orb, bridge_orb, worker_orb, com_runtime = hybrid
+        incomplete = ComInterface("IIncomplete", ("unrelated",))
+
+        class Dummy(ComObject):
+            implements = (incomplete,)
+
+            def unrelated(self):
+                return 0
+
+        sta = com_runtime.create_sta("d")
+        identity = com_runtime.create_object(Dummy, sta)
+        proxy = com_runtime.proxy_for(identity, incomplete)
+        with pytest.raises(BridgeError):
+            corba_facade_for_com(compiled.Render, proxy)
+
+    def test_com_facade_validates_stub_methods(self, hybrid):
+        compiled, cluster, client_orb, bridge_orb, worker_orb, com_runtime = hybrid
+
+        class NotAStub:
+            pass
+
+        with pytest.raises(BridgeError):
+            com_facade_for_corba(IEncode, NotAStub())
+
+
+class TestComToCorbaOnly:
+    def test_com_client_calls_corba_service(self, hybrid):
+        compiled, cluster, client_orb, bridge_orb, worker_orb, com_runtime = hybrid
+
+        class EncodeImpl(compiled.Encode):
+            def encode(self, frame):
+                return frame + 100
+
+        encode_ref = worker_orb.activate(EncodeImpl())
+        encode_stub = bridge_orb.resolve(encode_ref)
+        facade = com_facade_for_corba(IEncode, encode_stub)
+
+        sta = com_runtime.create_sta("client-side")
+        identity = com_runtime.export(facade, sta)
+        proxy = com_runtime.proxy_for(identity, IEncode)
+        assert proxy.encode(1) == 101
+
+        dscg = reconstruct_from_records(cluster.all_records())
+        assert len(dscg.chains) == 1
+        assert not dscg.abnormal_events()

@@ -1,0 +1,96 @@
+"""Integration tests for the CLI (`python -m repro`)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def pps_db(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "pps.db"
+    assert main(["demo-pps", str(path), "--mode", "full",
+                 "--jobs", "2", "--pages", "2", "--complexity", "1"]) == 0
+    return str(path)
+
+
+class TestCli:
+    def test_summary(self, pps_db, capsys):
+        assert main(["summary", pps_db]) == 0
+        out = capsys.readouterr().out
+        assert "DSCG:" in out
+        assert "causal chain" in out
+
+    def test_latency_table(self, pps_db, capsys):
+        assert main(["latency", pps_db, "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "function" in out
+        assert "PPS::" in out
+
+    def test_cpu_table(self, pps_db, capsys):
+        assert main(["cpu", pps_db]) == 0
+        out = capsys.readouterr().out
+        assert "self CPU" in out
+
+    def test_ccsg_to_file(self, pps_db, tmp_path, capsys):
+        out_file = tmp_path / "ccsg.xml"
+        assert main(["ccsg", pps_db, "--output", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert text.startswith("<?xml")
+        assert "SelfCPUConsumption" in text
+
+    def test_critical_path(self, pps_db, capsys):
+        assert main(["critical-path", pps_db, "--top", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "chain" in out
+        assert "% of chain" in out
+
+    def test_dscg_json(self, pps_db, tmp_path):
+        out_file = tmp_path / "dscg.json"
+        assert main(["dscg-json", pps_db, "--output", str(out_file)]) == 0
+        document = json.loads(out_file.read_text())
+        assert document["format"] == "repro-dscg"
+
+    def test_svg(self, pps_db, tmp_path):
+        out_file = tmp_path / "dscg.svg"
+        assert main(["svg", pps_db, "--output", str(out_file)]) == 0
+        assert out_file.read_text().startswith("<svg")
+
+    def test_harness(self, pps_db, tmp_path):
+        out_file = tmp_path / "harness.py"
+        assert main(["harness", pps_db, "--output", str(out_file)]) == 0
+        script = out_file.read_text()
+        compile(script, "<harness>", "exec")
+        assert "EXPECTED_TOTAL_CALLS" in script
+
+    def test_unknown_run_rejected(self, pps_db):
+        with pytest.raises(SystemExit):
+            main(["summary", pps_db, "--run", "no-such-run"])
+
+    def test_empty_database_rejected(self, tmp_path):
+        empty = tmp_path / "empty.db"
+        from repro.collector import MonitoringDatabase
+
+        MonitoringDatabase(str(empty)).close()
+        with pytest.raises(SystemExit):
+            main(["summary", str(empty)])
+
+    def test_impact_ranking(self, pps_db, capsys):
+        assert main(["impact", pps_db]) == 0
+        out = capsys.readouterr().out
+        assert "top functions by saving" in out
+        assert "PPS::" in out
+
+    def test_impact_single_function(self, pps_db, capsys):
+        assert main(["impact", pps_db, "--function",
+                     "PPS::MarkingEngine::mark", "--scale", "0.25"]) == 0
+        out = capsys.readouterr().out
+        assert "what-if: PPS::MarkingEngine::mark self CPU x0.25" in out
+
+    def test_demo_embedded(self, tmp_path, capsys):
+        db = tmp_path / "emb.db"
+        assert main(["demo-embedded", str(db), "--calls", "300", "--roots", "2"]) == 0
+        assert main(["summary", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "300" in out  # the driven call count appears in the stats

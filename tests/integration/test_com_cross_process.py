@@ -1,0 +1,110 @@
+"""Integration: COM calls across simulated process boundaries.
+
+The paper's commercial system is COM-based, "partitioned into 32 threads
+in a single-processor 4 processes configuration" — causality must follow
+ORPC calls between COM runtimes in different processes exactly as it
+follows same-process cross-apartment calls.
+"""
+
+from repro.analysis import CpuAnalysis, reconstruct_from_records
+from repro.com import ComInterface, ComObject, ComRuntime
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
+
+IStage = ComInterface("IStage", ("process_item",))
+
+
+def build_pipeline(stage_count=3, mode=MonitorMode.CPU):
+    clock = VirtualClock()
+    host = Host("h", PlatformKind.HPUX_11, clock=clock)
+    uuid_factory = SequentialUuidFactory("cc")
+    processes = []
+    runtimes = []
+    for index in range(stage_count):
+        process = SimProcess(f"comproc{index}", host)
+        MonitoringRuntime(process, MonitorConfig(mode=mode, uuid_factory=uuid_factory))
+        runtimes.append(ComRuntime(process))
+        processes.append(process)
+
+    class Stage(ComObject):
+        implements = (IStage,)
+
+        def __init__(self, downstream_proxy, cost_ns):
+            super().__init__()
+            self.downstream_proxy = downstream_proxy
+            self.cost_ns = cost_ns
+
+        def process_item(self, item):
+            clock.consume(self.cost_ns)
+            if self.downstream_proxy is not None:
+                return self.downstream_proxy.process_item(item + 1)
+            return item
+
+    # Build back to front so each stage holds a proxy to the next.
+    downstream = None
+    identities = []
+    for index in reversed(range(stage_count)):
+        runtime = runtimes[index]
+        sta = runtime.create_sta(f"s{index}")
+        identity = runtime.create_object(Stage, sta, downstream, (index + 1) * 100)
+        identities.append(identity)
+        # The proxy used by the *upstream* stage must belong to the
+        # upstream runtime (a different process).
+        upstream_runtime = runtimes[index - 1] if index > 0 else runtimes[0]
+        downstream = upstream_runtime.proxy_for(identity, IStage)
+    front = runtimes[0].proxy_for(identities[-1], IStage)
+    return clock, processes, front
+
+
+class TestCrossProcessCom:
+    def test_chain_crosses_processes(self):
+        clock, processes, front = build_pipeline()
+        try:
+            assert front.process_item(0) == 2
+            records = []
+            for process in processes:
+                records.extend(process.log_buffer.drain())
+            dscg = reconstruct_from_records(records)
+            assert len(dscg.chains) == 1
+            assert not dscg.abnormal_events()
+            (tree,) = dscg.chains.values()
+            chain_processes = [node.server_process for node in tree.walk()]
+            assert chain_processes == ["comproc0", "comproc1", "comproc2"]
+        finally:
+            for process in processes:
+                process.shutdown()
+
+    def test_cpu_propagates_across_processes(self):
+        clock, processes, front = build_pipeline(mode=MonitorMode.CPU)
+        try:
+            front.process_item(0)
+            records = []
+            for process in processes:
+                records.extend(process.log_buffer.drain())
+            dscg = reconstruct_from_records(records)
+            cpu = CpuAnalysis(dscg)
+            (tree,) = dscg.chains.values()
+            root = tree.roots[0]
+            # stage costs: 100 + 200 + 300
+            assert cpu.inclusive_cpu(root).total_ns() == 600
+            assert cpu.self_cpu(root) == 100
+            assert cpu.descendant_cpu(root).total_ns() == 500
+        finally:
+            for process in processes:
+                process.shutdown()
+
+    def test_records_attributed_to_owning_process(self):
+        clock, processes, front = build_pipeline()
+        try:
+            front.process_item(0)
+            for process in processes:
+                for record in process.log_buffer.snapshot():
+                    assert record.process == process.name
+        finally:
+            for process in processes:
+                process.shutdown()

@@ -1,0 +1,198 @@
+"""Integration: COM STA thread multiplexing and the channel-hook fix.
+
+Section 2.2: observation O1 fails for COM's single-threaded apartments —
+while a call C1 blocks on an outbound call C3, the apartment thread pumps
+and serves another incoming call C2. Without runtime instrumentation the
+thread-specific FTL mingles the two causal chains; with the channel hooks
+("a very limited amount of instrumentation before and after call sending
+and dispatching") the chains stay disjoint.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.analysis import reconstruct_from_records
+from repro.com import ComInterface, ComObject, ComRuntime
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
+
+IFront = ComInterface("IFront", ("handle",))
+IBack = ComInterface("IBack", ("slow",))
+
+
+def run_sta_scenario(hooks: bool, clients: int = 2):
+    clock = VirtualClock()
+    host = Host("h", PlatformKind.HPUX_11, clock=clock)
+    process = SimProcess(f"com-{'hooks' if hooks else 'naive'}", host)
+    MonitoringRuntime(
+        process,
+        MonitorConfig(
+            mode=MonitorMode.CAUSALITY,
+            uuid_factory=SequentialUuidFactory("ac" if hooks else "ad"),
+        ),
+    )
+    runtime = ComRuntime(process, causality_hooks=hooks)
+
+    class Back(ComObject):
+        implements = (IBack,)
+
+        def slow(self, n):
+            time.sleep(0.04)  # keeps the front STA pumping long enough
+            return n
+
+    class Front(ComObject):
+        implements = (IFront,)
+
+        def __init__(self, back_proxy_factory):
+            super().__init__()
+            self.back_proxy_factory = back_proxy_factory
+
+        def handle(self, n):
+            return self.back_proxy_factory().slow(n)
+
+    sta_front = runtime.create_sta("front")
+    sta_back = runtime.create_sta("back")
+    back_identity = runtime.create_object(Back, sta_back)
+    front_identity = runtime.create_object(
+        Front, sta_front, lambda: runtime.proxy_for(back_identity, IBack)
+    )
+    front = runtime.proxy_for(front_identity, IFront)
+
+    results = []
+    threads = []
+    for index in range(clients):
+        def work(index=index):
+            results.append(front.handle(index))
+
+        threads.append(threading.Thread(target=work))
+    for offset, thread in enumerate(threads):
+        thread.start()
+        time.sleep(0.01)  # stagger so later calls land mid-pump
+    for thread in threads:
+        thread.join(timeout=10)
+    records = process.log_buffer.snapshot()
+    process.shutdown()
+    return sorted(results), reconstruct_from_records(records)
+
+
+class TestStaMingling:
+    def test_results_correct_either_way(self):
+        results_on, _ = run_sta_scenario(hooks=True)
+        results_off, _ = run_sta_scenario(hooks=False)
+        assert results_on == [0, 1]
+        assert results_off == [0, 1]
+
+    def test_hooks_keep_chains_clean(self):
+        _, dscg = run_sta_scenario(hooks=True)
+        assert dscg.abnormal_events() == []
+        assert len(dscg.chains) == 2
+        for tree in dscg.chains.values():
+            root = tree.roots[0]
+            assert root.operation == "handle"
+            assert [c.operation for c in root.children] == ["slow"]
+
+    def test_without_hooks_chains_mingle(self):
+        _, dscg = run_sta_scenario(hooks=False)
+        # The nested pump overwrote the pumping chain's FTL: the analyzer
+        # reports abnormal transitions (mingled causal chains).
+        assert len(dscg.abnormal_events()) > 0
+
+
+class TestStaBasics:
+    def test_same_apartment_call_is_direct(self):
+        clock = VirtualClock()
+        process = SimProcess("com-direct", Host("h", clock=clock))
+        MonitoringRuntime(
+            process,
+            MonitorConfig(mode=MonitorMode.CAUSALITY,
+                          uuid_factory=SequentialUuidFactory("ae")),
+        )
+        runtime = ComRuntime(process)
+
+        IChain = ComInterface("IChain", ("outer", "inner"))
+
+        class Chain(ComObject):
+            implements = (IChain,)
+
+            def __init__(self, proxy_factory):
+                super().__init__()
+                self.proxy_factory = proxy_factory
+
+            def outer(self):
+                # Call back into our own apartment: must not deadlock and
+                # must use degenerate (collocated) probes.
+                return self.proxy_factory().inner() + 1
+
+            def inner(self):
+                return 41
+
+        sta = runtime.create_sta("only")
+        identity = runtime.create_object(
+            Chain, sta, lambda: runtime.proxy_for(identity, IChain)
+        )
+        proxy = runtime.proxy_for(identity, IChain)
+        assert proxy.outer() == 42
+        records = process.log_buffer.snapshot()
+        inner_records = [r for r in records if r.operation == "inner"]
+        assert all(r.collocated for r in inner_records)
+        dscg = reconstruct_from_records(records)
+        assert not dscg.abnormal_events()
+        process.shutdown()
+
+    def test_mta_outbound_blocks_without_pumping(self):
+        clock = VirtualClock()
+        process = SimProcess("com-mta", Host("h", clock=clock))
+        MonitoringRuntime(
+            process,
+            MonitorConfig(mode=MonitorMode.CAUSALITY,
+                          uuid_factory=SequentialUuidFactory("af")),
+        )
+        runtime = ComRuntime(process, causality_hooks=False)
+
+        class Back(ComObject):
+            implements = (IBack,)
+
+            def slow(self, n):
+                time.sleep(0.02)
+                return n
+
+        class Front(ComObject):
+            implements = (IFront,)
+
+            def __init__(self, factory):
+                super().__init__()
+                self.factory = factory
+
+            def handle(self, n):
+                return self.factory().slow(n)
+
+        mta = runtime.create_mta(size=3)
+        sta_back = runtime.create_sta("b")
+        back_identity = runtime.create_object(Back, sta_back)
+        front_identity = runtime.create_object(
+            Front, mta, lambda: runtime.proxy_for(back_identity, IBack)
+        )
+        front = runtime.proxy_for(front_identity, IFront)
+
+        results = []
+        threads = [
+            threading.Thread(target=lambda i=i: results.append(front.handle(i)))
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert sorted(results) == [0, 1]
+        # MTA workers block instead of pumping: even without hooks the
+        # chains cannot mingle.
+        dscg = reconstruct_from_records(process.log_buffer.snapshot())
+        assert not dscg.abnormal_events()
+        process.shutdown()

@@ -1,0 +1,90 @@
+"""Integration: the synthetic large-scale embedded system (small scale)."""
+
+import pytest
+
+from repro.analysis import reconstruct
+from repro.apps.embedded import EmbeddedConfig, EmbeddedSystem, generate_embedded_idl
+from repro.idl import parse_idl
+from repro.idl.semantics import analyze
+
+
+class TestGeneratorShape:
+    def test_default_population_counts(self):
+        config = EmbeddedConfig()
+        counts = config.methods_per_interface()
+        assert len(counts) == 155
+        assert sum(counts) == 801
+        assert set(counts) == {5, 6}
+
+    def test_generated_idl_compiles(self):
+        config = EmbeddedConfig(components=6, interfaces=4, methods=10, processes=2)
+        spec = analyze(parse_idl(generate_embedded_idl(config)))
+        assert len(spec.interfaces) == 4
+        total_methods = sum(len(i.operations) for i in spec.interfaces.values())
+        assert total_methods == 10
+
+    def test_every_interface_implemented(self):
+        config = EmbeddedConfig(components=6, interfaces=4, methods=8, processes=2)
+        covered = {config.interface_of_component(c) for c in range(config.components)}
+        assert covered == set(range(4))
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ValueError):
+            EmbeddedConfig(interfaces=10, methods=5)
+        with pytest.raises(ValueError):
+            EmbeddedConfig(components=3, interfaces=10, methods=10)
+
+
+class TestSmallSystemRun:
+    @pytest.fixture(scope="class")
+    def small_system(self):
+        config = EmbeddedConfig(
+            components=12,
+            interfaces=8,
+            methods=24,
+            processes=3,
+            pool_threads_per_process=6,
+            seed=7,
+            cost_ns=100,
+        )
+        system = EmbeddedSystem(config, uuid_prefix="e5")
+        yield system
+        system.shutdown()
+
+    def test_exact_call_count(self, small_system):
+        small_system.run(total_calls=300, roots=3)
+        database, run_id = small_system.collect()
+        stats = database.population_stats(run_id)
+        assert stats["calls"] == 300  # budget-split invariant
+        assert stats["chains"] == 3
+
+    def test_reconstruction_clean_and_complete(self, small_system):
+        small_system.run(total_calls=200, roots=2)
+        database, run_id = small_system.collect()
+        dscg = reconstruct(database, run_id)
+        stats = dscg.stats()
+        assert stats["nodes"] == 200
+        assert stats["abnormal_events"] == 0
+        assert stats["chains"] == 2
+
+    def test_deterministic_structure_across_runs(self):
+        def run_once():
+            config = EmbeddedConfig(
+                components=8, interfaces=6, methods=12, processes=2,
+                pool_threads_per_process=4, seed=99, cost_ns=10,
+            )
+            system = EmbeddedSystem(config, uuid_prefix="e6")
+            try:
+                system.run(total_calls=100, roots=2)
+                database, run_id = system.collect()
+                dscg = reconstruct(database, run_id)
+                shapes = []
+                for tree in sorted(dscg.chains.values(), key=lambda t: t.chain_uuid):
+                    shapes.append(
+                        [(n.function, n.depth()) for n in tree.walk()]
+                    )
+                return shapes
+            finally:
+                system.shutdown()
+
+        assert run_once() == run_once()

@@ -1,0 +1,152 @@
+"""Integration: full CORBA round trips through the instrumented ORB."""
+
+import pytest
+
+from repro.analysis import reconstruct_from_records
+from repro.errors import RemoteApplicationError
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb
+
+IDL = """
+module Shop {
+  enum Status { OPEN, CLOSED };
+  struct Item { long id; string label; double price; };
+  exception NotFound { long id; };
+  typedef sequence<Item> ItemList;
+
+  interface Catalog {
+    Item lookup(in long id) raises (NotFound);
+    ItemList list_all();
+    long add(in Item item);
+    void stats(out long total, out double value);
+    Status state();
+    long adjust(inout long amount);
+  };
+};
+"""
+
+
+@pytest.fixture
+def shop(cluster):
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+    client = cluster.process("client")
+    server = cluster.process("server")
+    client_orb = Orb(client, cluster.network, registry=registry)
+    server_orb = Orb(server, cluster.network, registry=registry)
+
+    Item = compiled.Item
+    NotFound = compiled.NotFound
+    Status = compiled.Status
+
+    class CatalogImpl(compiled.Catalog):
+        def __init__(self):
+            self.items = {}
+
+        def lookup(self, id):
+            if id < 0:
+                raise ValueError("negative id")  # undeclared exception
+            if id not in self.items:
+                raise NotFound(id=id)
+            return self.items[id]
+
+        def list_all(self):
+            return sorted(self.items.values(), key=lambda item: item.id)
+
+        def add(self, item):
+            self.items[item.id] = item
+            return len(self.items)
+
+        def stats(self):
+            total = len(self.items)
+            value = sum(i.price for i in self.items.values())
+            return (total, value)
+
+        def state(self):
+            return Status.OPEN
+
+        def adjust(self, amount):
+            return (amount * 2, amount + 1)  # return, inout out-value
+
+    ref = server_orb.activate(CatalogImpl())
+    stub = client_orb.resolve(ref)
+    return compiled, stub, cluster
+
+
+class TestDataTypes:
+    def test_struct_roundtrip(self, shop):
+        compiled, stub, _ = shop
+        item = compiled.Item(id=1, label="toner", price=19.5)
+        assert stub.add(item) == 1
+        restored = stub.lookup(1)
+        assert restored == item
+
+    def test_sequence_of_structs(self, shop):
+        compiled, stub, _ = shop
+        for index in range(3):
+            stub.add(compiled.Item(id=index, label=f"i{index}", price=float(index)))
+        all_items = stub.list_all()
+        assert [i.id for i in all_items] == [0, 1, 2]
+
+    def test_enum_return(self, shop):
+        compiled, stub, _ = shop
+        assert stub.state() is compiled.Status.OPEN
+
+    def test_out_parameters(self, shop):
+        compiled, stub, _ = shop
+        stub.add(compiled.Item(id=1, label="a", price=2.0))
+        stub.add(compiled.Item(id=2, label="b", price=3.0))
+        total, value = stub.stats()
+        assert total == 2
+        assert value == 5.0
+
+    def test_inout_parameter(self, shop):
+        compiled, stub, _ = shop
+        result, new_amount = stub.adjust(10)
+        assert result == 20
+        assert new_amount == 11
+
+
+class TestExceptions:
+    def test_declared_user_exception_reraised(self, shop):
+        compiled, stub, _ = shop
+        with pytest.raises(compiled.NotFound) as excinfo:
+            stub.lookup(404)
+        assert excinfo.value.id == 404
+
+    def test_undeclared_exception_becomes_system(self, shop):
+        compiled, stub, _ = shop
+        with pytest.raises(RemoteApplicationError) as excinfo:
+            stub.lookup(-1)
+        assert excinfo.value.exc_type == "ValueError"
+        assert "negative id" in excinfo.value.message
+
+    def test_probes_fire_even_on_exception(self, shop):
+        compiled, stub, cluster = shop
+        with pytest.raises(compiled.NotFound):
+            stub.lookup(404)
+        records = cluster.all_records()
+        # full four-probe sequence despite the exception
+        assert len(records) == 4
+        dscg = reconstruct_from_records(records)
+        assert not dscg.abnormal_events()
+
+
+class TestCausality:
+    def test_every_call_extends_one_chain(self, shop):
+        compiled, stub, cluster = shop
+        stub.add(compiled.Item(id=1, label="x", price=1.0))
+        stub.lookup(1)
+        stub.state()
+        records = cluster.all_records()
+        assert len({r.chain_uuid for r in records}) == 1
+        assert [r.event_seq for r in sorted(records, key=lambda r: r.event_seq)] == list(
+            range(12)
+        )
+
+    def test_component_and_object_identity_recorded(self, shop):
+        compiled, stub, cluster = shop
+        stub.state()
+        records = cluster.all_records()
+        assert all(r.component == "CatalogImpl" for r in records)
+        assert all(r.object_id.startswith("server.") for r in records)

@@ -1,0 +1,127 @@
+"""Integration: failure injection — the monitor must degrade gracefully.
+
+Monitoring "captures both execution behavior and propagation of semantic
+causality"; it must not mask, alter or crash on application and transport
+failures, and the analyzer must keep working on whatever records exist.
+"""
+
+import pytest
+
+from repro.analysis import reconstruct_from_records
+from repro.core import TracingEvent
+from repro.errors import ObjectNotFound, RemoteApplicationError, TransportError
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb
+
+IDL = """
+module FI {
+  interface Flaky {
+    long work(in long n);
+    long crash(in long n);
+  };
+};
+"""
+
+
+def build(cluster):
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+    client = cluster.process("client")
+    server = cluster.process("server")
+    client_orb = Orb(client, cluster.network, registry=registry)
+    server_orb = Orb(server, cluster.network, registry=registry)
+
+    class FlakyImpl(compiled.Flaky):
+        def work(self, n):
+            cluster.clock.consume(100)
+            return n
+
+        def crash(self, n):
+            cluster.clock.consume(50)
+            raise RuntimeError(f"injected crash {n}")
+
+    ref = server_orb.activate(FlakyImpl())
+    stub = client_orb.resolve(ref)
+    return compiled, stub, ref, client_orb, server_orb
+
+
+class TestApplicationFailures:
+    def test_crash_storm_leaves_chains_clean(self, cluster):
+        _, stub, *_ = build(cluster)
+        for index in range(5):
+            with pytest.raises(RemoteApplicationError):
+                stub.crash(index)
+            assert stub.work(index) == index
+        dscg = reconstruct_from_records(cluster.all_records())
+        assert not dscg.abnormal_events()
+        assert dscg.node_count() == 10
+
+    def test_failed_calls_still_measurable(self, cluster):
+        from repro.analysis import latency_report
+
+        _, stub, *_ = build(cluster)
+        with pytest.raises(RemoteApplicationError):
+            stub.crash(1)
+        report = latency_report(reconstruct_from_records(cluster.all_records()))
+        entry = report["FI::Flaky::crash"]
+        assert entry.count == 1
+        assert entry.mean_ns >= 50
+
+
+class TestTransportAndLifecycleFailures:
+    def test_unknown_object_raises_cleanly(self, cluster):
+        compiled, stub, ref, client_orb, server_orb = build(cluster)
+        from repro.orb import ObjectRef
+
+        ghost_ref = ObjectRef(ref.address, "no-such-key", ref.interface, "Ghost")
+        ghost = client_orb.resolve(ghost_ref)
+        with pytest.raises(RemoteApplicationError):
+            ghost.work(1)
+
+    def test_call_after_server_shutdown_raises_transport_error(self, cluster):
+        compiled, stub, ref, client_orb, server_orb = build(cluster)
+        assert stub.work(1) == 1
+        server_orb.shutdown()
+        with pytest.raises((TransportError, Exception)):
+            stub.work(2)
+
+    def test_records_survive_server_shutdown(self, cluster):
+        compiled, stub, ref, client_orb, server_orb = build(cluster)
+        stub.work(1)
+        server_orb.shutdown()
+        try:
+            stub.work(2)
+        except Exception:
+            pass
+        records = cluster.all_records()
+        dscg = reconstruct_from_records(records)
+        complete = [
+            node
+            for node in dscg.walk()
+            if TracingEvent.STUB_END in node.records
+            and TracingEvent.SKEL_END in node.records
+        ]
+        assert complete, "the successful call's records must be intact"
+
+
+class TestAnalyzerRobustness:
+    def test_duplicate_records_flagged_not_fatal(self, cluster):
+        _, stub, *_ = build(cluster)
+        stub.work(1)
+        records = cluster.all_records()
+        damaged = records + [records[0]]  # duplicated stub_start
+        dscg = reconstruct_from_records(damaged)
+        # one clean tree plus a flagged anomaly (unterminated duplicate)
+        assert dscg.nodes_for_function("FI::Flaky", "work")
+        assert dscg.abnormal_events()
+
+    def test_cross_chain_contamination_detected(self, cluster):
+        _, stub, *_ = build(cluster)
+        stub.work(1)
+        records = cluster.all_records()
+        # Rewrite one record onto a foreign chain id: the Figure-4 machine
+        # must flag it in the foreign chain.
+        foreign = "ff" * 16
+        records[1].chain_uuid = foreign
+        dscg = reconstruct_from_records(records)
+        assert any(a.chain_uuid == foreign for a in dscg.abnormal_events())

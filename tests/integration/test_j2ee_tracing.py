@@ -1,0 +1,154 @@
+"""Integration: causality capture through the J2EE container.
+
+The same guarantees the CORBA/COM paths give must hold for the third
+infrastructure: one chain per client flow, clean Figure-4 reconstruction,
+correct latency/CPU accounting, pooled instances refreshing FTLs (O2).
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import (
+    CpuAnalysis,
+    latency_report,
+    reconstruct_from_records,
+)
+from repro.core import (
+    Domain,
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.j2ee import Container, Jndi, stateless, stateful
+from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
+
+
+@pytest.fixture
+def env():
+    clock = VirtualClock()
+    host = Host("h", PlatformKind.HPUX_11, clock=clock)
+    uuid_factory = SequentialUuidFactory("b7")
+    processes = []
+
+    def proc(name):
+        process = SimProcess(name, host)
+        MonitoringRuntime(
+            process, MonitorConfig(mode=MonitorMode.CPU, uuid_factory=uuid_factory)
+        )
+        processes.append(process)
+        return process
+
+    yield clock, proc, processes
+    for process in processes:
+        process.shutdown()
+
+
+class TestJ2eeTracing:
+    def test_nested_beans_one_chain(self, env):
+        clock, proc, processes = env
+        front_process = proc("front")
+        back_process = proc("back")
+        front = Container(front_process, "front")
+        back = Container(back_process, "back")
+        jndi = Jndi()
+
+        @stateless
+        class Inner:
+            def leaf(self, n):
+                clock.consume(300)
+                return n * 2
+
+        @stateless
+        class Outer:
+            def entry(self, n):
+                clock.consume(100)
+                return jndi.lookup("inner", front_process).leaf(n) + 1
+
+        jndi.bind("inner", back, back.deploy(Inner))
+        jndi.bind("outer", front, front.deploy(Outer))
+
+        driver = proc("driver")
+        outer = jndi.lookup("outer", driver)
+        assert outer.entry(5) == 11
+
+        records = []
+        for process in processes:
+            records.extend(process.log_buffer.snapshot())
+        dscg = reconstruct_from_records(records)
+        assert len(dscg.chains) == 1
+        assert not dscg.abnormal_events()
+        (tree,) = dscg.chains.values()
+        top = tree.roots[0]
+        assert top.domain is Domain.J2EE
+        assert top.function == "Outer::entry"
+        assert top.children[0].function == "Inner::leaf"
+        cpu = CpuAnalysis(dscg)
+        assert cpu.self_cpu(top) == 100
+        assert cpu.inclusive_cpu(top).total_ns() == 400
+
+    def test_latency_accounting(self, env):
+        clock, proc, processes = env
+        process = proc("svc")
+        container = Container(process, "svc")
+        jndi = Jndi()
+
+        @stateless
+        class Slow:
+            def wait_then_work(self):
+                clock.consume(250)
+                clock.idle(750)
+                return True
+
+        jndi.bind("slow", container, container.deploy(Slow))
+        driver = proc("driver")
+        # latency mode run
+        for p in processes:
+            p.monitor.config.mode = MonitorMode.LATENCY
+        assert jndi.lookup("slow", driver).wait_then_work()
+        records = []
+        for p in processes:
+            records.extend(p.log_buffer.snapshot())
+        report = latency_report(reconstruct_from_records(records))
+        assert report["Slow::wait_then_work"].mean_ns == 1_000  # cpu + idle
+
+    def test_pooled_workers_refresh_ftls(self, env):
+        clock, proc, processes = env
+        process = proc("svc")
+        container = Container(process, "svc", worker_threads=1)
+
+        @stateless
+        class Echo:
+            def ping(self, n):
+                return n
+
+        jndi = Jndi()
+        jndi.bind("echo", container, container.deploy(Echo))
+
+        # Three independent client threads through ONE container worker:
+        # the recycled worker's stale FTL must be refreshed per call (O2).
+        results = []
+        clients = []
+        for index in range(3):
+            client = proc(f"client{index}")
+            proxy = jndi.lookup("echo", client)
+            clients.append(
+                threading.Thread(target=lambda p=proxy, i=index: results.append(p.ping(i)))
+            )
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        assert sorted(results) == [0, 1, 2]
+
+        records = []
+        for p in processes:
+            records.extend(p.log_buffer.snapshot())
+        dscg = reconstruct_from_records(records)
+        assert len(dscg.chains) == 3
+        assert not dscg.abnormal_events()
+        server_threads = {
+            node.server_thread for node in dscg.walk() if node.server_thread
+        }
+        assert len(server_threads) == 1  # one recycled worker served all

@@ -1,0 +1,130 @@
+"""Integration: oneway dispatch and collocation optimization (Section 2.2)."""
+
+import time
+
+import pytest
+
+from repro.analysis import reconstruct_from_records
+from repro.core import CallKind, TracingEvent
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb
+
+IDL = """
+module OC {
+  interface Sink {
+    oneway void push(in long value);
+    long pull();
+  };
+};
+"""
+
+
+def build(cluster, collocation=True, same_process=False):
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+    server = cluster.process("server")
+    server_orb = Orb(server, cluster.network, registry=registry,
+                     collocation_optimization=collocation)
+    if same_process:
+        client, client_orb = server, server_orb
+    else:
+        client = cluster.process("client")
+        client_orb = Orb(client, cluster.network, registry=registry,
+                         collocation_optimization=collocation)
+
+    class SinkImpl(compiled.Sink):
+        def __init__(self):
+            self.values = []
+
+        def push(self, value):
+            cluster.clock.consume(1_000)
+            self.values.append(value)
+
+        def pull(self):
+            return len(self.values)
+
+    impl = SinkImpl()
+    ref = server_orb.activate(impl)
+    stub = client_orb.resolve(ref)
+    return compiled, impl, stub
+
+
+def wait_for(predicate, timeout=3.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.005)
+    return False
+
+
+class TestOneway:
+    def test_oneway_executes_asynchronously(self, cluster):
+        _, impl, stub = build(cluster)
+        stub.push(41)
+        assert wait_for(lambda: impl.values == [41])
+
+    def test_oneway_returns_before_execution_required(self, cluster):
+        _, impl, stub = build(cluster)
+        for value in range(5):
+            stub.push(value)
+        assert wait_for(lambda: len(impl.values) == 5)
+        assert sorted(impl.values) == list(range(5))
+
+    def test_oneway_forks_child_chain(self, cluster):
+        _, impl, stub = build(cluster)
+        stub.push(1)
+        assert wait_for(lambda: impl.values == [1])
+        wait_for(lambda: len(cluster.all_records()) >= 4)
+        dscg = reconstruct_from_records(cluster.all_records())
+        assert len(dscg.chains) == 2
+        assert len(dscg.links) == 1
+        stub_side = dscg.links[0][1]
+        assert stub_side.call_kind is CallKind.ONEWAY
+        # Stub side logs probes 1 and 4 only (R(F) = {1, 4}).
+        assert set(stub_side.records) == {TracingEvent.STUB_START, TracingEvent.STUB_END}
+
+    def test_oneway_child_runs_on_different_thread(self, cluster):
+        _, impl, stub = build(cluster)
+        stub.push(1)
+        assert wait_for(lambda: impl.values == [1])
+        wait_for(lambda: len(cluster.all_records()) >= 4)
+        records = cluster.all_records()
+        stub_threads = {r.thread_id for r in records if r.event.is_stub_side}
+        skel_threads = {r.thread_id for r in records if not r.event.is_stub_side}
+        assert stub_threads.isdisjoint(skel_threads)  # always cross-thread
+
+
+class TestCollocation:
+    def test_collocated_call_bypasses_marshalling(self, cluster):
+        _, impl, stub = build(cluster, collocation=True, same_process=True)
+        assert stub.pull() == 0
+        records = cluster.all_records()
+        assert len(records) == 4
+        assert all(r.collocated for r in records)
+        # all four probes on the same thread, same process
+        assert len({r.thread_id for r in records}) == 1
+
+    def test_collocation_disabled_goes_through_loopback(self, cluster):
+        _, impl, stub = build(cluster, collocation=False, same_process=True)
+        assert stub.pull() == 0
+        records = cluster.all_records()
+        assert len(records) == 4
+        assert not any(r.collocated for r in records)
+        # dispatch happened on a server thread
+        assert len({r.thread_id for r in records}) == 2
+
+    def test_collocated_chain_reconstructs_identically(self, cluster):
+        _, impl, stub = build(cluster, collocation=True, same_process=True)
+        stub.pull()
+        stub.pull()
+        dscg = reconstruct_from_records(cluster.all_records())
+        (tree,) = dscg.chains.values()
+        assert [n.operation for n in tree.roots] == ["pull", "pull"]
+        assert not dscg.abnormal_events()
+
+    def test_remote_ref_ignores_collocation(self, cluster):
+        _, impl, stub = build(cluster, collocation=True, same_process=False)
+        stub.pull()
+        records = cluster.all_records()
+        assert not any(r.collocated for r in records)

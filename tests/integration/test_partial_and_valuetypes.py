@@ -1,0 +1,138 @@
+"""Integration: mixed instrumentation and marshal-by-value (Section 2.2)."""
+
+import pytest
+
+from repro.analysis import reconstruct_from_records
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb
+
+IDL = """
+module PV {
+  interface Calc {
+    long add(in long a, in long b);
+  };
+};
+"""
+
+
+class TestPartialInstrumentation:
+    def test_instrumented_client_plain_server(self, cluster):
+        registry = InterfaceRegistry()
+        instrumented = compile_idl(IDL, instrument=True, registry=registry)
+        plain_registry = InterfaceRegistry()
+        plain = compile_idl(IDL, instrument=False, registry=plain_registry)
+
+        client = cluster.process("client")
+        server = cluster.process("server", monitored=False)
+        client_orb = Orb(client, cluster.network, registry=registry)
+        server_orb = Orb(server, cluster.network, registry=plain_registry)
+
+        class CalcImpl(plain.Calc):
+            def add(self, a, b):
+                return a + b
+
+        ref = server_orb.activate(CalcImpl())
+        stub = client_orb.resolve(ref)
+        assert stub.add(2, 3) == 5
+
+        records = cluster.all_records()
+        # Only the client side logged: probes 1 and 4.
+        assert len(records) == 2
+        dscg = reconstruct_from_records(records)
+        node = list(dscg.walk())[0]
+        assert node.partial
+        assert not dscg.abnormal_events()
+
+    def test_plain_client_instrumented_server(self, cluster):
+        registry = InterfaceRegistry()
+        instrumented = compile_idl(IDL, instrument=True, registry=registry)
+        plain_registry = InterfaceRegistry()
+        plain = compile_idl(IDL, instrument=False, registry=plain_registry)
+
+        client = cluster.process("client", monitored=False)
+        server = cluster.process("server")
+        client_orb = Orb(client, cluster.network, registry=plain_registry)
+        server_orb = Orb(server, cluster.network, registry=registry)
+
+        class CalcImpl(instrumented.Calc):
+            def add(self, a, b):
+                return a + b
+
+        ref = server_orb.activate(CalcImpl())
+        stub = client_orb.resolve(ref)
+        assert stub.add(4, 5) == 9
+
+        records = cluster.all_records()
+        assert len(records) == 2  # skeleton probes only
+        dscg = reconstruct_from_records(records)
+        node = list(dscg.walk())[0]
+        assert node.partial
+        assert not dscg.abnormal_events()
+
+
+class TestMarshalByValue:
+    def test_by_value_servant_copied_to_client(self, cluster):
+        registry = InterfaceRegistry()
+        compiled = compile_idl(IDL, instrument=True, registry=registry)
+        client = cluster.process("client")
+        server = cluster.process("server")
+        client_orb = Orb(client, cluster.network, registry=registry)
+        server_orb = Orb(server, cluster.network, registry=registry)
+
+        class CalcImpl(compiled.Calc):
+            def __init__(self):
+                self.calls = 0
+
+            def add(self, a, b):
+                self.calls += 1
+                return a + b
+
+        original = CalcImpl()
+        ref = server_orb.activate(original, by_value=True)
+        stub = client_orb.resolve(ref)
+        assert stub.add(1, 2) == 3
+        # Custom marshalling ran the call in the client's context: the
+        # original servant never executed.
+        assert original.calls == 0
+
+    def test_by_value_call_is_collocated(self, cluster):
+        registry = InterfaceRegistry()
+        compiled = compile_idl(IDL, instrument=True, registry=registry)
+        client = cluster.process("client")
+        server = cluster.process("server")
+        client_orb = Orb(client, cluster.network, registry=registry)
+        server_orb = Orb(server, cluster.network, registry=registry)
+
+        class CalcImpl(compiled.Calc):
+            def add(self, a, b):
+                return a + b
+
+        ref = server_orb.activate(CalcImpl(), by_value=True)
+        stub = client_orb.resolve(ref)
+        stub.add(1, 1)
+        records = cluster.all_records()
+        assert records, "instrumentation should still fire"
+        assert all(r.collocated for r in records)
+        assert all(r.process == "client" for r in records)
+
+    def test_regular_resolve_unaffected(self, cluster):
+        registry = InterfaceRegistry()
+        compiled = compile_idl(IDL, instrument=True, registry=registry)
+        client = cluster.process("client")
+        server = cluster.process("server")
+        client_orb = Orb(client, cluster.network, registry=registry)
+        server_orb = Orb(server, cluster.network, registry=registry)
+
+        class CalcImpl(compiled.Calc):
+            def __init__(self):
+                self.calls = 0
+
+            def add(self, a, b):
+                self.calls += 1
+                return a + b
+
+        impl = CalcImpl()
+        ref = server_orb.activate(impl)  # NOT by value
+        stub = client_orb.resolve(ref)
+        assert stub.add(1, 2) == 3
+        assert impl.calls == 1

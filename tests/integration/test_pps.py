@@ -1,0 +1,130 @@
+"""Integration: the Printing Pipeline Simulator in its paper configurations."""
+
+import pytest
+
+from repro.analysis import (
+    CpuAnalysis,
+    build_ccsg,
+    reconstruct,
+    render_ccsg_xml,
+)
+from repro.apps.pps import (
+    PPS_COMPONENTS,
+    PpsSystem,
+    four_process_deployment,
+    mixed_platform_deployment,
+    monolithic_deployment,
+)
+from repro.core import MonitorMode
+
+
+def run_pps(deployment, mode=MonitorMode.CPU, jobs=2, pages=2, **kwargs):
+    pps = PpsSystem(deployment, mode=mode, **kwargs)
+    try:
+        pps.run(njobs=jobs, pages=pages, complexity=1)
+        database, run_id = pps.collect()
+        dscg = reconstruct(database, run_id)
+        return pps, dscg
+    finally:
+        pps.shutdown()
+
+
+class TestFourProcess:
+    def test_eleven_components_exercised(self):
+        _, dscg = run_pps(four_process_deployment())
+        stats = dscg.stats()
+        assert stats["unique_components"] == len(PPS_COMPONENTS)
+        assert stats["abnormal_events"] == 0
+
+    def test_pipeline_structure(self):
+        _, dscg = run_pps(four_process_deployment())
+        (tree,) = dscg.root_chains()
+        produce = tree.roots[0]
+        assert produce.operation == "produce"
+        submits = [c for c in produce.children if c.operation == "submit"]
+        assert len(submits) == 2  # two jobs
+        stages = [c.operation for c in submits[0].children]
+        assert stages[0] == "reserve"
+        assert stages[1] == "interpret"
+        assert "mark" in stages
+        assert stages[-1] == "log_event"  # oneway status log
+
+    def test_cpu_conservation(self):
+        pps, dscg = run_pps(four_process_deployment())
+        cpu = CpuAnalysis(dscg)
+        (tree,) = dscg.root_chains()
+        root = tree.roots[0]
+        inclusive = cpu.inclusive_cpu(root).total_ns()
+        total = cpu.total_by_processor().total_ns()
+        assert inclusive == total
+        assert total > 0
+
+    def test_ccsg_xml_renders(self):
+        pps = PpsSystem(four_process_deployment(), mode=MonitorMode.CPU)
+        try:
+            pps.run(njobs=1, pages=1, complexity=1)
+            database, run_id = pps.collect()
+            dscg = reconstruct(database, run_id)
+            xml = render_ccsg_xml(build_ccsg(dscg))
+            assert "PPS::JobSource" in xml
+            assert "SelfCPUConsumption" in xml
+        finally:
+            pps.shutdown()
+
+
+class TestMonolithic:
+    def test_single_thread_execution(self):
+        pps = PpsSystem(monolithic_deployment(), mode=MonitorMode.CPU)
+        try:
+            pps.run(njobs=1, pages=1, complexity=1)
+            database, run_id = pps.collect()
+            dscg = reconstruct(database, run_id)
+            sync_threads = set()
+            for node in dscg.root_chains()[0].walk():
+                entity = node.server_thread
+                if entity is not None:
+                    sync_threads.add(entity)
+            assert len(sync_threads) == 1  # collocated: everything inline
+        finally:
+            pps.shutdown()
+
+    def test_same_total_cpu_as_four_process(self):
+        # The accounting experiment's premise: the same workload charges
+        # the same CPU regardless of deployment (on the virtual clock the
+        # match is exact; the paper measured within 40 %).
+        _, dscg_mono = run_pps(monolithic_deployment())
+        _, dscg_four = run_pps(four_process_deployment())
+        mono = CpuAnalysis(dscg_mono).total_by_processor().total_ns()
+        four = CpuAnalysis(dscg_four).total_by_processor().total_ns()
+        assert mono == four
+
+
+class TestMixedPlatform:
+    def test_vxworks_cpu_uncovered(self):
+        _, dscg = run_pps(mixed_platform_deployment(vxworks_marker=True))
+        cpu = CpuAnalysis(dscg)
+        total = cpu.total_by_processor()
+        # The marking engine lives on VxWorks: its CPU cannot be read.
+        assert total.uncovered > 0
+        mark_nodes = dscg.nodes_for_function("PPS::MarkingEngine", "mark")
+        assert mark_nodes
+        assert all(cpu.self_cpu(node) is None for node in mark_nodes)
+
+    def test_clock_skew_does_not_break_analysis(self):
+        _, dscg = run_pps(
+            mixed_platform_deployment(skew_ns=50_000_000), mode=MonitorMode.LATENCY
+        )
+        from repro.analysis import latency_report
+
+        report = latency_report(dscg)
+        # Latency subtraction never crosses hosts, so even 50ms of skew
+        # must not produce negative or absurd values.
+        for entry in report.values():
+            assert entry.min_ns >= 0
+
+    def test_status_logger_chains_linked(self):
+        _, dscg = run_pps(four_process_deployment())
+        assert len(dscg.links) >= 2  # one oneway log per job
+        for _, node, child_uuid in dscg.links:
+            assert node.operation == "log_event"
+            assert child_uuid in dscg.chains

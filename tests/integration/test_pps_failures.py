@@ -1,0 +1,67 @@
+"""Integration: PPS failure paths (resource exhaustion) under monitoring."""
+
+import pytest
+
+from repro.analysis import reconstruct, semantics_report
+from repro.apps.pps import PpsSystem, four_process_deployment
+from repro.core import MonitorMode
+from repro.errors import RemoteApplicationError
+
+
+class TestResourceExhaustion:
+    def test_out_of_resources_propagates_to_caller(self):
+        pps = PpsSystem(four_process_deployment(), mode=MonitorMode.SEMANTICS,
+                        uuid_prefix="5a")
+        try:
+            manager = pps.servants["ResourceManager"]
+            manager.capacity = 2
+            source = pps.stub_for("JobSource")
+            OutOfResources = pps.compiled.OutOfResources
+            # a 3-page job cannot reserve against a 2-page capacity. The
+            # produce/submit hops are collocated (same process), so the
+            # declared exception propagates natively; had the caller been
+            # remote it would arrive wrapped as a system exception.
+            with pytest.raises((RemoteApplicationError, OutOfResources)) as excinfo:
+                source.produce(1, 3, 1)
+            assert "pages" in str(excinfo.value) or "OutOfResources" in str(
+                excinfo.value
+            )
+        finally:
+            pps.shutdown()
+
+    def test_failure_recorded_in_semantics(self):
+        pps = PpsSystem(four_process_deployment(), mode=MonitorMode.SEMANTICS,
+                        uuid_prefix="5b")
+        try:
+            pps.servants["ResourceManager"].capacity = 2
+            source = pps.stub_for("JobSource")
+            with pytest.raises(Exception):
+                source.produce(1, 3, 1)
+            pps.quiesce()
+            records = []
+            for process in pps.processes.values():
+                records.extend(process.log_buffer.snapshot())
+            report = semantics_report(records)
+            reserve = report["PPS::ResourceManager::reserve"]
+            assert reserve.user_exceptions >= 1
+            assert any("pages" in s for s in reserve.exception_samples)
+        finally:
+            pps.shutdown()
+
+    def test_chain_reconstructs_despite_mid_pipeline_failure(self):
+        pps = PpsSystem(four_process_deployment(), mode=MonitorMode.CAUSALITY,
+                        uuid_prefix="5c")
+        try:
+            pps.servants["ResourceManager"].capacity = 2
+            source = pps.stub_for("JobSource")
+            with pytest.raises(Exception):
+                source.produce(1, 3, 1)
+            database, run_id = pps.collect()
+            dscg = reconstruct(database, run_id)
+            # The exception unwound through instrumented skeletons: every
+            # started call still closed its probes; no abnormal events.
+            assert not dscg.abnormal_events()
+            reserve_nodes = dscg.nodes_for_function("PPS::ResourceManager", "reserve")
+            assert len(reserve_nodes) == 1  # the failed reservation
+        finally:
+            pps.shutdown()

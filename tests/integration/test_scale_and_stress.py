@@ -1,0 +1,103 @@
+"""Integration: concurrency stress and conservation at moderate scale."""
+
+import threading
+
+from repro.analysis import CpuAnalysis, reconstruct
+from repro.analysis import reconstruct_from_records
+from repro.apps.embedded import EmbeddedConfig, EmbeddedSystem
+from repro.core import MonitorMode
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb, ThreadPool
+
+IDL = "module ST { interface Svc { long step(in long n); }; };"
+
+
+class TestConcurrencyStress:
+    def test_many_clients_many_calls(self, cluster):
+        registry = InterfaceRegistry()
+        compiled = compile_idl(IDL, instrument=True, registry=registry)
+        server = cluster.process("server")
+        server_orb = Orb(server, cluster.network, policy=ThreadPool(size=4),
+                         registry=registry)
+
+        class SvcImpl(compiled.Svc):
+            def step(self, n):
+                cluster.clock.consume(10)
+                return n + 1
+
+        ref = server_orb.activate(SvcImpl())
+        clients, threads = [], []
+        CLIENTS, CALLS = 8, 25
+        for index in range(CLIENTS):
+            client = cluster.process(f"client{index}")
+            stub = Orb(client, cluster.network, registry=registry).resolve(ref)
+            threads.append(
+                threading.Thread(
+                    target=lambda stub=stub: [stub.step(i) for i in range(CALLS)]
+                )
+            )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        records = cluster.all_records()
+        assert len(records) == CLIENTS * CALLS * 4
+        dscg = reconstruct_from_records(records)
+        stats = dscg.stats()
+        assert stats["chains"] == CLIENTS
+        assert stats["nodes"] == CLIENTS * CALLS
+        assert stats["abnormal_events"] == 0
+
+    def test_event_numbers_dense_under_concurrency(self, cluster):
+        registry = InterfaceRegistry()
+        compiled = compile_idl(IDL, instrument=True, registry=registry)
+        server = cluster.process("server")
+        server_orb = Orb(server, cluster.network, registry=registry)
+
+        class SvcImpl(compiled.Svc):
+            def step(self, n):
+                return n
+
+        ref = server_orb.activate(SvcImpl())
+        threads = []
+        for index in range(6):
+            client = cluster.process(f"c{index}")
+            stub = Orb(client, cluster.network, registry=registry).resolve(ref)
+            threads.append(
+                threading.Thread(target=lambda stub=stub: [stub.step(i) for i in range(10)])
+            )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        from collections import defaultdict
+
+        per_chain = defaultdict(list)
+        for record in cluster.all_records():
+            per_chain[record.chain_uuid].append(record.event_seq)
+        for seqs in per_chain.values():
+            assert sorted(seqs) == list(range(len(seqs)))
+
+
+class TestEmbeddedCpuConservation:
+    def test_cpu_conserved_over_thousand_calls(self):
+        config = EmbeddedConfig(
+            components=20, interfaces=10, methods=30, processes=3,
+            pool_threads_per_process=6, seed=11, cost_ns=100,
+        )
+        system = EmbeddedSystem(config, mode=MonitorMode.CPU, uuid_prefix="ce")
+        try:
+            system.run(total_calls=1_000, roots=4)
+            database, run_id = system.collect()
+            dscg = reconstruct(database, run_id)
+            cpu = CpuAnalysis(dscg)
+            # each call burns exactly cost_ns on the virtual clock
+            assert cpu.total_by_processor().total_ns() == 1_000 * config.cost_ns
+            roots_total = 0
+            for tree in dscg.root_chains():
+                for root in tree.roots:
+                    roots_total += cpu.inclusive_cpu(root).total_ns()
+            assert roots_total == 1_000 * config.cost_ns
+        finally:
+            system.shutdown()

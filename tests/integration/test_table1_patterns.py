@@ -1,0 +1,77 @@
+"""Integration: Table 1 — event chaining patterns identify call structure."""
+
+from repro.analysis import reconstruct_from_records
+from repro.workloads import (
+    callback_scenario,
+    parent_child_scenario,
+    recursion_scenario,
+    sibling_scenario,
+)
+
+
+class TestSiblingPattern:
+    def test_event_chain_matches_table1_left_column(self):
+        scenario = sibling_scenario()
+        try:
+            labels = [r.event_label for r in scenario.records]
+            assert labels == scenario.expected_labels
+            seqs = [r.event_seq for r in scenario.records]
+            assert seqs == list(range(8))
+        finally:
+            scenario.shutdown()
+
+    def test_reconstruction_yields_two_top_level_siblings(self):
+        scenario = sibling_scenario()
+        try:
+            dscg = reconstruct_from_records(scenario.records)
+            (tree,) = dscg.chains.values()
+            assert [n.operation for n in tree.roots] == ["F", "G"]
+            assert all(not n.children for n in tree.roots)
+        finally:
+            scenario.shutdown()
+
+
+class TestParentChildPattern:
+    def test_event_chain_matches_table1_right_column(self):
+        scenario = parent_child_scenario()
+        try:
+            labels = [r.event_label for r in scenario.records]
+            assert labels == scenario.expected_labels
+        finally:
+            scenario.shutdown()
+
+    def test_reconstruction_yields_nested_chain(self):
+        scenario = parent_child_scenario()
+        try:
+            dscg = reconstruct_from_records(scenario.records)
+            (tree,) = dscg.chains.values()
+            f = tree.roots[0]
+            assert f.operation == "F"
+            assert f.children[0].operation == "G"
+            assert f.children[0].children[0].operation == "H"
+        finally:
+            scenario.shutdown()
+
+
+class TestOtherNestingForms:
+    def test_recursion_produces_nesting(self):
+        scenario = recursion_scenario(depth=4)
+        try:
+            dscg = reconstruct_from_records(scenario.records)
+            assert dscg.max_depth() == 5
+            assert not dscg.abnormal_events()
+        finally:
+            scenario.shutdown()
+
+    def test_callback_produces_nesting(self):
+        scenario = callback_scenario()
+        try:
+            dscg = reconstruct_from_records(scenario.records)
+            (tree,) = dscg.chains.values()
+            pull = tree.roots[0]
+            assert pull.operation == "pull"
+            assert [c.operation for c in pull.children] == ["deliver"]
+            # The callback crossed back into the client process.
+            assert pull.children[0].server_process != pull.server_process
+        finally:
+            scenario.shutdown()

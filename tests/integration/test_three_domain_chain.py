@@ -1,0 +1,118 @@
+"""Integration: one causal chain across CORBA, COM *and* J2EE.
+
+Section 6: "We strive for the monitoring framework capable of monitoring
+the end-to-end application that consists of different subsystems, each of
+which is built upon a different remote invocation infrastructure." This
+test builds exactly that application:
+
+    CORBA client → CORBA servant → COM object (STA) → J2EE session bean
+
+and asserts a single Function UUID, a clean Figure-4 reconstruction, and
+correct CPU propagation across all three domains.
+"""
+
+import pytest
+
+from repro.analysis import CpuAnalysis, reconstruct_from_records
+from repro.com import ComInterface, ComObject, ComRuntime
+from repro.core import Domain, MonitorMode
+from repro.idl import compile_idl
+from repro.j2ee import Container, Jndi, stateless
+from repro.orb import InterfaceRegistry, Orb
+
+IDL = """
+module TD {
+  interface Gateway {
+    long handle(in long request);
+  };
+};
+"""
+
+IMiddle = ComInterface("IMiddle", ("relay",))
+
+
+@pytest.fixture
+def three_domains(cpu_cluster):
+    cluster = cpu_cluster
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+
+    front = cluster.process("front")  # CORBA client + servant
+    middle = cluster.process("middle")  # COM runtime
+    back = cluster.process("back")  # J2EE container
+
+    front_orb = Orb(front, cluster.network, registry=registry)
+    client_orb = Orb(cluster.process("driver"), cluster.network, registry=registry)
+    com_runtime = ComRuntime(middle)
+    # The CORBA servant process needs its own COM runtime to hold client-
+    # side proxies — in real COM every process initializes the runtime.
+    front_com = ComRuntime(front)
+    container = Container(back, "backend")
+    jndi = Jndi()
+
+    @stateless
+    class TaxService:
+        def compute(self, amount):
+            cluster.clock.consume(400)
+            return amount * 2
+
+    jndi.bind("tax", container, container.deploy(TaxService))
+
+    class MiddleObj(ComObject):
+        implements = (IMiddle,)
+
+        def relay(self, amount):
+            cluster.clock.consume(200)
+            # COM → J2EE: the bean proxy is bound to the COM process.
+            return jndi.lookup("tax", middle).compute(amount) + 1
+
+    sta = com_runtime.create_sta("m")
+    middle_identity = com_runtime.create_object(MiddleObj, sta)
+
+    class GatewayImpl(compiled.Gateway):
+        def handle(self, request):
+            cluster.clock.consume(100)
+            # CORBA → COM: the proxy belongs to the *front* process's COM
+            # runtime, so its probes read front's thread-specific storage
+            # (where the CORBA skeleton just bound the FTL).
+            proxy = front_com.proxy_for(middle_identity, IMiddle)
+            return proxy.relay(request) + 1
+
+    gateway_ref = front_orb.activate(GatewayImpl())
+    stub = client_orb.resolve(gateway_ref)
+    return cluster, stub, (front, middle, back)
+
+
+class TestThreeDomainChain:
+    def test_result_and_single_chain(self, three_domains):
+        cluster, stub, _ = three_domains
+        assert stub.handle(10) == 22  # ((10*2)+1)+1
+        records = cluster.all_records()
+        dscg = reconstruct_from_records(records)
+        assert len(dscg.chains) == 1
+        assert not dscg.abnormal_events()
+        domains_seen = {record.domain for record in records}
+        assert domains_seen == {Domain.CORBA, Domain.COM, Domain.J2EE}
+
+    def test_nesting_order_across_domains(self, three_domains):
+        cluster, stub, _ = three_domains
+        stub.handle(5)
+        dscg = reconstruct_from_records(cluster.all_records())
+        (tree,) = dscg.chains.values()
+        top = tree.roots[0]
+        assert top.domain is Domain.CORBA
+        com_node = top.children[0]
+        assert com_node.domain is Domain.COM
+        ejb_node = com_node.children[0]
+        assert ejb_node.domain is Domain.J2EE
+        assert ejb_node.function == "TaxService::compute"
+
+    def test_cpu_propagates_through_all_domains(self, three_domains):
+        cluster, stub, _ = three_domains
+        stub.handle(1)
+        dscg = reconstruct_from_records(cluster.all_records())
+        cpu = CpuAnalysis(dscg)
+        (tree,) = dscg.chains.values()
+        root = tree.roots[0]
+        assert cpu.self_cpu(root) == 100  # CORBA servant
+        assert cpu.inclusive_cpu(root).total_ns() == 700  # +200 COM +400 EJB

@@ -1,0 +1,122 @@
+"""Unit tests for CCSG aggregation and the Figure-6 XML rendering."""
+
+from repro.analysis import (
+    CpuAnalysis,
+    build_ccsg,
+    reconstruct_from_records,
+    render_ccsg_xml,
+    split_sec_usec,
+)
+from repro.analysis.xmlview import parse_ccsg_xml
+from repro.core import MonitorMode
+from tests.helpers import Call, simulate
+
+
+def dscg_for(calls, **kwargs):
+    sim = simulate(calls, mode=MonitorMode.CPU, **kwargs)
+    return reconstruct_from_records(sim.records)
+
+
+class TestCcsgAggregation:
+    def test_repeated_invocations_aggregate(self):
+        dscg = dscg_for(
+            [Call("I::F", cpu_ns=100, children=(
+                Call("I::G", cpu_ns=10),
+                Call("I::G", cpu_ns=20),
+            ))]
+        )
+        ccsg = build_ccsg(dscg)
+        (f_node,) = ccsg.find("I", "F")
+        (g_node,) = ccsg.find("I", "G")
+        assert f_node.invocation_times == 1
+        assert g_node.invocation_times == 2
+        assert g_node.self_cpu.by_processor == {"PA-RISC": 30}
+
+    def test_distinct_objects_stay_separate(self):
+        dscg = dscg_for(
+            [Call("I::F", cpu_ns=1, object_id="obj-A"),
+             Call("I::F", cpu_ns=2, object_id="obj-B")]
+        )
+        ccsg = build_ccsg(dscg)
+        assert len(ccsg.find("I", "F")) == 2
+
+    def test_hierarchy_follows_call_structure(self):
+        dscg = dscg_for(
+            [Call("I::F", cpu_ns=1, children=(Call("I::G", cpu_ns=2),))]
+        )
+        ccsg = build_ccsg(dscg)
+        (f_node,) = ccsg.find("I", "F")
+        assert [c.function for c in f_node.child_list()] == ["I::G"]
+
+    def test_same_function_on_different_paths_not_merged(self):
+        dscg = dscg_for(
+            [Call("I::A", children=(Call("I::C", cpu_ns=1),)),
+             Call("I::B", children=(Call("I::C", cpu_ns=2),))]
+        )
+        ccsg = build_ccsg(dscg)
+        c_nodes = ccsg.find("I", "C")
+        assert len(c_nodes) == 2  # one per call path, as in a CCSG
+
+    def test_descendant_vector_aggregated(self):
+        dscg = dscg_for(
+            [Call("I::F", cpu_ns=5, children=(Call("I::G", cpu_ns=95),))]
+        )
+        ccsg = build_ccsg(dscg)
+        (f_node,) = ccsg.find("I", "F")
+        assert f_node.descendant_cpu.by_processor == {"PA-RISC": 95}
+
+    def test_total_self_cpu_matches_analysis(self):
+        dscg = dscg_for([Call("I::F", cpu_ns=40, children=(Call("I::G", cpu_ns=60),))])
+        cpu = CpuAnalysis(dscg)
+        ccsg = build_ccsg(dscg, cpu)
+        assert ccsg.total_self_cpu().total_ns() == cpu.total_by_processor().total_ns()
+
+
+class TestSecUsecFormat:
+    def test_split(self):
+        assert split_sec_usec(0) == (0, 0)
+        assert split_sec_usec(1_500) == (0, 1)
+        assert split_sec_usec(2_000_001_000) == (2, 1)
+        assert split_sec_usec(999_999_999) == (0, 999_999)
+
+
+class TestXmlRendering:
+    def make_xml(self):
+        dscg = dscg_for(
+            [Call("PPS::Interp::interpret", cpu_ns=1_500_000, children=(
+                Call("PPS::Fonts::load", cpu_ns=2_000_000),
+            ))]
+        )
+        ccsg = build_ccsg(dscg)
+        return render_ccsg_xml(ccsg, description="unit test")
+
+    def test_document_structure(self):
+        document = self.make_xml()
+        root = parse_ccsg_xml(document)
+        assert root.tag == "CCSG"
+        assert root.get("description") == "unit test"
+        function = root.find("Function")
+        assert function.get("interface") == "PPS::Interp"
+        assert function.get("name") == "interpret"
+        assert function.get("InvocationTimes") == "1"
+        assert function.get("ObjectID")
+
+    def test_sec_usec_attributes(self):
+        root = parse_ccsg_xml(self.make_xml())
+        function = root.find("Function")
+        self_cpu = function.find("SelfCPUConsumption")
+        assert self_cpu.get("seconds") == "0"
+        assert self_cpu.get("microseconds") == "1500"
+        descendant = function.find("DescendentCPUConsumption")
+        assert descendant.get("microseconds") == "2000"
+
+    def test_nested_function_elements(self):
+        root = parse_ccsg_xml(self.make_xml())
+        child = root.find("Function").find("Function")
+        assert child is not None
+        assert child.get("name") == "load"
+
+    def test_included_instances_count(self):
+        root = parse_ccsg_xml(self.make_xml())
+        instances = root.find("Function").find("IncludedFunctionInstances")
+        assert instances.get("count") == "1"

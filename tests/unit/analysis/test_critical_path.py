@@ -1,0 +1,65 @@
+"""Unit tests for critical-path characterization."""
+
+from repro.analysis import critical_path, critical_paths, render_critical_path
+from repro.analysis import reconstruct_from_records
+from repro.core import MonitorMode
+from tests.helpers import Call, simulate
+
+
+def dscg_for(calls, **kwargs):
+    sim = simulate(calls, mode=MonitorMode.LATENCY, **kwargs)
+    return reconstruct_from_records(sim.records)
+
+
+class TestCriticalPath:
+    def test_follows_slowest_child(self):
+        dscg = dscg_for(
+            [Call("I::root", cpu_ns=10, children=(
+                Call("I::fast", cpu_ns=20),
+                Call("I::slow", cpu_ns=500, children=(Call("I::leaf", cpu_ns=400),)),
+            ))]
+        )
+        (tree,) = dscg.chains.values()
+        path = critical_path(tree)
+        assert [s.function for s in path.steps] == ["I::root", "I::slow", "I::leaf"]
+        assert path.total_latency_ns == 930
+
+    def test_self_share_excludes_children(self):
+        dscg = dscg_for(
+            [Call("I::root", cpu_ns=100, children=(Call("I::child", cpu_ns=400),))]
+        )
+        (tree,) = dscg.chains.values()
+        path = critical_path(tree)
+        root_step = path.steps[0]
+        assert root_step.latency_ns == 500
+        assert root_step.self_share_ns == 100
+
+    def test_dominant_step(self):
+        dscg = dscg_for(
+            [Call("I::root", cpu_ns=10, children=(Call("I::hot", cpu_ns=900),))]
+        )
+        (tree,) = dscg.chains.values()
+        path = critical_path(tree)
+        assert path.dominant_step().function == "I::hot"
+
+    def test_top_paths_sorted(self):
+        dscg = dscg_for(
+            [Call("I::a", cpu_ns=100), Call("I::b", cpu_ns=900), Call("I::c", cpu_ns=10)],
+            fresh_chain_per_top_call=True,
+        )
+        paths = critical_paths(dscg, top=2)
+        assert len(paths) == 2
+        assert paths[0].steps[0].function == "I::b"
+        assert paths[0].total_latency_ns >= paths[1].total_latency_ns
+
+    def test_render(self):
+        dscg = dscg_for([Call("I::root", cpu_ns=1_000_000)])
+        (tree,) = dscg.chains.values()
+        text = render_critical_path(critical_path(tree))
+        assert "I::root" in text
+        assert "ms" in text
+
+    def test_empty_chain(self):
+        from repro.analysis.dscg import ChainTree
+
+        assert critical_path(ChainTree(chain_uuid="x" * 32)) is None

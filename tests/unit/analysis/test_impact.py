@@ -1,0 +1,89 @@
+"""Unit tests for CPU impact estimation."""
+
+import pytest
+
+from repro.analysis import reconstruct_from_records
+from repro.analysis.impact import ImpactEstimator, render_impact
+from repro.core import MonitorMode
+from tests.helpers import Call, simulate
+
+
+def dscg_for(calls, **kwargs):
+    sim = simulate(calls, mode=MonitorMode.CPU, **kwargs)
+    return reconstruct_from_records(sim.records)
+
+
+@pytest.fixture
+def estimator():
+    dscg = dscg_for(
+        [
+            Call("I::root", cpu_ns=100, children=(
+                Call("I::hot", cpu_ns=600),
+                Call("I::warm", cpu_ns=200, children=(Call("I::hot", cpu_ns=400),)),
+            )),
+            Call("I::other", cpu_ns=300),
+        ],
+        fresh_chain_per_top_call=True,
+    )
+    return ImpactEstimator(dscg)
+
+
+class TestEstimate:
+    def test_halving_a_function(self, estimator):
+        report = estimator.estimate("I::hot", scale=0.5)
+        assert report.system.invocation_count == 2
+        assert report.system.total_self_cpu_ns == 1_000
+        assert report.system.saving_ns == 500
+        assert report.system.system_total_ns == 1_600
+        assert report.system.projected_system_total_ns == 1_100
+
+    def test_removal_entirely(self, estimator):
+        report = estimator.estimate("I::hot", scale=0.0)
+        assert report.system.saving_ns == 1_000
+
+    def test_regression_scale(self, estimator):
+        report = estimator.estimate("I::hot", scale=2.0)
+        assert report.system.saving_ns == -1_000
+        assert report.system.projected_system_total_ns == 2_600
+
+    def test_unknown_function_is_zero(self, estimator):
+        report = estimator.estimate("I::ghost", scale=0.5)
+        assert report.system.invocation_count == 0
+        assert report.system.saving_ns == 0
+
+    def test_negative_scale_rejected(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate("I::hot", scale=-0.1)
+
+    def test_per_chain_projection(self, estimator):
+        report = estimator.estimate("I::hot", scale=0.5)
+        savings = sorted(chain.saving_ns for chain in report.chains)
+        # hot appears only in chain 1 (total self 1000 -> saving 500);
+        # chain 2 ("other") is untouched.
+        assert savings == [0, 500]
+        best = report.most_improved_chain()
+        assert best.saving_ns == 500
+        assert best.original_total_ns == 1_300
+
+    def test_system_share(self, estimator):
+        report = estimator.estimate("I::other", scale=0.5)
+        assert report.system.system_share == pytest.approx(300 / 1_600)
+
+
+class TestRanking:
+    def test_rank_by_saving(self, estimator):
+        ranked = estimator.rank_by_saving(scale=0.5, top=3)
+        assert ranked[0].function == "I::hot"
+        assert ranked[0].saving_ns == 500
+        assert len(ranked) == 3
+
+    def test_top_limit(self, estimator):
+        assert len(estimator.rank_by_saving(top=1)) == 1
+
+
+class TestRendering:
+    def test_render(self, estimator):
+        text = render_impact(estimator.estimate("I::hot", scale=0.5))
+        assert "what-if: I::hot self CPU x0.5" in text
+        assert "projected saving" in text
+        assert "most improved chain" in text

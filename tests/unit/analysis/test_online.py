@@ -1,0 +1,87 @@
+"""Unit tests for the on-line monitor (future-work extension)."""
+
+from repro.analysis import Alert, OnlineMonitor
+from repro.core import MonitorMode
+from tests.helpers import Call, simulate
+
+
+def records_for(calls, **kwargs):
+    return simulate(calls, mode=MonitorMode.LATENCY, **kwargs).records
+
+
+class TestLiveState:
+    def test_completed_calls_counted(self):
+        monitor = OnlineMonitor()
+        monitor.ingest_many(records_for([Call("I::F", cpu_ns=10), Call("I::G")]))
+        assert monitor.completed_calls() == 2
+        assert monitor.live_chain_count() == 0
+        assert monitor.open_invocations() == []
+
+    def test_open_invocations_visible_mid_chain(self):
+        records = records_for([Call("I::F", cpu_ns=10, children=(Call("I::G"),))])
+        monitor = OnlineMonitor()
+        # feed only up to G's stub_start: F and G are both in flight
+        for record in records[:3]:
+            monitor.ingest(record)
+        open_calls = monitor.open_invocations()
+        assert [c.function for c in open_calls] == ["I::F", "I::G"]
+        assert open_calls[1].depth == 2
+        assert monitor.live_chain_count() == 1
+
+    def test_latency_stats_accumulate(self):
+        monitor = OnlineMonitor()
+        monitor.ingest_many(
+            records_for([Call("I::F", cpu_ns=100), Call("I::F", cpu_ns=300)])
+        )
+        count, mean_ns, max_ns = monitor.latency_stats()["I::F"]
+        assert count == 2
+        assert mean_ns == 200
+        assert max_ns == 300
+
+    def test_poll_is_incremental(self):
+        sim = simulate([Call("I::F", cpu_ns=5)], mode=MonitorMode.LATENCY)
+        monitor = OnlineMonitor()
+        assert monitor.poll([sim.process]) == 4
+        assert monitor.poll([sim.process]) == 0  # nothing new
+        assert monitor.completed_calls() == 1
+
+
+class TestAlerts:
+    def test_latency_slo_alert(self):
+        fired = []
+        monitor = OnlineMonitor(latency_slo_ns=50, on_alert=fired.append)
+        monitor.ingest_many(records_for([Call("I::slow", cpu_ns=100)]))
+        assert len(fired) == 1
+        alert = fired[0]
+        assert alert.kind == "latency"
+        assert alert.function == "I::slow"
+        assert alert.latency_ns == 100
+
+    def test_no_alert_under_slo(self):
+        monitor = OnlineMonitor(latency_slo_ns=1_000)
+        monitor.ingest_many(records_for([Call("I::fast", cpu_ns=100)]))
+        assert monitor.alerts() == []
+
+    def test_duplicate_event_number_alerts(self):
+        # Two records with the same event number on one chain (the data
+        # race a mingled COM STA produces) is genuinely abnormal.
+        records = records_for([Call("I::F", cpu_ns=5)])
+        monitor = OnlineMonitor()
+        monitor.ingest_many(records)
+        monitor.ingest(records[0])  # replayed seq 0: collision
+        alerts = monitor.alerts()
+        assert len(alerts) == 1
+        assert alerts[0].kind == "abnormal"
+
+    def test_out_of_order_arrival_reordered_not_alerted(self):
+        import random
+
+        records = records_for(
+            [Call("I::F", cpu_ns=5, children=(Call("I::G", cpu_ns=2),))]
+        )
+        shuffled = list(records)
+        random.Random(3).shuffle(shuffled)
+        monitor = OnlineMonitor()
+        monitor.ingest_many(shuffled)
+        assert monitor.alerts() == []
+        assert monitor.completed_calls() == 2

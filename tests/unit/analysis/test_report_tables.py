@@ -1,0 +1,59 @@
+"""Unit tests for the text report tables."""
+
+from repro.analysis import reconstruct_from_records
+from repro.analysis.report import cpu_table, latency_table
+from repro.core import MonitorMode
+from tests.helpers import Call, simulate
+
+
+def dscg_for(calls, mode):
+    sim = simulate(calls, mode=mode)
+    return reconstruct_from_records(sim.records)
+
+
+class TestLatencyTable:
+    def test_rows_sorted_by_total(self):
+        dscg = dscg_for(
+            [Call("I::cheap", cpu_ns=10), Call("I::hot", cpu_ns=10_000),
+             Call("I::hot", cpu_ns=10_000)],
+            MonitorMode.LATENCY,
+        )
+        text = latency_table(dscg)
+        lines = text.splitlines()
+        assert lines[0].startswith("function")
+        # I::hot (20us total) must come before I::cheap
+        assert lines[2].startswith("I::hot")
+        assert "2" in lines[2]  # call count
+
+    def test_limit_respected(self):
+        dscg = dscg_for(
+            [Call(f"I::op{i}", cpu_ns=10 + i) for i in range(10)],
+            MonitorMode.LATENCY,
+        )
+        text = latency_table(dscg, limit=3)
+        assert len(text.splitlines()) == 2 + 3
+
+    def test_empty_dscg(self):
+        from repro.analysis.dscg import Dscg
+
+        text = latency_table(Dscg())
+        assert "function" in text
+
+
+class TestCpuTable:
+    def test_breakdown_per_processor(self):
+        dscg = dscg_for([Call("I::work", cpu_ns=3_000_000)], MonitorMode.CPU)
+        text = cpu_table(dscg)
+        assert "I::work" in text
+        assert "PA-RISC" in text
+        assert "[0, 3000]" in text  # [sec, usec] rendering
+
+    def test_functions_without_cpu_shown_as_no_data(self):
+        from repro.platform import PlatformKind
+
+        sim = simulate([Call("I::dark", cpu_ns=100)], mode=MonitorMode.CPU,
+                       platform=PlatformKind.VXWORKS)
+        dscg = reconstruct_from_records(sim.records)
+        text = cpu_table(dscg)
+        assert "I::dark" in text
+        assert "(no data)" in text

@@ -1,0 +1,63 @@
+"""Unit tests for DSCG JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.analysis import dscg_from_json, dscg_to_json, reconstruct_from_records
+from repro.core import MonitorMode
+from tests.helpers import Call, simulate
+
+
+def dscg_for(calls, **kwargs):
+    sim = simulate(calls, mode=MonitorMode.FULL, **kwargs)
+    return reconstruct_from_records(sim.records)
+
+
+class TestRoundtrip:
+    def make(self):
+        return dscg_for(
+            [Call("I::root", cpu_ns=100, children=(
+                Call("I::a", cpu_ns=20, collocated=True),
+                Call("I::cast", oneway=True, cpu_ns=30),
+            ))]
+        )
+
+    def test_structure_preserved(self):
+        original = self.make()
+        restored = dscg_from_json(dscg_to_json(original))
+        assert restored.stats()["nodes"] == original.stats()["nodes"]
+        assert set(restored.chains) == set(original.chains)
+        (tree,) = restored.root_chains()
+        root = tree.roots[0]
+        assert root.function == "I::root"
+        assert [c.function for c in root.children] == ["I::a", "I::cast"]
+        assert root.children[0].collocated
+
+    def test_oneway_links_relinked(self):
+        restored = dscg_from_json(dscg_to_json(self.make()))
+        assert len(restored.links) == 1
+
+    def test_annotations_present(self):
+        document = json.loads(dscg_to_json(self.make()))
+        root = document["chains"][0]["roots"][0] if document["chains"][0]["roots"] else None
+        # find the chain holding root (order not guaranteed)
+        roots = [r for chain in document["chains"] for r in chain["roots"]]
+        root = [r for r in roots if r["operation"] == "root"][0]
+        assert "latency_ns" in root
+        assert "self_cpu_ns" in root
+        assert root["descendant_cpu_ns"]
+
+    def test_without_cpu_annotations(self):
+        document = json.loads(dscg_to_json(self.make(), include_cpu=False))
+        roots = [r for chain in document["chains"] for r in chain["roots"]]
+        root = [r for r in roots if r["operation"] == "root"][0]
+        assert "self_cpu_ns" not in root
+
+    def test_bad_document_rejected(self):
+        with pytest.raises(ValueError):
+            dscg_from_json('{"format": "something-else"}')
+
+    def test_stats_recorded(self):
+        document = json.loads(dscg_to_json(self.make()))
+        assert document["stats"]["nodes"] == 4  # root, a, cast stub, cast skel

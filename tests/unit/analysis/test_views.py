@@ -1,0 +1,171 @@
+"""Unit tests for call paths, hyperbolic layout, sequence chart, semantics."""
+
+import json
+import math
+
+from repro.analysis import (
+    HyperbolicLayout,
+    call_path_profiles,
+    depth1_profile,
+    layout_to_json,
+    layout_to_svg,
+    path_of,
+    reconstruct_from_records,
+    render_sequence_chart,
+    semantics_report,
+    spans_from_records,
+)
+from repro.analysis.report import dscg_summary, format_ns, format_sec_usec, table
+from repro.core import MonitorMode
+from tests.helpers import Call, simulate
+
+
+def dscg_for(calls, mode=MonitorMode.FULL, **kwargs):
+    sim = simulate(calls, mode=mode, **kwargs)
+    return reconstruct_from_records(sim.records), sim
+
+
+class TestCallPaths:
+    def test_path_of(self):
+        dscg, _ = dscg_for([Call("I::A", children=(Call("I::B"),))])
+        b = [n for n in dscg.walk() if n.function == "I::B"][0]
+        assert path_of(b) == ("I::A", "I::B")
+
+    def test_distinct_paths_distinct_profiles(self):
+        dscg, _ = dscg_for(
+            [Call("I::A", children=(Call("I::C", cpu_ns=5),)),
+             Call("I::B", children=(Call("I::C", cpu_ns=10),))]
+        )
+        profiles = call_path_profiles(dscg)
+        assert ("I::A", "I::C") in profiles
+        assert ("I::B", "I::C") in profiles
+        assert profiles[("I::A", "I::C")].count == 1
+
+    def test_profile_aggregates_latency_and_cpu(self):
+        dscg, _ = dscg_for(
+            [Call("I::A", children=(Call("I::C", cpu_ns=5),)),
+             Call("I::A", children=(Call("I::C", cpu_ns=15),))]
+        )
+        profile = call_path_profiles(dscg)[("I::A", "I::C")]
+        assert profile.count == 2
+        assert profile.total_self_cpu_ns == 20
+        assert profile.mean_self_cpu_ns == 10
+
+    def test_depth1_collapses_paths(self):
+        dscg, _ = dscg_for(
+            [Call("I::A", children=(Call("I::C"),)),
+             Call("I::B", children=(Call("I::C"),))]
+        )
+        edges = depth1_profile(dscg)
+        assert edges[("I::A", "I::C")] == 1
+        assert edges[("I::B", "I::C")] == 1
+        assert edges[("<root>", "I::A")] == 1
+
+
+class TestHyperbolicLayout:
+    def layout(self):
+        dscg, _ = dscg_for(
+            [Call("I::root", children=(Call("I::a"), Call("I::b", children=(Call("I::c"),))))]
+        )
+        return HyperbolicLayout().layout_dscg(dscg)
+
+    def test_all_nodes_inside_unit_disk(self):
+        root = self.layout()
+        for node in root.walk():
+            assert math.hypot(node.x, node.y) < 1.0
+
+    def test_node_count_preserved(self):
+        root = self.layout()
+        # virtual root + 4 call nodes
+        assert sum(1 for _ in root.walk()) == 5
+
+    def test_children_near_parents(self):
+        root = self.layout()
+        for node in root.walk():
+            for child in node.children:
+                assert math.hypot(child.x - node.x, child.y - node.y) < 1.0
+
+    def test_json_export_roundtrips(self):
+        payload = json.loads(layout_to_json(self.layout()))
+        assert payload["label"] == "<system>"
+        assert len(payload["children"]) == 1
+
+    def test_svg_export_well_formed(self):
+        svg = layout_to_svg(self.layout())
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert "<circle" in svg and "<line" in svg
+
+    def test_bad_step_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            HyperbolicLayout(step=1.5)
+
+    def test_annotation_callback(self):
+        dscg, _ = dscg_for([Call("I::f", cpu_ns=5)])
+        root = HyperbolicLayout().layout_dscg(dscg, annotate=lambda n: n.function)
+        leaf = root.children[0]
+        assert leaf.annotation == "I::f"
+
+
+class TestSequenceChart:
+    def test_spans_pair_skeleton_events(self):
+        _, sim = dscg_for([Call("I::F", cpu_ns=100, children=(Call("I::G", cpu_ns=50),))],
+                          mode=MonitorMode.LATENCY)
+        spans = spans_from_records(sim.records)
+        functions = sorted(s.function for s in spans)
+        assert functions == ["I::F", "I::G"]
+        f = [s for s in spans if s.function == "I::F"][0]
+        assert f.duration_ns == 150
+
+    def test_render_chart_rows(self):
+        _, sim = dscg_for([Call("I::F", cpu_ns=10)], mode=MonitorMode.LATENCY)
+        chart = render_sequence_chart(spans_from_records(sim.records))
+        assert "I::F" in chart
+        assert "#" in chart
+
+    def test_empty_chart(self):
+        assert render_sequence_chart([]) == "(no spans)"
+
+
+class TestSemanticsReport:
+    def test_exception_and_args_capture(self):
+        _, sim = dscg_for([Call("I::F", cpu_ns=1)], mode=MonitorMode.SEMANTICS)
+        # inject outcome semantics manually on the skel_end record
+        from repro.core import TracingEvent
+
+        for record in sim.records:
+            if record.event is TracingEvent.STUB_START:
+                record.semantics = {"args": ["7"]}
+            if record.event is TracingEvent.SKEL_END:
+                record.semantics = {"status": "user_exception", "exception": "Boom()"}
+        report = semantics_report(sim.records)
+        entry = report["I::F"]
+        assert entry.invocations == 1
+        assert entry.user_exceptions == 1
+        assert entry.sample_args == [["7"]]
+        assert entry.failure_rate == 1.0
+
+
+class TestReportHelpers:
+    def test_format_ns(self):
+        assert format_ns(5) == "5ns"
+        assert format_ns(5_000) == "5.0us"
+        assert format_ns(5_000_000) == "5.000ms"
+        assert format_ns(5_000_000_000) == "5.000s"
+
+    def test_format_sec_usec(self):
+        assert format_sec_usec(1_500_000_000) == "[1, 500000]"
+
+    def test_table_alignment(self):
+        text = table([["a", "bb"]], ["col1", "column2"])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("col1")
+
+    def test_dscg_summary_mentions_counts(self):
+        dscg, _ = dscg_for([Call("I::F")])
+        summary = dscg_summary(dscg)
+        assert "1 invocation nodes" in summary
+        assert "1 causal chain(s)" in summary

@@ -1,0 +1,117 @@
+"""Unit tests for the related-work baselines."""
+
+import pytest
+
+from repro.analysis import reconstruct_from_records
+from repro.baselines import (
+    DEFAULT_MESSAGE_CAP_BYTES,
+    TraceObject,
+    TraceObjectOverflow,
+    anchors_from_records,
+    compare_correlation,
+    ftl_size_at,
+    gprof_profile,
+    growth_series,
+    max_chain_events,
+    path_loss,
+    recover_same_thread_edges,
+    trace_object_size_at,
+)
+from repro.baselines.trace_object import TraceEntry
+from repro.core import MonitorMode
+from repro.core.ftl import FTL_WIRE_SIZE
+from tests.helpers import Call, simulate
+
+
+class TestTraceObject:
+    def test_size_grows_linearly(self):
+        s100 = trace_object_size_at(100)
+        s200 = trace_object_size_at(200)
+        s400 = trace_object_size_at(400)
+        assert s200 > s100
+        # linear growth: doubling events roughly doubles the payload
+        assert abs((s400 - s200) - (s200 - s100) * 2) < (s200 - s100)
+
+    def test_ftl_is_constant(self):
+        assert ftl_size_at(1) == ftl_size_at(1_000_000) == FTL_WIRE_SIZE
+
+    def test_overflow_barrier(self):
+        trace = TraceObject(cap_bytes=200)
+        entry = TraceEntry(1, "I::op", "obj", 0, 1)
+        trace.append(entry)
+        with pytest.raises(TraceObjectOverflow):
+            for _ in range(100):
+                trace.append(entry)
+
+    def test_barrier_at_tens_of_thousands(self):
+        # The paper: concatenation "introduces the barrier for the call
+        # chains that exceed tens of thousands calls".
+        limit_calls = max_chain_events(DEFAULT_MESSAGE_CAP_BYTES) // 4
+        assert 10_000 < limit_calls < 100_000
+
+    def test_growth_series_shape(self):
+        rows = growth_series([10, 100])
+        assert len(rows) == 2
+        assert rows[0][2] == FTL_WIRE_SIZE
+        assert rows[1][1] > rows[0][1]
+
+    def test_encode_matches_reported_size(self):
+        trace = TraceObject(cap_bytes=1 << 20)
+        entry = TraceEntry(2, "Iface::op", "proc.obj-1", 123, 7)
+        trace.append(entry)
+        assert len(trace.encode()) == trace.wire_size
+
+
+class TestInterceptorBaseline:
+    def make(self):
+        sim = simulate(
+            [Call("I::F", cpu_ns=10, children=(Call("I::G", cpu_ns=5),))],
+            mode=MonitorMode.LATENCY,
+        )
+        dscg = reconstruct_from_records(sim.records)
+        return dscg, sim.records
+
+    def test_anchors_strip_causality(self):
+        _, records = self.make()
+        anchors = anchors_from_records(records)
+        assert len(anchors) == len(records)
+        assert not any(hasattr(a, "chain_uuid") for a in anchors)
+
+    def test_same_thread_nesting_recovered(self):
+        dscg, records = self.make()
+        # Simulator runs everything on one thread, so nesting is visible.
+        edges = recover_same_thread_edges(anchors_from_records(records))
+        assert ("I::F", "I::G") in edges
+
+    def test_comparison_structure(self):
+        dscg, records = self.make()
+        comparison = compare_correlation(dscg, records)
+        assert comparison.true_edge_count == 1
+        assert comparison.ours_rate == 1.0
+        assert 0.0 <= comparison.interceptor_rate <= 1.0
+
+
+class TestGprofBaseline:
+    def test_depth1_profile_same_thread(self):
+        sim = simulate(
+            [Call("I::F", cpu_ns=10, children=(Call("I::G", cpu_ns=5),))],
+            mode=MonitorMode.CPU,
+        )
+        dscg = reconstruct_from_records(sim.records)
+        profile = gprof_profile(dscg)
+        row = profile.rows[("I::F", "I::G")]
+        assert row.calls == 1
+        assert row.self_cpu_ns == 5
+
+    def test_path_loss_report(self):
+        sim = simulate(
+            [Call("I::A", children=(Call("I::C"),)),
+             Call("I::B", children=(Call("I::C"),))],
+            mode=MonitorMode.CPU,
+        )
+        dscg = reconstruct_from_records(sim.records)
+        report = path_loss(dscg)
+        # 4 distinct call paths (A, B, A/C, B/C) vs 4 depth-1 edges here,
+        # but the call-path count can only be >= the edge count in general.
+        assert report.distinct_call_paths >= report.depth1_edges - report.spontaneous_roots
+        assert report.depth1_edges > 0

@@ -1,0 +1,150 @@
+"""Unit tests for the monitoring database and collector."""
+
+from repro.collector import LogCollector, MonitoringDatabase, collect_run
+from repro.core import (
+    CallKind,
+    Domain,
+    ProbeRecord,
+    RunMetadata,
+    TracingEvent,
+)
+from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
+
+
+def make_record(chain="aa" * 16, seq=0, event=TracingEvent.STUB_START, **overrides):
+    fields = dict(
+        chain_uuid=chain,
+        event_seq=seq,
+        event=event,
+        interface="M::I",
+        operation="op",
+        object_id="p.obj-1",
+        component="Comp",
+        process="p",
+        pid=1,
+        host="h",
+        thread_id=111,
+        processor_type="PA-RISC",
+        platform="HPUX 11",
+        call_kind=CallKind.SYNC,
+        collocated=False,
+        domain=Domain.CORBA,
+        wall_start=10,
+        wall_end=12,
+        cpu_start=None,
+        cpu_end=None,
+        child_chain_uuid=None,
+        semantics={"args": ["1"]},
+    )
+    fields.update(overrides)
+    return ProbeRecord(**fields)
+
+
+class TestDatabase:
+    def test_insert_and_roundtrip(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1", description="test", monitor_mode="latency"))
+        record = make_record()
+        assert db.insert_records("r1", [record]) == 1
+        (restored,) = db.events_for_chain("r1", record.chain_uuid)
+        assert restored == record
+
+    def test_unique_chain_uuids_sorted(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        db.insert_records(
+            "r1",
+            [make_record(chain="bb" * 16), make_record(chain="aa" * 16)],
+        )
+        assert db.unique_chain_uuids("r1") == ["aa" * 16, "bb" * 16]
+
+    def test_events_sorted_by_seq(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        records = [make_record(seq=s) for s in (2, 0, 1)]
+        db.insert_records("r1", records)
+        seqs = [r.event_seq for r in db.events_for_chain("r1", "aa" * 16)]
+        assert seqs == [0, 1, 2]
+
+    def test_runs_isolated(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        db.create_run(RunMetadata(run_id="r2"))
+        db.insert_records("r1", [make_record()])
+        assert db.record_count("r1") == 1
+        assert db.record_count("r2") == 0
+        assert db.unique_chain_uuids("r2") == []
+
+    def test_population_stats(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        db.insert_records(
+            "r1",
+            [
+                make_record(seq=0, event=TracingEvent.STUB_START),
+                make_record(seq=1, event=TracingEvent.SKEL_START, process="q", pid=2),
+                make_record(
+                    chain="cc" * 16, seq=0, event=TracingEvent.STUB_START,
+                    operation="other",
+                ),
+            ],
+        )
+        stats = db.population_stats("r1")
+        assert stats["calls"] == 2  # two stub_start events
+        assert stats["unique_methods"] == 2
+        assert stats["chains"] == 2
+        assert stats["processes"] == 2
+
+    def test_run_metadata_roundtrip(self):
+        db = MonitoringDatabase()
+        meta = RunMetadata(run_id="r9", description="d", monitor_mode="cpu",
+                           extra={"k": 1})
+        db.create_run(meta)
+        (restored,) = db.runs()
+        assert restored == meta
+
+    def test_semantics_json_roundtrip(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        db.insert_records("r1", [make_record(semantics={"status": "ok"})])
+        (restored,) = db.events_for_chain("r1", "aa" * 16)
+        assert restored.semantics == {"status": "ok"}
+
+    def test_all_records_in_insert_order(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        db.insert_records("r1", [make_record(seq=5), make_record(seq=1)])
+        seqs = [r.event_seq for r in db.all_records("r1")]
+        assert seqs == [5, 1]
+
+
+class TestCollector:
+    def make_process(self, name):
+        return SimProcess(name, Host("h", PlatformKind.HPUX_11, clock=VirtualClock()))
+
+    def test_collect_drains_buffers(self):
+        p1 = self.make_process("p1")
+        p2 = self.make_process("p2")
+        p1.log_buffer.append(make_record(process="p1"))
+        p2.log_buffer.append(make_record(process="p2", seq=1))
+        db, run = collect_run([p1, p2])
+        assert db.record_count(run) == 2
+        assert len(p1.log_buffer) == 0
+
+    def test_collect_without_drain_keeps_buffers(self):
+        p1 = self.make_process("p1")
+        p1.log_buffer.append(make_record())
+        collector = LogCollector()
+        collector.collect([p1], run_id="keep", drain=False)
+        assert len(p1.log_buffer) == 1
+
+    def test_consecutive_runs_partition(self):
+        p1 = self.make_process("p1")
+        collector = LogCollector()
+        p1.log_buffer.append(make_record(seq=0))
+        run1 = collector.collect([p1])
+        p1.log_buffer.append(make_record(seq=1))
+        run2 = collector.collect([p1])
+        assert collector.database.record_count(run1) == 1
+        assert collector.database.record_count(run2) == 1
+        assert run1 != run2

@@ -1,0 +1,174 @@
+"""Unit tests for the COM object model, GUIDs and apartments."""
+
+import threading
+
+import pytest
+
+from repro.com import ComInterface, ComObject, ComRuntime, IUNKNOWN, clsid_for, iid_for
+from repro.errors import ComError, InterfaceNotSupported
+from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
+
+IWork = ComInterface("IWork", ("run",))
+IExtra = ComInterface("IExtra", ("more",))
+
+
+class Widget(ComObject):
+    implements = (IWork,)
+
+    def run(self):
+        return "ran"
+
+
+class TestGuids:
+    def test_deterministic(self):
+        assert iid_for("IWork") == iid_for("IWork")
+
+    def test_distinct_names_distinct_iids(self):
+        assert iid_for("IWork") != iid_for("IPlay")
+
+    def test_clsid_differs_from_iid(self):
+        assert clsid_for("Widget") != iid_for("Widget")
+
+    def test_registry_format(self):
+        iid = iid_for("IWork")
+        assert iid.startswith("{") and iid.endswith("}") and len(iid) == 38
+
+
+class TestComInterface:
+    def test_iid_property(self):
+        assert IWork.iid == iid_for("IWork")
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(ComError):
+            ComInterface("IBad", ())
+
+    def test_duplicate_methods_rejected(self):
+        with pytest.raises(ComError):
+            ComInterface("IBad", ("a", "a"))
+
+
+class TestComObject:
+    def test_query_interface_supported(self):
+        widget = Widget()
+        assert widget.query_interface(IWork) is widget
+
+    def test_query_interface_iunknown_always(self):
+        assert Widget().supports(IUNKNOWN)
+
+    def test_query_interface_unsupported(self):
+        with pytest.raises(InterfaceNotSupported):
+            Widget().query_interface(IExtra)
+
+    def test_refcounting(self):
+        widget = Widget()
+        assert widget.add_ref() == 2
+        assert widget.release() == 1
+        assert widget.release() == 0
+        with pytest.raises(ComError):
+            widget.release()
+
+    def test_missing_method_detected_at_init(self):
+        class Broken(ComObject):
+            implements = (IWork,)
+
+        with pytest.raises(ComError):
+            Broken()
+
+    def test_instance_ids_unique(self):
+        assert Widget().instance_id != Widget().instance_id
+
+
+def make_runtime(**kwargs):
+    process = SimProcess("com-p", Host("h", PlatformKind.HPUX_11, clock=VirtualClock()))
+    return ComRuntime(process, **kwargs), process
+
+
+class TestRuntime:
+    def test_create_object_and_proxy(self):
+        runtime, process = make_runtime(instrumented=False)
+        sta = runtime.create_sta("main")
+        identity = runtime.create_object(Widget, sta)
+        proxy = runtime.proxy_for(identity, IWork)
+        assert proxy.run() == "ran"
+        process.shutdown()
+
+    def test_proxy_restricted_to_interface(self):
+        runtime, process = make_runtime(instrumented=False)
+        sta = runtime.create_sta("main")
+        identity = runtime.create_object(Widget, sta)
+        proxy = runtime.proxy_for(identity, IWork)
+        with pytest.raises(AttributeError):
+            proxy.nonexistent()
+        process.shutdown()
+
+    def test_proxy_query_interface(self):
+        runtime, process = make_runtime(instrumented=False)
+        sta = runtime.create_sta("main")
+        identity = runtime.create_object(Widget, sta)
+        proxy = runtime.proxy_for(identity, IWork)
+        with pytest.raises(InterfaceNotSupported):
+            proxy.query_interface(IExtra)
+        process.shutdown()
+
+    def test_mta_dispatch(self):
+        runtime, process = make_runtime(instrumented=False)
+        mta = runtime.create_mta(size=2)
+        identity = runtime.create_object(Widget, mta)
+        proxy = runtime.proxy_for(identity, IWork)
+        assert proxy.run() == "ran"
+        process.shutdown()
+
+    def test_object_id_includes_process(self):
+        runtime, process = make_runtime(instrumented=False)
+        sta = runtime.create_sta("s")
+        identity = runtime.create_object(Widget, sta)
+        assert identity.object_id.startswith("com-p.")
+        process.shutdown()
+
+    def test_class_factory(self):
+        runtime, process = make_runtime(instrumented=False)
+        factory = runtime.register_class(Widget)
+        assert runtime.get_class_object(Widget) is factory
+        sta = runtime.create_sta("s")
+        identity = factory.create_instance(sta)
+        assert isinstance(identity.obj, Widget)
+        process.shutdown()
+
+    def test_unregistered_class_raises(self):
+        runtime, process = make_runtime(instrumented=False)
+        with pytest.raises(ComError):
+            runtime.get_class_object(Widget)
+        process.shutdown()
+
+    def test_exceptions_propagate_through_channel(self):
+        class Failing(ComObject):
+            implements = (IWork,)
+
+            def run(self):
+                raise ValueError("inner failure")
+
+        runtime, process = make_runtime(instrumented=False)
+        sta = runtime.create_sta("s")
+        identity = runtime.create_object(Failing, sta)
+        proxy = runtime.proxy_for(identity, IWork)
+        with pytest.raises(ValueError, match="inner failure"):
+            proxy.run()
+        process.shutdown()
+
+    def test_cross_apartment_args_are_copied(self):
+        class Holder(ComObject):
+            implements = (ComInterface("IHold", ("take",)),)
+
+            def take(self, data):
+                data.append("server-side")
+                return data
+
+        runtime, process = make_runtime(instrumented=False)
+        sta = runtime.create_sta("s")
+        identity = runtime.create_object(Holder, sta)
+        proxy = runtime.proxy_for(identity, identity.obj.implements[0])
+        original = ["client"]
+        result = proxy.take(original)
+        assert original == ["client"]  # deep-copied on the way in
+        assert result == ["client", "server-side"]
+        process.shutdown()

@@ -1,0 +1,104 @@
+"""Unit tests for the Function-Transportable Log."""
+
+import pytest
+
+from repro.core.ftl import (
+    FTL_WIRE_SIZE,
+    FunctionTxLog,
+    SequentialUuidFactory,
+    new_chain,
+    random_uuid_factory,
+)
+
+
+class TestFunctionTxLog:
+    def test_new_chain_starts_before_first_event(self):
+        ftl = new_chain()
+        assert ftl.event_seq_no == -1
+
+    def test_advance_increments(self):
+        ftl = new_chain()
+        assert ftl.advance() == 0
+        assert ftl.advance() == 1
+        assert ftl.event_seq_no == 1
+
+    def test_fork_child_has_fresh_uuid_and_reset_seq(self):
+        parent = new_chain()
+        parent.advance()
+        child = parent.fork_child()
+        assert child.chain_uuid != parent.chain_uuid
+        assert child.event_seq_no == -1
+        assert parent.event_seq_no == 0
+
+    def test_copy_is_independent(self):
+        ftl = new_chain()
+        ftl.advance()
+        dup = ftl.copy()
+        dup.advance()
+        assert ftl.event_seq_no == 0
+        assert dup.event_seq_no == 1
+
+    def test_wire_roundtrip(self):
+        ftl = FunctionTxLog(chain_uuid="ab" * 16, event_seq_no=12345)
+        payload = ftl.to_bytes()
+        assert len(payload) == FTL_WIRE_SIZE
+        restored = FunctionTxLog.from_bytes(payload)
+        assert restored == ftl
+
+    def test_wire_roundtrip_negative_seq(self):
+        ftl = FunctionTxLog(chain_uuid="00" * 16, event_seq_no=-1)
+        assert FunctionTxLog.from_bytes(ftl.to_bytes()).event_seq_no == -1
+
+    def test_wire_size_is_constant(self):
+        ftl = new_chain()
+        sizes = set()
+        for _ in range(1000):
+            ftl.advance()
+            sizes.add(len(ftl.to_bytes()))
+        assert sizes == {FTL_WIRE_SIZE}
+
+    def test_from_bytes_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            FunctionTxLog.from_bytes(b"short")
+
+
+class TestUuidFactories:
+    def test_random_factory_unique(self):
+        seen = {random_uuid_factory() for _ in range(100)}
+        assert len(seen) == 100
+        assert all(len(u) == 32 for u in seen)
+
+    def test_sequential_factory_deterministic(self):
+        f1 = SequentialUuidFactory("ab")
+        f2 = SequentialUuidFactory("ab")
+        assert [f1() for _ in range(5)] == [f2() for _ in range(5)]
+
+    def test_sequential_factory_unique_and_hex(self):
+        factory = SequentialUuidFactory()
+        values = [factory() for _ in range(50)]
+        assert len(set(values)) == 50
+        for value in values:
+            assert len(value) == 32
+            bytes.fromhex(value)  # must be valid hex
+
+    def test_bad_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialUuidFactory("xyz")
+        with pytest.raises(ValueError):
+            SequentialUuidFactory("a" * 9)
+
+    def test_thread_safety(self):
+        import threading
+
+        factory = SequentialUuidFactory()
+        results = []
+
+        def worker():
+            results.extend(factory() for _ in range(200))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(results)) == 800

@@ -1,0 +1,136 @@
+"""Unit tests for the IDL code generator (both back-ends)."""
+
+from repro.idl import compile_idl, parse_idl
+from repro.idl.codegen import generate_python, py_name, render_internal_idl
+from repro.idl.semantics import analyze
+from repro.orb import InterfaceRegistry
+
+IDL = """
+module Example {
+  enum Mode { FAST, SLOW };
+  struct Pixel { long x; long y; };
+  exception Oops { string why; };
+  interface Foo {
+    void funcA(in long x);
+    string funcB(in float y) raises (Oops);
+    oneway void notify(in long n);
+  };
+};
+"""
+
+
+def generate(instrument):
+    spec_ast = parse_idl(IDL)
+    resolved = analyze(spec_ast)
+    return generate_python(spec_ast, resolved, instrument), resolved
+
+
+class TestGeneratedSource:
+    def test_instrumented_source_contains_probe_calls(self):
+        source, _ = generate(True)
+        assert "Probe 1: stub start" in source
+        assert "Probe 2: skeleton start" in source
+        assert "Probe 3: skeleton end" in source
+        assert "Probe 4: stub end" in source
+        assert "stub_start" in source
+        assert "skel_end" in source
+
+    def test_plain_source_has_no_probe_calls(self):
+        source, _ = generate(False)
+        assert "stub_start" not in source
+        assert "skel_start" not in source
+        assert "_monitor" not in source
+
+    def test_back_end_flag_recorded(self):
+        source, _ = generate(True)
+        assert "instrument=True" in source
+        source, _ = generate(False)
+        assert "instrument=False" in source
+
+    def test_oneway_stub_forks_child_chain(self):
+        source, _ = generate(True)
+        assert "oneway=True" in source
+
+    def test_classes_and_aliases_present(self):
+        source, _ = generate(True)
+        for expected in (
+            "class Example_Foo(object):",
+            "class Example_FooStub(StubBase):",
+            "class Example_FooSkeleton(SkeletonBase):",
+            "class Example_Pixel:",
+            "class Example_Mode(enum.Enum):",
+            "class Example_Oops(Exception):",
+            "Foo = Example_Foo",
+        ):
+            assert expected in source, expected
+
+    def test_docstrings_carry_idl_signatures(self):
+        source, _ = generate(True)
+        assert "string funcB(in float y) raises (Example::Oops)" in source
+
+    def test_py_name(self):
+        assert py_name("A::B::C") == "A_B_C"
+        assert py_name("Plain") == "Plain"
+
+
+class TestInternalIdl:
+    def test_instrumented_adds_ftl_parameter(self):
+        _, resolved = generate(True)
+        text = render_internal_idl(resolved, instrument=True)
+        assert "inout Probe::FunctionTxLogType log" in text
+        assert "struct FunctionTxLogType" in text
+        # every operation gains the parameter
+        assert text.count("inout Probe::FunctionTxLogType log") == 3
+
+    def test_plain_rendering_matches_original_shape(self):
+        _, resolved = generate(False)
+        text = render_internal_idl(resolved, instrument=False)
+        assert "Probe" not in text
+        assert "void funcA(in long x);" in text
+
+
+class TestCompiledModule:
+    def test_compiled_namespace_exposes_types(self):
+        compiled = compile_idl(IDL, instrument=True, registry=InterfaceRegistry())
+        pixel = compiled.Pixel(x=1, y=2)
+        assert pixel.x == 1
+        assert compiled.Mode.FAST.value == 0
+        exc = compiled.Oops(why="bad")
+        assert isinstance(exc, Exception)
+        assert exc == compiled.Oops(why="bad")
+        assert exc != compiled.Oops(why="other")
+
+    def test_type_table_rebinding(self):
+        compiled = compile_idl(IDL, instrument=True, registry=InterfaceRegistry())
+        struct_type = compiled.spec.structs["Example::Pixel"]
+        assert struct_type.py_class is compiled.Pixel
+
+    def test_registry_holds_generated_classes(self):
+        registry = InterfaceRegistry()
+        compiled = compile_idl(IDL, instrument=True, registry=registry)
+        assert registry.stub_class("Example::Foo") is compiled.FooStub
+        assert registry.skeleton_class("Example::Foo") is compiled.FooSkeleton
+
+    def test_servant_base_defaults_raise(self):
+        compiled = compile_idl(IDL, instrument=False, registry=InterfaceRegistry())
+        import pytest
+
+        with pytest.raises(NotImplementedError):
+            compiled.Foo().funcA(1)
+
+    def test_interface_inheritance_codegen(self):
+        source = """
+        interface Base { void base_op(); };
+        interface Derived : Base { void derived_op(); };
+        """
+        compiled = compile_idl(source, instrument=True, registry=InterfaceRegistry())
+        assert issubclass(compiled.DerivedStub, compiled.BaseStub)
+        assert issubclass(compiled.Derived, compiled.Base)
+        # inherited operation callable through the derived stub class
+        assert hasattr(compiled.DerivedStub, "base_op")
+
+    def test_both_variants_coexist(self):
+        instrumented = compile_idl(IDL, instrument=True, registry=InterfaceRegistry())
+        plain = compile_idl(IDL, instrument=False, registry=InterfaceRegistry())
+        assert instrumented.FooStub._instrumented
+        assert not plain.FooStub._instrumented

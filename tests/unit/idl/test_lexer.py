@@ -1,0 +1,92 @@
+"""Unit tests for the IDL lexer."""
+
+import pytest
+
+from repro.errors import IdlSyntaxError
+from repro.idl.lexer import TokenKind, tokenize
+
+
+def kinds_and_values(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasics:
+    def test_empty_source(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_keywords_vs_identifiers(self):
+        result = kinds_and_values("interface Foo")
+        assert result == [(TokenKind.KEYWORD, "interface"), (TokenKind.IDENT, "Foo")]
+
+    def test_punctuation(self):
+        result = kinds_and_values("{ } ( ) < > , ; = [ ]")
+        assert all(kind is TokenKind.PUNCT for kind, _ in result)
+
+    def test_scope_operator_is_one_token(self):
+        result = kinds_and_values("A::B")
+        assert result == [
+            (TokenKind.IDENT, "A"),
+            (TokenKind.PUNCT, "::"),
+            (TokenKind.IDENT, "B"),
+        ]
+
+    def test_single_colon_distinct_from_double(self):
+        result = kinds_and_values("A : B")
+        assert (TokenKind.PUNCT, ":") in result
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("module\n  Foo")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds_and_values("42") == [(TokenKind.NUMBER, "42")]
+
+    def test_float(self):
+        assert kinds_and_values("3.14") == [(TokenKind.NUMBER, "3.14")]
+
+    def test_scientific(self):
+        assert kinds_and_values("1e5")[0][1] == "1e5"
+        assert kinds_and_values("2.5E-3")[0][1] == "2.5E-3"
+
+    def test_hex(self):
+        assert kinds_and_values("0xFF") == [(TokenKind.NUMBER, "0xFF")]
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds_and_values('"hello"') == [(TokenKind.STRING, "hello")]
+
+    def test_escapes(self):
+        assert kinds_and_values(r'"a\nb\"c"') == [(TokenKind.STRING, 'a\nb"c')]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize('"open')
+
+
+class TestTrivia:
+    def test_line_comment_skipped(self):
+        assert kinds_and_values("// a comment\nmodule") == [(TokenKind.KEYWORD, "module")]
+
+    def test_block_comment_skipped(self):
+        assert kinds_and_values("/* multi\nline */ module") == [
+            (TokenKind.KEYWORD, "module")
+        ]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize("/* never closed")
+
+    def test_preprocessor_line_skipped(self):
+        assert kinds_and_values('#include "foo.idl"\nmodule') == [
+            (TokenKind.KEYWORD, "module")
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(IdlSyntaxError):
+            tokenize("interface $bad")

@@ -1,0 +1,146 @@
+"""Unit tests for the IDL parser."""
+
+import pytest
+
+from repro.errors import IdlSyntaxError
+from repro.idl import ast
+from repro.idl.parser import parse_idl
+
+
+class TestModulesAndInterfaces:
+    def test_empty_interface(self):
+        spec = parse_idl("interface Foo {};")
+        (decl,) = spec.declarations
+        assert isinstance(decl, ast.Interface)
+        assert decl.name == "Foo"
+
+    def test_nested_modules(self):
+        spec = parse_idl("module A { module B { interface C {}; }; };")
+        names = [scoped for scoped, _ in spec.iter_interfaces()]
+        assert names == ["A::B::C"]
+
+    def test_interface_inheritance(self):
+        spec = parse_idl("interface A {}; interface B : A {}; interface C : A, B {};")
+        c = spec.declarations[2]
+        assert [b.name for b in c.bases] == ["A", "B"]
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(IdlSyntaxError):
+            parse_idl("interface Foo {}")
+
+
+class TestOperations:
+    def test_operation_with_all_directions(self):
+        spec = parse_idl(
+            "interface F { long op(in long a, out string b, inout double c); };"
+        )
+        op = spec.declarations[0].operations[0]
+        assert [p.direction for p in op.parameters] == ["in", "out", "inout"]
+        assert str(op.return_type) == "long"
+
+    def test_void_return(self):
+        spec = parse_idl("interface F { void op(); };")
+        assert str(spec.declarations[0].operations[0].return_type) == "void"
+
+    def test_void_parameter_rejected(self):
+        with pytest.raises(IdlSyntaxError):
+            parse_idl("interface F { void op(in void x); };")
+
+    def test_oneway_flag(self):
+        spec = parse_idl("interface F { oneway void notify(in long x); };")
+        assert spec.declarations[0].operations[0].oneway
+
+    def test_raises_clause(self):
+        spec = parse_idl(
+            "exception E1 { string m; }; exception E2 { long c; };"
+            " interface F { void op() raises (E1, E2); };"
+        )
+        op = spec.declarations[2].operations[0]
+        assert [r.name for r in op.raises] == ["E1", "E2"]
+
+    def test_missing_direction_rejected(self):
+        with pytest.raises(IdlSyntaxError):
+            parse_idl("interface F { void op(long a); };")
+
+    def test_compound_primitive_names(self):
+        spec = parse_idl(
+            "interface F { unsigned long long op(in long long a,"
+            " in unsigned short b); };"
+        )
+        op = spec.declarations[0].operations[0]
+        assert str(op.return_type) == "unsigned long long"
+        assert str(op.parameters[0].type_ref) == "long long"
+        assert str(op.parameters[1].type_ref) == "unsigned short"
+
+
+class TestAttributes:
+    def test_attribute_expansion_parsed(self):
+        spec = parse_idl("interface F { attribute long count; readonly attribute string name; };")
+        attrs = spec.declarations[0].attributes
+        assert len(attrs) == 2
+        assert not attrs[0].readonly
+        assert attrs[1].readonly
+
+    def test_attribute_list(self):
+        spec = parse_idl("interface F { attribute long a, b; };")
+        assert [a.name for a in spec.declarations[0].attributes] == ["a", "b"]
+
+
+class TestTypes:
+    def test_struct(self):
+        spec = parse_idl("struct P { long x; long y; };")
+        struct = spec.declarations[0]
+        assert [f.name for f in struct.fields] == ["x", "y"]
+
+    def test_struct_field_group(self):
+        spec = parse_idl("struct P { long x, y, z; };")
+        assert [f.name for f in spec.declarations[0].fields] == ["x", "y", "z"]
+
+    def test_enum(self):
+        spec = parse_idl("enum Color { RED, GREEN, BLUE };")
+        assert spec.declarations[0].labels == ["RED", "GREEN", "BLUE"]
+
+    def test_typedef_sequence(self):
+        spec = parse_idl("typedef sequence<long> LongSeq;")
+        typedef = spec.declarations[0]
+        assert isinstance(typedef.type_ref, ast.SequenceRef)
+
+    def test_nested_sequence(self):
+        spec = parse_idl("typedef sequence<sequence<string>> Matrix;")
+        inner = spec.declarations[0].type_ref.element
+        assert isinstance(inner, ast.SequenceRef)
+
+    def test_exception(self):
+        spec = parse_idl("exception Bad { string reason; };")
+        assert spec.declarations[0].name == "Bad"
+
+    def test_const_values(self):
+        spec = parse_idl(
+            'const long N = 5; const double X = 2.5; const string S = "hi";'
+            " const boolean B = TRUE; const long H = 0x10;"
+        )
+        values = [d.value for d in spec.declarations]
+        assert values == [5, 2.5, "hi", True, 16]
+
+    def test_scoped_type_reference(self):
+        spec = parse_idl(
+            "module M { struct S { long v; }; };"
+            " interface F { void op(in M::S s); };"
+        )
+        param = spec.declarations[1].operations[0].parameters[0]
+        assert param.type_ref.name == "M::S"
+
+    def test_enum_trailing_comma(self):
+        spec = parse_idl("enum E { A, B, };")
+        assert spec.declarations[0].labels == ["A", "B"]
+
+
+class TestErrors:
+    def test_garbage_at_top_level(self):
+        with pytest.raises(IdlSyntaxError):
+            parse_idl("banana;")
+
+    def test_error_reports_position(self):
+        with pytest.raises(IdlSyntaxError) as excinfo:
+            parse_idl("interface F {\n  void op(;\n};")
+        assert excinfo.value.line >= 2

@@ -1,0 +1,190 @@
+"""Unit tests for IDL semantic analysis."""
+
+import pytest
+
+from repro.errors import IdlSemanticError
+from repro.idl.parser import parse_idl
+from repro.idl.semantics import analyze
+from repro.idl.types import (
+    EnumType,
+    ObjectRefType,
+    PrimitiveType,
+    SequenceType,
+    StringType,
+    StructType,
+)
+
+
+def resolve(source):
+    return analyze(parse_idl(source))
+
+
+class TestResolution:
+    def test_primitive_parameters(self):
+        spec = resolve("interface F { void op(in long a, in string b); };")
+        op = spec.interfaces["F"].operation("op")
+        assert isinstance(op.parameters[0].idl_type, PrimitiveType)
+        assert isinstance(op.parameters[1].idl_type, StringType)
+
+    def test_struct_resolution_and_field_types(self):
+        spec = resolve("struct P { long x; string label; }; interface F { P get(); };")
+        p = spec.structs["P"]
+        assert isinstance(p, StructType)
+        assert p.fields[0][0] == "x"
+        op = spec.interfaces["F"].operation("get")
+        assert op.return_type is p
+
+    def test_enum_resolution(self):
+        spec = resolve("enum C { A, B }; interface F { void op(in C c); };")
+        assert isinstance(spec.enums["C"], EnumType)
+
+    def test_typedef_aliases_type(self):
+        spec = resolve("typedef sequence<long> Seq; interface F { void op(in Seq s); };")
+        op = spec.interfaces["F"].operation("op")
+        assert isinstance(op.parameters[0].idl_type, SequenceType)
+
+    def test_interface_reference_parameter(self):
+        spec = resolve("interface Sink {}; interface F { void op(in Sink s); };")
+        op = spec.interfaces["F"].operation("op")
+        assert isinstance(op.parameters[0].idl_type, ObjectRefType)
+        assert op.parameters[0].idl_type.interface_name == "Sink"
+
+    def test_enclosing_scope_lookup(self):
+        spec = resolve(
+            "module M { struct S { long v; }; module N {"
+            " interface F { void op(in S s); }; }; };"
+        )
+        op = spec.interfaces["M::N::F"].operation("op")
+        assert op.parameters[0].idl_type is spec.structs["M::S"]
+
+    def test_struct_forward_reference_rejected(self):
+        # Type bodies resolve in declaration order, so a struct cannot use
+        # a later struct (CORBA IDL rule we keep).
+        with pytest.raises(IdlSemanticError):
+            resolve("struct A { B inner; }; struct B { long v; };")
+
+    def test_interface_may_reference_later_type(self):
+        # Deliberate relaxation: interfaces resolve after all type bodies,
+        # so operation signatures may reference types declared later.
+        spec = resolve("interface F { void op(in Later x); }; struct Later { long v; };")
+        op = spec.interfaces["F"].operation("op")
+        assert op.parameters[0].idl_type is spec.structs["Later"]
+
+
+class TestInheritance:
+    def test_operations_flattened(self):
+        spec = resolve(
+            "interface A { void base_op(); };"
+            " interface B : A { void derived_op(); };"
+        )
+        ops = [op.name for op in spec.interfaces["B"].operations]
+        assert ops == ["base_op", "derived_op"]
+        assert spec.interfaces["B"].operation("base_op").declared_in == "A"
+
+    def test_diamond_inheritance_dedupes(self):
+        spec = resolve(
+            "interface A { void op(); };"
+            " interface B : A {}; interface C : A {};"
+            " interface D : B, C {};"
+        )
+        assert len(spec.interfaces["D"].operations) == 1
+
+    def test_redeclaring_inherited_op_rejected(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("interface A { void op(); }; interface B : A { void op(); };")
+
+    def test_inheriting_from_non_interface_rejected(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("struct S { long v; }; interface B : S {};")
+
+
+class TestAttributes:
+    def test_attribute_becomes_get_set(self):
+        spec = resolve("interface F { attribute long count; };")
+        names = [op.name for op in spec.interfaces["F"].operations]
+        assert names == ["_get_count", "_set_count"]
+
+    def test_readonly_attribute_only_get(self):
+        spec = resolve("interface F { readonly attribute long count; };")
+        names = [op.name for op in spec.interfaces["F"].operations]
+        assert names == ["_get_count"]
+
+
+class TestLegality:
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("interface F {}; interface F {};")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("struct S { long a; long a; };")
+
+    def test_duplicate_parameter_rejected(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("interface F { void op(in long a, in long a); };")
+
+    def test_duplicate_enum_label_rejected(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("enum E { A, A };")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("interface F { void op(in Missing x); };")
+
+    def test_oneway_must_return_void(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("interface F { oneway long op(); };")
+
+    def test_oneway_rejects_out_params(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("interface F { oneway void op(out long x); };")
+
+    def test_oneway_rejects_raises(self):
+        with pytest.raises(IdlSemanticError):
+            resolve(
+                "exception E { long c; }; interface F { oneway void op() raises (E); };"
+            )
+
+    def test_raises_must_name_exception(self):
+        with pytest.raises(IdlSemanticError):
+            resolve("struct S { long v; }; interface F { void op() raises (S); };")
+
+    def test_const_type_checked(self):
+        with pytest.raises(IdlSemanticError):
+            resolve('const long N = "not a number";')
+
+    def test_const_value_recorded(self):
+        spec = resolve("const long MAX = 17;")
+        assert spec.constants["MAX"] == 17
+
+
+class TestOperationViews:
+    def test_in_and_out_params(self):
+        spec = resolve(
+            "interface F { long op(in long a, out long b, inout long c); };"
+        )
+        op = spec.interfaces["F"].operation("op")
+        assert [p.name for p in op.in_params] == ["a", "c"]
+        assert [p.name for p in op.out_params] == ["b", "c"]
+
+
+class TestPythonBindingRestrictions:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "interface F { void op(in long class); };",
+            "interface F { void import(); };",
+            "struct S { long lambda; };",
+            "enum E { if, else };",
+            "interface def {};",
+            "module yield { interface F {}; };",
+        ],
+    )
+    def test_python_keywords_rejected_with_clear_error(self, source):
+        with pytest.raises(IdlSemanticError, match="Python keyword"):
+            resolve(source)
+
+    def test_near_keywords_allowed(self):
+        spec = resolve("interface F { void op(in long klass, in long class_); };")
+        op = spec.interfaces["F"].operation("op")
+        assert [p.name for p in op.parameters] == ["klass", "class_"]

@@ -1,0 +1,182 @@
+"""Unit tests for the runtime type model and its CDR marshalling."""
+
+import enum
+
+import pytest
+
+from repro.errors import MarshalError
+from repro.idl.types import (
+    BOOLEAN,
+    CHAR,
+    DOUBLE,
+    FLOAT,
+    LONG,
+    LONGLONG,
+    OCTET,
+    SHORT,
+    STRING,
+    ULONG,
+    EnumType,
+    ObjectRefType,
+    SequenceType,
+    StructType,
+    marshal_value,
+    unmarshal_value,
+)
+from repro.orb.refs import ObjectRef
+
+
+def roundtrip(idl_type, value):
+    return unmarshal_value(idl_type, marshal_value(idl_type, value))
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "idl_type,value",
+        [
+            (LONG, 0),
+            (LONG, -(2**31)),
+            (LONG, 2**31 - 1),
+            (ULONG, 2**32 - 1),
+            (LONGLONG, -(2**63)),
+            (SHORT, -32768),
+            (OCTET, 255),
+            (BOOLEAN, True),
+            (BOOLEAN, False),
+            (CHAR, "A"),
+            (DOUBLE, 3.141592653589793),
+        ],
+    )
+    def test_roundtrip(self, idl_type, value):
+        assert roundtrip(idl_type, value) == value
+
+    def test_float_precision(self):
+        assert roundtrip(FLOAT, 0.5) == 0.5  # representable in binary32
+
+    def test_long_overflow_raises(self):
+        with pytest.raises(MarshalError):
+            marshal_value(LONG, 2**31)
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(MarshalError):
+            marshal_value(LONG, "nope")
+        with pytest.raises(MarshalError):
+            marshal_value(DOUBLE, "nope")
+        with pytest.raises(MarshalError):
+            marshal_value(CHAR, "too long")
+
+    def test_bool_not_accepted_as_long(self):
+        with pytest.raises(MarshalError):
+            marshal_value(LONG, True)
+
+    def test_defaults(self):
+        assert LONG.default() == 0
+        assert BOOLEAN.default() is False
+        assert STRING.default() == ""
+
+
+class TestStrings:
+    def test_roundtrip(self):
+        assert roundtrip(STRING, "hello world") == "hello world"
+
+    def test_empty(self):
+        assert roundtrip(STRING, "") == ""
+
+    def test_unicode(self):
+        assert roundtrip(STRING, "héllo ∑") == "héllo ∑"
+
+    def test_non_string_raises(self):
+        with pytest.raises(MarshalError):
+            marshal_value(STRING, 42)
+
+
+class TestSequences:
+    def test_roundtrip(self):
+        seq = SequenceType(LONG)
+        assert roundtrip(seq, [1, 2, 3]) == [1, 2, 3]
+
+    def test_empty(self):
+        assert roundtrip(SequenceType(STRING), []) == []
+
+    def test_nested(self):
+        seq = SequenceType(SequenceType(LONG))
+        assert roundtrip(seq, [[1], [2, 3]]) == [[1], [2, 3]]
+
+    def test_non_list_raises(self):
+        with pytest.raises(MarshalError):
+            marshal_value(SequenceType(LONG), "abc")
+
+    def test_element_type_checked(self):
+        with pytest.raises(MarshalError):
+            marshal_value(SequenceType(LONG), [1, "two"])
+
+
+class _Color(enum.Enum):
+    RED = 0
+    GREEN = 1
+
+
+class TestEnums:
+    def make(self):
+        return EnumType("Color", ["RED", "GREEN"], _Color)
+
+    def test_roundtrip(self):
+        assert roundtrip(self.make(), _Color.GREEN) is _Color.GREEN
+
+    def test_accepts_label_string(self):
+        enum_type = self.make()
+        assert unmarshal_value(enum_type, marshal_value(enum_type, "RED")) is _Color.RED
+
+    def test_accepts_index(self):
+        enum_type = self.make()
+        assert unmarshal_value(enum_type, marshal_value(enum_type, 1)) is _Color.GREEN
+
+    def test_bad_value_raises(self):
+        with pytest.raises(MarshalError):
+            marshal_value(self.make(), "PURPLE")
+
+    def test_default_is_first_label(self):
+        assert self.make().default() is _Color.RED
+
+
+class _Point:
+    def __init__(self, x, y):
+        self.x = x
+        self.y = y
+
+    def __eq__(self, other):
+        return (self.x, self.y) == (other.x, other.y)
+
+
+class TestStructs:
+    def make(self):
+        return StructType("Point", [("x", LONG), ("y", LONG)], _Point)
+
+    def test_roundtrip(self):
+        assert roundtrip(self.make(), _Point(3, -4)) == _Point(3, -4)
+
+    def test_missing_field_raises(self):
+        class Partial:
+            x = 1
+
+        with pytest.raises(MarshalError):
+            marshal_value(self.make(), Partial())
+
+    def test_default_builds_instance(self):
+        assert self.make().default() == _Point(0, 0)
+
+
+class TestObjectRefs:
+    def test_roundtrip_as_ref(self):
+        ref_type = ObjectRefType("Mod::Iface")
+        ref = ObjectRef("proc1", "obj-1", "Mod::Iface", "Comp")
+        restored = roundtrip(ref_type, ref)
+        assert restored == ref
+
+    def test_nil_reference(self):
+        ref_type = ObjectRefType("Mod::Iface")
+        assert roundtrip(ref_type, None) is None
+
+    def test_unmarshallable_value_raises(self):
+        with pytest.raises(MarshalError):
+            marshal_value(ObjectRefType("I"), object())

@@ -1,0 +1,95 @@
+"""Unit tests for the CDR codec primitives."""
+
+import pytest
+
+from repro.errors import MarshalError
+from repro.orb.cdr import CdrDecoder, CdrEncoder
+
+
+class TestEncoderDecoder:
+    def test_primitive_roundtrip_each_kind(self):
+        encoder = CdrEncoder()
+        values = [
+            ("octet", 7),
+            ("boolean", True),
+            ("char", "Z"),
+            ("short", -5),
+            ("unsigned short", 65535),
+            ("long", -123456),
+            ("unsigned long", 4000000000),
+            ("long long", -(2**62)),
+            ("unsigned long long", 2**63),
+            ("float", 1.5),
+            ("double", 2.25),
+        ]
+        for kind, value in values:
+            encoder.write_primitive(kind, value)
+        decoder = CdrDecoder(encoder.getvalue())
+        for kind, value in values:
+            assert decoder.read_primitive(kind) == value
+
+    def test_alignment_padding(self):
+        encoder = CdrEncoder()
+        encoder.write_primitive("octet", 1)
+        encoder.write_primitive("long", 2)  # requires 3 padding bytes
+        payload = encoder.getvalue()
+        assert len(payload) == 8
+        decoder = CdrDecoder(payload)
+        assert decoder.read_primitive("octet") == 1
+        assert decoder.read_primitive("long") == 2
+
+    def test_double_alignment(self):
+        encoder = CdrEncoder()
+        encoder.write_primitive("octet", 1)
+        encoder.write_primitive("double", 4.5)
+        assert len(encoder.getvalue()) == 16
+
+    def test_string_roundtrip_with_nul(self):
+        encoder = CdrEncoder()
+        encoder.write_string("hi")
+        payload = encoder.getvalue()
+        # 4-byte length + "hi\0"
+        assert payload[4:7] == b"hi\x00"
+        assert CdrDecoder(payload).read_string() == "hi"
+
+    def test_bytes_roundtrip(self):
+        encoder = CdrEncoder()
+        encoder.write_bytes(b"\x00\x01\x02")
+        assert CdrDecoder(encoder.getvalue()).read_bytes() == b"\x00\x01\x02"
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(MarshalError):
+            CdrEncoder().write_primitive("quux", 1)
+        with pytest.raises(MarshalError):
+            CdrDecoder(b"\x00" * 8).read_primitive("quux")
+
+    def test_underrun_raises(self):
+        with pytest.raises(MarshalError):
+            CdrDecoder(b"\x00\x01").read_primitive("long")
+
+    def test_string_underrun_raises(self):
+        encoder = CdrEncoder()
+        encoder.write_primitive("unsigned long", 100)
+        with pytest.raises(MarshalError):
+            CdrDecoder(encoder.getvalue()).read_string()
+
+    def test_expect_exhausted_allows_padding(self):
+        decoder = CdrDecoder(b"\x00\x00\x00")
+        decoder.expect_exhausted()  # trailing zero padding is fine
+
+    def test_expect_exhausted_rejects_real_data(self):
+        decoder = CdrDecoder(b"\x00\x00\x00\x07")
+        with pytest.raises(MarshalError):
+            decoder.expect_exhausted()
+
+    def test_char_accepts_int_or_str(self):
+        encoder = CdrEncoder()
+        encoder.write_primitive("char", "A")
+        encoder.write_primitive("char", 66)
+        decoder = CdrDecoder(encoder.getvalue())
+        assert decoder.read_primitive("char") == "A"
+        assert decoder.read_primitive("char") == "B"
+
+    def test_struct_pack_overflow_wrapped(self):
+        with pytest.raises(MarshalError):
+            CdrEncoder().write_primitive("short", 2**20)

@@ -1,0 +1,76 @@
+"""Unit tests for GIOP-like message framing."""
+
+import pytest
+
+from repro.errors import MarshalError
+from repro.orb.giop import (
+    ReplyMessage,
+    ReplyStatus,
+    RequestMessage,
+    decode_message,
+)
+
+
+class TestRequestMessage:
+    def test_roundtrip_with_ftl(self):
+        message = RequestMessage(
+            request_id=7,
+            object_key="server.obj-3",
+            interface="Mod::Iface",
+            operation="do_thing",
+            oneway=False,
+            body=b"\x01\x02",
+            ftl=b"\xaa" * 24,
+        )
+        decoded = decode_message(message.encode())
+        assert isinstance(decoded, RequestMessage)
+        assert decoded == message
+
+    def test_roundtrip_without_ftl(self):
+        message = RequestMessage(
+            request_id=1,
+            object_key="k",
+            interface="I",
+            operation="op",
+            oneway=True,
+            body=b"",
+            ftl=None,
+        )
+        decoded = decode_message(message.encode())
+        assert decoded.ftl is None
+        assert decoded.oneway
+
+    def test_empty_body(self):
+        message = RequestMessage(2, "k", "I", "op", False, b"")
+        assert decode_message(message.encode()).body == b""
+
+
+class TestReplyMessage:
+    @pytest.mark.parametrize("status", list(ReplyStatus))
+    def test_roundtrip_each_status(self, status):
+        message = ReplyMessage(request_id=9, status=status, body=b"xyz", ftl=b"\x00" * 24)
+        decoded = decode_message(message.encode())
+        assert isinstance(decoded, ReplyMessage)
+        assert decoded == message
+
+    def test_reply_without_ftl(self):
+        message = ReplyMessage(request_id=3, status=ReplyStatus.OK, body=b"")
+        assert decode_message(message.encode()).ftl is None
+
+
+class TestDecodeErrors:
+    def test_bad_magic(self):
+        with pytest.raises(MarshalError):
+            decode_message(b"\x00\x00\x00\x00\x00\x00\x00\x00")
+
+    def test_truncated_message(self):
+        message = RequestMessage(1, "k", "I", "op", False, b"payload")
+        with pytest.raises(MarshalError):
+            decode_message(message.encode()[:10])
+
+    def test_unknown_kind(self):
+        good = RequestMessage(1, "k", "I", "op", False, b"").encode()
+        # Kind octet sits right after the 4-byte magic.
+        bad = good[:4] + b"\x09" + good[5:]
+        with pytest.raises((MarshalError, ValueError)):
+            decode_message(bad)

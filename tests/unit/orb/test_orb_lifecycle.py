@@ -1,0 +1,127 @@
+"""Unit tests for ORB lifecycle and resolution edge cases."""
+
+import pytest
+
+from repro.errors import OrbError, TransportError
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb, ObjectRef
+
+IDL = "module LC { interface Thing { long poke(); }; };"
+
+
+def build(cluster):
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+    process = cluster.process("proc")
+    orb = Orb(process, cluster.network, registry=registry)
+    return compiled, orb
+
+
+class TestActivation:
+    def test_activate_infers_interface(self, cluster):
+        compiled, orb = build(cluster)
+
+        class ThingImpl(compiled.Thing):
+            def poke(self):
+                return 1
+
+        ref = orb.activate(ThingImpl())
+        assert ref.interface == "LC::Thing"
+        assert ref.component == "ThingImpl"
+
+    def test_activate_requires_inferable_interface(self, cluster):
+        compiled, orb = build(cluster)
+
+        class Naked:
+            pass
+
+        with pytest.raises(OrbError):
+            orb.activate(Naked())
+
+    def test_custom_component_and_key(self, cluster):
+        compiled, orb = build(cluster)
+
+        class ThingImpl(compiled.Thing):
+            def poke(self):
+                return 1
+
+        ref = orb.activate(ThingImpl(), object_key="thing-1", component="Gadget")
+        assert ref.object_key == "thing-1"
+        assert ref.component == "Gadget"
+
+    def test_servant_learns_its_reference(self, cluster):
+        compiled, orb = build(cluster)
+
+        class ThingImpl(compiled.Thing):
+            def poke(self):
+                return 1
+
+        servant = ThingImpl()
+        ref = orb.activate(servant)
+        assert servant._repro_object_ref == ref
+
+
+class TestResolution:
+    def test_resolve_from_url(self, cluster):
+        compiled, orb = build(cluster)
+
+        class ThingImpl(compiled.Thing):
+            def poke(self):
+                return 7
+
+        ref = orb.activate(ThingImpl())
+        stub = orb.resolve(ref.to_url())
+        assert stub.poke() == 7
+
+    def test_resolve_unknown_interface_fails(self, cluster):
+        compiled, orb = build(cluster)
+        ref = ObjectRef("proc", "k", "LC::Nonexistent", "X")
+        with pytest.raises(OrbError):
+            orb.resolve(ref)
+
+    def test_localize_lists(self, cluster):
+        compiled, orb = build(cluster)
+
+        class ThingImpl(compiled.Thing):
+            def poke(self):
+                return 1
+
+        ref = orb.activate(ThingImpl())
+        localized = orb.localize([ref, [ref]])
+        assert localized[0].poke() == 1
+        assert localized[1][0].poke() == 1
+
+    def test_localize_passthrough_for_plain_values(self, cluster):
+        compiled, orb = build(cluster)
+        assert orb.localize(42) == 42
+        assert orb.localize("text") == "text"
+
+
+class TestShutdown:
+    def test_shutdown_idempotent(self, cluster):
+        compiled, orb = build(cluster)
+        orb.shutdown()
+        orb.shutdown()  # no error
+
+    def test_send_after_shutdown_rejected(self, cluster):
+        compiled, orb = build(cluster)
+
+        class ThingImpl(compiled.Thing):
+            def poke(self):
+                return 1
+
+        ref = orb.activate(ThingImpl())
+        stub = orb.resolve(ref)
+        orb.shutdown()
+        with pytest.raises((OrbError, TransportError)):
+            stub.poke()
+
+    def test_address_reusable_after_shutdown(self, cluster):
+        compiled, orb = build(cluster)
+        process = orb.process
+        orb.shutdown()
+        registry = InterfaceRegistry()
+        compile_idl(IDL, instrument=True, registry=registry)
+        orb2 = Orb(process, cluster.network, registry=registry)
+        assert orb2.address == orb.address
+        orb2.shutdown()

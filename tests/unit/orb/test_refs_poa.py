@@ -1,0 +1,99 @@
+"""Unit tests for object references and the object adapter."""
+
+import pytest
+
+from repro.errors import MarshalError, ObjectNotFound
+from repro.orb.poa import ObjectAdapter
+from repro.orb.refs import ObjectRef
+
+
+class TestObjectRef:
+    def test_url_roundtrip(self):
+        ref = ObjectRef("procA", "procA.obj-1", "Mod::Iface", "Comp")
+        assert ObjectRef.from_url(ref.to_url()) == ref
+
+    def test_url_without_component(self):
+        ref = ObjectRef("procA", "key", "Mod::Iface")
+        url = ref.to_url()
+        assert "!" not in url
+        assert ObjectRef.from_url(url) == ref
+
+    def test_url_format(self):
+        ref = ObjectRef("p", "k", "I", "C")
+        assert ref.to_url() == "repro://p/k#I!C"
+
+    def test_bad_scheme(self):
+        with pytest.raises(MarshalError):
+            ObjectRef.from_url("http://nope/k#I")
+
+    @pytest.mark.parametrize("url", ["repro://", "repro://a", "repro://a/b", "repro:///k#I"])
+    def test_malformed_urls(self, url):
+        with pytest.raises(MarshalError):
+            ObjectRef.from_url(url)
+
+    def test_reserved_characters_rejected(self):
+        with pytest.raises(MarshalError):
+            ObjectRef("a/b", "k", "I").to_url()
+        with pytest.raises(MarshalError):
+            ObjectRef("a", "k#x", "I").to_url()
+
+
+class TestObjectAdapter:
+    def test_activate_and_find(self):
+        adapter = ObjectAdapter("proc")
+        skeleton = object()
+        ref = adapter.activate(skeleton, None, "I", "C")
+        assert ref.address == "proc"
+        assert adapter.find(ref.object_key) is skeleton
+
+    def test_minted_keys_embed_address_and_are_unique(self):
+        adapter = ObjectAdapter("proc")
+        ref1 = adapter.activate(object(), None, "I", "C")
+        ref2 = adapter.activate(object(), None, "I", "C")
+        assert ref1.object_key != ref2.object_key
+        assert ref1.object_key.startswith("proc.")
+
+    def test_explicit_key(self):
+        adapter = ObjectAdapter("proc")
+        ref = adapter.activate(object(), "my-key", "I", "C")
+        assert ref.object_key == "my-key"
+
+    def test_duplicate_key_rejected(self):
+        adapter = ObjectAdapter("proc")
+        adapter.activate(object(), "k", "I", "C")
+        with pytest.raises(ObjectNotFound):
+            adapter.activate(object(), "k", "I", "C")
+
+    def test_find_missing_raises(self):
+        adapter = ObjectAdapter("proc")
+        with pytest.raises(ObjectNotFound):
+            adapter.find("ghost")
+
+    def test_try_find_returns_none(self):
+        adapter = ObjectAdapter("proc")
+        assert adapter.try_find("ghost") is None
+
+    def test_deactivate(self):
+        adapter = ObjectAdapter("proc")
+        ref = adapter.activate(object(), None, "I", "C")
+        adapter.deactivate(ref.object_key)
+        with pytest.raises(ObjectNotFound):
+            adapter.find(ref.object_key)
+
+    def test_reserve_install(self):
+        adapter = ObjectAdapter("proc")
+        key = adapter.reserve(None)
+        skeleton = object()
+        adapter.install(key, skeleton)
+        assert adapter.find(key) is skeleton
+
+    def test_install_unreserved_raises(self):
+        adapter = ObjectAdapter("proc")
+        with pytest.raises(ObjectNotFound):
+            adapter.install("never", object())
+
+    def test_active_keys(self):
+        adapter = ObjectAdapter("proc")
+        adapter.activate(object(), "b", "I", "C")
+        adapter.activate(object(), "a", "I", "C")
+        assert adapter.active_keys() == ["a", "b"]

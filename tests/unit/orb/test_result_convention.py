@@ -1,0 +1,100 @@
+"""Unit tests for the stub/skeleton marshalling helpers and result shape."""
+
+import pytest
+
+from repro.errors import MarshalError, RemoteApplicationError
+from repro.idl import parse_idl
+from repro.idl.semantics import analyze
+from repro.orb.runtime import (
+    _marshal_args,
+    _marshal_result,
+    _marshal_system_exception,
+    _marshal_user_exception,
+    _result_values,
+    _unmarshal_args,
+    _unmarshal_result,
+    _unmarshal_system_exception,
+    _unmarshal_user_exception,
+)
+
+IDL = """
+exception Boom { string why; };
+interface Shapes {
+  void nothing();
+  long just_return(in long a);
+  void just_out(out long b);
+  long both(in long a, out long b);
+  long many(in long a, inout long c, out long b) raises (Boom);
+};
+"""
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return analyze(parse_idl(IDL))
+
+
+def op(spec, name):
+    return spec.interfaces["Shapes"].operation(name)
+
+
+class TestResultValues:
+    def test_void_no_outs(self, spec):
+        assert _result_values(op(spec, "nothing"), None) == []
+        with pytest.raises(MarshalError):
+            _result_values(op(spec, "nothing"), 42)
+
+    def test_single_return(self, spec):
+        assert _result_values(op(spec, "just_return"), 5) == [5]
+
+    def test_single_out(self, spec):
+        assert _result_values(op(spec, "just_out"), 9) == [9]
+
+    def test_return_plus_out_needs_tuple(self, spec):
+        assert _result_values(op(spec, "both"), (1, 2)) == [1, 2]
+        with pytest.raises(MarshalError):
+            _result_values(op(spec, "both"), 1)
+        with pytest.raises(MarshalError):
+            _result_values(op(spec, "both"), (1, 2, 3))
+
+
+class TestArgsRoundtrip:
+    def test_in_and_inout_travel(self, spec):
+        operation = op(spec, "many")
+        body = _marshal_args(operation, (10, 20))
+        assert _unmarshal_args(operation, body) == (10, 20)
+
+    def test_wrong_arity(self, spec):
+        with pytest.raises(MarshalError):
+            _marshal_args(op(spec, "many"), (1,))
+
+    def test_result_roundtrip_with_outs(self, spec):
+        operation = op(spec, "many")
+        # return, inout c, out b
+        body = _marshal_result(operation, (100, 30, 40))
+        assert _unmarshal_result(operation, body) == (100, 30, 40)
+
+    def test_void_result_roundtrip(self, spec):
+        operation = op(spec, "nothing")
+        assert _unmarshal_result(operation, _marshal_result(operation, None)) is None
+
+
+class TestExceptionMarshalling:
+    def test_user_exception_roundtrip(self, spec):
+        operation = op(spec, "many")
+        boom_type = spec.exceptions["Boom"]
+        exc = boom_type.py_class(why="it broke")
+        body = _marshal_user_exception(operation, exc)
+        restored = _unmarshal_user_exception(operation, body)
+        assert restored == exc
+
+    def test_undeclared_exception_rejected_at_marshal(self, spec):
+        with pytest.raises(MarshalError):
+            _marshal_user_exception(op(spec, "many"), ValueError("x"))
+
+    def test_system_exception_roundtrip(self):
+        body = _marshal_system_exception(RuntimeError("boom"))
+        restored = _unmarshal_system_exception(body)
+        assert isinstance(restored, RemoteApplicationError)
+        assert restored.exc_type == "RuntimeError"
+        assert "boom" in restored.message

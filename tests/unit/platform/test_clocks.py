@@ -1,0 +1,102 @@
+"""Unit tests for platform clocks."""
+
+import threading
+
+import pytest
+
+from repro.platform.clocks import RealClock, SkewedClock, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        clock = VirtualClock()
+        assert clock.wall_ns() == 0
+        assert clock.thread_cpu_ns() == 0
+
+    def test_custom_start(self):
+        clock = VirtualClock(start_ns=1_000)
+        assert clock.wall_ns() == 1_000
+
+    def test_consume_advances_wall_and_cpu(self):
+        clock = VirtualClock()
+        clock.consume(500)
+        assert clock.wall_ns() == 500
+        assert clock.thread_cpu_ns() == 500
+
+    def test_idle_advances_wall_only(self):
+        clock = VirtualClock()
+        clock.idle(300)
+        assert clock.wall_ns() == 300
+        assert clock.thread_cpu_ns() == 0
+
+    def test_negative_consume_rejected(self):
+        clock = VirtualClock()
+        with pytest.raises(ValueError):
+            clock.consume(-1)
+        with pytest.raises(ValueError):
+            clock.idle(-1)
+
+    def test_cpu_is_per_thread(self):
+        clock = VirtualClock()
+        clock.consume(100)
+        seen = {}
+
+        def other():
+            clock.consume(250)
+            seen["cpu"] = clock.thread_cpu_ns()
+
+        thread = threading.Thread(target=other)
+        thread.start()
+        thread.join()
+        assert seen["cpu"] == 250
+        assert clock.thread_cpu_ns() == 100
+        # Wall clock is shared: both advances accumulate.
+        assert clock.wall_ns() == 350
+        assert clock.total_cpu_ns() == 350
+
+    def test_cpu_of_thread_lookup(self):
+        clock = VirtualClock()
+        clock.consume(42)
+        assert clock.cpu_of_thread(threading.get_ident()) == 42
+        assert clock.cpu_of_thread(123456789) == 0
+
+
+class TestRealClock:
+    def test_wall_monotonic(self):
+        clock = RealClock()
+        a = clock.wall_ns()
+        b = clock.wall_ns()
+        assert b >= a
+
+    def test_thread_cpu_advances_under_load(self):
+        clock = RealClock()
+        start = clock.thread_cpu_ns()
+        total = 0
+        for i in range(200_000):
+            total += i
+        assert clock.thread_cpu_ns() > start
+
+
+class TestSkewedClock:
+    def test_wall_is_offset(self):
+        base = VirtualClock(start_ns=100)
+        skewed = SkewedClock(base, skew_ns=1_000_000)
+        assert skewed.wall_ns() == 1_000_100
+
+    def test_cpu_passthrough(self):
+        base = VirtualClock()
+        skewed = SkewedClock(base, skew_ns=5_000)
+        base.consume(77)
+        assert skewed.thread_cpu_ns() == 77
+
+    def test_forwards_consume_to_base(self):
+        base = VirtualClock()
+        skewed = SkewedClock(base, skew_ns=10)
+        skewed.consume(5)
+        assert base.wall_ns() == 5
+        assert skewed.wall_ns() == 15
+
+    def test_negative_skew(self):
+        base = VirtualClock(start_ns=1_000)
+        skewed = SkewedClock(base, skew_ns=-400)
+        assert skewed.wall_ns() == 600

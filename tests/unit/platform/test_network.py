@@ -1,0 +1,122 @@
+"""Unit tests for the in-memory network."""
+
+import threading
+
+import pytest
+
+from repro.errors import TransportError
+from repro.platform import Host, Network, PlatformKind, VirtualClock
+
+
+class TestNetworkBasics:
+    def test_connect_and_exchange(self):
+        network = Network()
+        server_sides = []
+        network.listen("server", server_sides.append)
+        client = network.connect("client", "server")
+        assert len(server_sides) == 1
+        server = server_sides[0]
+        client.send(b"hello")
+        assert server.recv(timeout=1) == b"hello"
+        server.send(b"world")
+        assert client.recv(timeout=1) == b"world"
+
+    def test_connect_unknown_address(self):
+        network = Network()
+        with pytest.raises(TransportError):
+            network.connect("client", "nowhere")
+
+    def test_duplicate_listen_rejected(self):
+        network = Network()
+        network.listen("addr", lambda conn: None)
+        with pytest.raises(TransportError):
+            network.listen("addr", lambda conn: None)
+
+    def test_unlisten_frees_address(self):
+        network = Network()
+        network.listen("addr", lambda conn: None)
+        network.unlisten("addr")
+        network.listen("addr", lambda conn: None)  # no error
+
+    def test_recv_timeout(self):
+        network = Network()
+        sides = []
+        network.listen("s", sides.append)
+        client = network.connect("c", "s")
+        with pytest.raises(TransportError):
+            client.recv(timeout=0.01)
+
+    def test_close_unblocks_local_receiver(self):
+        network = Network()
+        sides = []
+        network.listen("s", sides.append)
+        client = network.connect("c", "s")
+        server = sides[0]
+        errors = []
+
+        def reader():
+            try:
+                server.recv(timeout=5)
+            except TransportError as exc:
+                errors.append(exc)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        server.close()
+        thread.join(timeout=2)
+        assert not thread.is_alive()
+        assert errors
+
+    def test_close_notifies_peer(self):
+        network = Network()
+        sides = []
+        network.listen("s", sides.append)
+        client = network.connect("c", "s")
+        client.close()
+        with pytest.raises(TransportError):
+            sides[0].recv(timeout=1)
+
+    def test_send_after_close_raises(self):
+        network = Network()
+        sides = []
+        network.listen("s", sides.append)
+        client = network.connect("c", "s")
+        client.close()
+        with pytest.raises(TransportError):
+            client.send(b"late")
+
+
+class TestLatencyInjection:
+    def test_virtual_latency_advances_wall_clock(self):
+        network = Network()
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        network.set_default_latency(2_000)
+        sides = []
+        network.listen("s", sides.append)
+        client = network.connect("c", "s")
+        client.send(b"x", sender_host=host)
+        assert clock.wall_ns() == 2_000
+        assert sides[0].recv(timeout=1) == b"x"
+
+    def test_per_link_latency_overrides_default(self):
+        network = Network()
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        network.set_default_latency(1_000)
+        network.set_latency("c", "s", 5_000)
+        sides = []
+        network.listen("s", sides.append)
+        client = network.connect("c", "s")
+        client.send(b"x", sender_host=host)
+        assert clock.wall_ns() == 5_000
+
+    def test_zero_latency_no_clock_effect(self):
+        network = Network()
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        sides = []
+        network.listen("s", sides.append)
+        client = network.connect("c", "s")
+        client.send(b"x", sender_host=host)
+        assert clock.wall_ns() == 0

@@ -1,0 +1,70 @@
+"""Unit tests for thread-specific storage."""
+
+import threading
+
+from repro.platform.tss import ThreadSpecificStorage
+
+
+class TestThreadSpecificStorage:
+    def test_get_default(self):
+        tss = ThreadSpecificStorage()
+        assert tss.get("ftl") is None
+        assert tss.get("ftl", "fallback") == "fallback"
+
+    def test_set_and_get(self):
+        tss = ThreadSpecificStorage()
+        tss.set("ftl", "value")
+        assert tss.get("ftl") == "value"
+
+    def test_pop(self):
+        tss = ThreadSpecificStorage()
+        tss.set("ftl", 1)
+        assert tss.pop("ftl") == 1
+        assert tss.get("ftl") is None
+        assert tss.pop("ftl", "gone") == "gone"
+
+    def test_isolation_between_threads(self):
+        tss = ThreadSpecificStorage()
+        tss.set("ftl", "main")
+        seen = {}
+
+        def worker():
+            seen["before"] = tss.get("ftl")
+            tss.set("ftl", "worker")
+            seen["after"] = tss.get("ftl")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["before"] is None
+        assert seen["after"] == "worker"
+        assert tss.get("ftl") == "main"
+
+    def test_clear_thread(self):
+        tss = ThreadSpecificStorage()
+        tss.set("a", 1)
+        tss.set("b", 2)
+        tss.clear_thread()
+        assert tss.get("a") is None
+        assert tss.get("b") is None
+
+    def test_len_counts_threads(self):
+        tss = ThreadSpecificStorage()
+        assert len(tss) == 0
+        tss.set("x", 1)
+        assert len(tss) == 1
+
+        def worker():
+            tss.set("x", 2)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert len(tss) == 2
+
+    def test_multiple_slots_independent(self):
+        tss = ThreadSpecificStorage()
+        tss.set("ftl", "chain")
+        tss.set("other", "data")
+        assert tss.pop("ftl") == "chain"
+        assert tss.get("other") == "data"

@@ -1,0 +1,105 @@
+"""Unit tests for replay-harness generation (future-work extension)."""
+
+from repro.analysis import reconstruct_from_records
+from repro.core import MonitorMode, TracingEvent
+from repro.testing_harness import (
+    ReplayRunner,
+    compare_structures,
+    derive_plan,
+    render_harness_script,
+)
+from tests.helpers import Call, simulate
+
+
+def recorded_dscg(mode=MonitorMode.SEMANTICS):
+    sim = simulate(
+        [
+            Call("Shop::Catalog::add", cpu_ns=10, children=(
+                Call("Shop::Audit::log", cpu_ns=5),
+            )),
+            Call("Shop::Catalog::lookup", cpu_ns=10),
+        ],
+        mode=mode,
+        fresh_chain_per_top_call=True,
+    )
+    return reconstruct_from_records(sim.records), sim.records
+
+
+class TestDerivePlan:
+    def test_roots_and_structure(self):
+        dscg, _ = recorded_dscg()
+        plan = derive_plan(dscg)
+        assert [r.operation for r in plan.roots] == ["add", "lookup"]
+        assert plan.total_calls == 3
+        assert plan.roots[0].children[0].operation == "log"
+
+    def test_signatures_capture_nesting(self):
+        dscg, _ = recorded_dscg()
+        signatures = derive_plan(dscg).signatures()
+        add_signature = signatures[0]
+        assert add_signature[0] == "Shop::Catalog::add"
+        assert add_signature[2][0][0] == "Shop::Audit::log"
+
+    def test_args_from_semantics(self):
+        dscg, records = recorded_dscg()
+        # inject recorded args on the root's stub_start
+        for record in records:
+            if record.event is TracingEvent.STUB_START and record.operation == "add":
+                record.semantics = {"args": ["42", "'toner'"]}
+        dscg = reconstruct_from_records(records)
+        plan = derive_plan(dscg)
+        assert plan.roots[0].args_repr == ["42", "'toner'"]
+
+
+class TestRenderScript:
+    def test_script_shape(self):
+        dscg, _ = recorded_dscg()
+        script = render_harness_script(derive_plan(dscg))
+        assert "EXPECTED_TOTAL_CALLS = 3" in script
+        assert "def drive(resolve_stub):" in script
+        assert ".add(" in script and ".lookup(" in script
+        assert "TODO" in script  # args were not recorded
+        compile(script, "<harness>", "exec")  # must be valid Python
+
+    def test_script_with_args_has_no_todo(self):
+        dscg, records = recorded_dscg()
+        for record in records:
+            if record.event is TracingEvent.STUB_START:
+                record.semantics = {"args": ["1"]}
+        dscg = reconstruct_from_records(records)
+        script = render_harness_script(derive_plan(dscg))
+        assert "TODO" not in script
+
+
+class TestReplay:
+    def test_replay_and_compare_identical(self):
+        dscg, _ = recorded_dscg()
+        plan = derive_plan(dscg)
+
+        calls = []
+
+        class FakeStub:
+            def __init__(self, object_id):
+                self.object_id = object_id
+
+            def __getattr__(self, name):
+                def call(*args):
+                    calls.append((self.object_id, name, args))
+
+                return call
+
+        runner = ReplayRunner(resolve_stub=FakeStub)
+        assert runner.run(plan) == 2
+        assert [c[1] for c in calls] == ["add", "lookup"]
+
+    def test_compare_structures_equal(self):
+        dscg, _ = recorded_dscg()
+        assert compare_structures(dscg, dscg) == []
+
+    def test_compare_structures_detects_drift(self):
+        dscg1, _ = recorded_dscg()
+        sim = simulate([Call("Shop::Catalog::add", cpu_ns=1)], mode=MonitorMode.CAUSALITY)
+        dscg2 = reconstruct_from_records(sim.records)
+        differences = compare_structures(dscg1, dscg2)
+        assert differences
+        assert any("missing in replay" in d for d in differences)

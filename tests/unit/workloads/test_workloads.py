@@ -1,0 +1,129 @@
+"""Unit tests for workload generators and burn helpers."""
+
+import pytest
+
+from repro.apps.embedded.generator import EmbeddedConfig, EmbeddedSplitter
+from repro.platform import Host, PlatformKind, VirtualClock
+from repro.workloads import BudgetSplitter, burn_cpu, idle_wall
+
+
+class TestBudgetSplitter:
+    def make(self, **kwargs):
+        defaults = dict(target_count=8, methods_per_target=3, seed=42, max_fanout=4)
+        defaults.update(kwargs)
+        return BudgetSplitter(**defaults)
+
+    def test_budget_conservation(self):
+        splitter = self.make()
+        plan = splitter.plan(100, path_seed=1)
+        assert sum(b for _, _, b in plan.children) == 99
+
+    def test_exhausted_budget_no_children(self):
+        assert self.make().plan(1, path_seed=1).children == ()
+        assert self.make().plan(0, path_seed=1).children == ()
+
+    def test_targets_within_range(self):
+        splitter = self.make()
+        for seed in range(20):
+            for target, method, budget in splitter.plan(50, path_seed=seed).children:
+                assert 0 <= target < 8
+                assert 0 <= method < 3
+                assert budget > 0
+
+    def test_deterministic(self):
+        a = self.make().plan(64, path_seed=5)
+        b = self.make().plan(64, path_seed=5)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        plans = {self.make(seed=s).plan(64, path_seed=5).children for s in range(10)}
+        assert len(plans) > 1
+
+    def test_derive_path_seed_stable(self):
+        splitter = self.make()
+        assert splitter.derive_path_seed(7, 0) == splitter.derive_path_seed(7, 0)
+        assert splitter.derive_path_seed(7, 0) != splitter.derive_path_seed(7, 1)
+
+    def test_invalid_target_count(self):
+        with pytest.raises(ValueError):
+            BudgetSplitter(target_count=0, methods_per_target=1, seed=1)
+
+
+class TestEmbeddedSplitter:
+    def make(self, **kwargs):
+        config = EmbeddedConfig(
+            components=12, interfaces=8, methods=16, processes=3, **kwargs
+        )
+        return config, EmbeddedSplitter(config, config.methods_per_interface())
+
+    def test_round_robin_process_targeting(self):
+        config, splitter = self.make()
+        for current in range(3):
+            children = splitter.plan(100, path_seed=1, current_process=current)
+            expected = (current + 1) % 3
+            for component, _, _ in children:
+                assert component % 3 == expected
+
+    def test_budget_conservation(self):
+        _, splitter = self.make()
+        children = splitter.plan(500, path_seed=9, current_process=0)
+        assert sum(b for _, _, b in children) == 499
+
+    def test_bounded_part_sizes(self):
+        """Near-equal splits: no part may hog the budget (depth bound)."""
+        _, splitter = self.make()
+        for seed in range(50):
+            children = splitter.plan(1_000, path_seed=seed, current_process=0)
+            if len(children) < 2:
+                continue
+            largest = max(b for _, _, b in children)
+            assert largest <= 999 * 0.75, f"seed {seed}: part {largest} too large"
+
+    def test_depth_bound_holds_empirically(self):
+        """Simulated descent depth stays logarithmic in the budget."""
+        _, splitter = self.make()
+
+        def max_depth(budget, path_seed, process, depth=1):
+            children = splitter.plan(budget, path_seed, process)
+            if not children:
+                return depth
+            return max(
+                max_depth(b, splitter.derive_path_seed(path_seed, i),
+                          (process + 1) % 3, depth + 1)
+                for i, (_, _, b) in enumerate(children)
+            )
+
+        depth = max_depth(5_000, 1, 0)
+        assert depth <= 30  # log_1.6(5000) ~ 18 plus slack
+
+
+class TestBurnHelpers:
+    def test_burn_on_virtual_clock_is_exact(self):
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        burn_cpu(host, 12_345)
+        assert clock.thread_cpu_ns() == 12_345
+        assert clock.wall_ns() == 12_345
+
+    def test_idle_on_virtual_clock(self):
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        idle_wall(host, 500)
+        assert clock.wall_ns() == 500
+        assert clock.thread_cpu_ns() == 0
+
+    def test_zero_and_negative_noop(self):
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        burn_cpu(host, 0)
+        burn_cpu(host, -5)
+        assert clock.wall_ns() == 0
+
+    def test_burn_on_real_clock_consumes_cpu(self):
+        import time
+
+        host = Host("h", PlatformKind.HPUX_11)  # RealClock
+        before = time.thread_time_ns()
+        burn_cpu(host, 2_000_000)  # 2 ms
+        consumed = time.thread_time_ns() - before
+        assert consumed >= 2_000_000
