@@ -26,6 +26,12 @@ from typing import Callable
 from repro.core.events import CallKind, TracingEvent
 from repro.core.records import ProbeRecord
 from repro.platform.process import SimProcess
+from repro.telemetry.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+)
 
 
 @dataclass
@@ -37,6 +43,9 @@ class OpenInvocation:
     chain_uuid: str
     started_wall_ns: int | None
     depth: int
+    #: Which probe opened the frame: "stub", or "skel" for the skeleton
+    #: side of a oneway fork / an unmonitored client's call.
+    opened_by: str = "stub"
 
 
 @dataclass
@@ -75,9 +84,46 @@ class OnlineMonitor:
         self,
         latency_slo_ns: int | None = None,
         on_alert: Callable[[Alert], None] | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.latency_slo_ns = latency_slo_ns
         self.on_alert = on_alert
+        # Live telemetry pipeline (Section 6, "on-line perspective"):
+        # with a registry attached, every ingest keeps scrape-ready
+        # gauges/histograms current; without one these are no-ops.
+        if registry is not None:
+            self._m_inflight = registry.gauge(
+                "repro_online_inflight_invocations",
+                "Invocations currently open on live causal chains.",
+            )
+            self._m_live_chains = registry.gauge(
+                "repro_online_live_chains",
+                "Causal chains with at least one open invocation.",
+            )
+            self._m_completed = registry.counter(
+                "repro_online_completed_calls_total",
+                "Invocations completed (stub_end observed and matched).",
+            )
+            self._m_latency = registry.histogram(
+                "repro_online_call_latency_ns",
+                "Rolling end-to-end latency of completed calls, in ns.",
+                labels=("function",),
+            )
+            self._m_slo_breaches = registry.counter(
+                "repro_online_slo_breaches_total",
+                "Completed calls whose latency exceeded the configured SLO.",
+            )
+            self._m_abnormal = registry.counter(
+                "repro_online_abnormal_events_total",
+                "Records that violated the Figure-4 state machine.",
+            )
+        else:
+            self._m_inflight = NULL_GAUGE
+            self._m_live_chains = NULL_GAUGE
+            self._m_completed = NULL_COUNTER
+            self._m_latency = NULL_HISTOGRAM
+            self._m_slo_breaches = NULL_COUNTER
+            self._m_abnormal = NULL_COUNTER
         self._stacks: dict[str, list[OpenInvocation]] = defaultdict(list)
         self._stats: dict[str, _LiveStats] = defaultdict(_LiveStats)
         self._alerts: list[Alert] = []
@@ -144,6 +190,8 @@ class OnlineMonitor:
         if event is TracingEvent.STUB_START or (
             event is TracingEvent.SKEL_START and not stack
         ):
+            if not stack:
+                self._m_live_chains.inc()
             stack.append(
                 OpenInvocation(
                     function=record.function,
@@ -151,38 +199,55 @@ class OnlineMonitor:
                     chain_uuid=record.chain_uuid,
                     started_wall_ns=record.wall_end,
                     depth=len(stack) + 1,
+                    opened_by="stub" if event is TracingEvent.STUB_START else "skel",
                 )
             )
+            self._m_inflight.inc()
             return
         if event in (TracingEvent.SKEL_START, TracingEvent.SKEL_END):
             if not stack or stack[-1].function != record.function:
                 self._abnormal_event(record)
+            elif event is TracingEvent.SKEL_END and stack[-1].opened_by == "skel":
+                # A frame with no stub side (oneway skeleton side, or an
+                # unmonitored client) completes at skel_end — its measured
+                # window is probe 2 end .. probe 3 start (Section 3.2).
+                self._complete(stack, record)
             return
         if event is TracingEvent.STUB_END:
             if not stack or stack[-1].function != record.function:
                 self._abnormal_event(record)
                 return
-            invocation = stack.pop()
-            if not stack:
-                del self._stacks[record.chain_uuid]
-            self._completed_calls += 1
-            if invocation.started_wall_ns is not None and record.wall_start is not None:
-                latency = record.wall_start - invocation.started_wall_ns
-                self._stats[record.function].add(latency)
-                if self.latency_slo_ns is not None and latency > self.latency_slo_ns:
-                    self._raise_alert(
-                        Alert(
-                            kind="latency",
-                            function=record.function,
-                            chain_uuid=record.chain_uuid,
-                            detail=f"latency {latency}ns exceeds SLO"
-                            f" {self.latency_slo_ns}ns",
-                            latency_ns=latency,
-                        )
+            self._complete(stack, record)
+
+    def _complete(self, stack: list[OpenInvocation], record: ProbeRecord) -> None:
+        """Close the top frame at its end probe; update stats and metrics."""
+        invocation = stack.pop()
+        self._m_inflight.dec()
+        if not stack:
+            del self._stacks[record.chain_uuid]
+            self._m_live_chains.dec()
+        self._completed_calls += 1
+        self._m_completed.inc()
+        if invocation.started_wall_ns is not None and record.wall_start is not None:
+            latency = record.wall_start - invocation.started_wall_ns
+            self._stats[record.function].add(latency)
+            self._m_latency.labels(record.function).observe(latency)
+            if self.latency_slo_ns is not None and latency > self.latency_slo_ns:
+                self._m_slo_breaches.inc()
+                self._raise_alert(
+                    Alert(
+                        kind="latency",
+                        function=record.function,
+                        chain_uuid=record.chain_uuid,
+                        detail=f"latency {latency}ns exceeds SLO"
+                        f" {self.latency_slo_ns}ns",
+                        latency_ns=latency,
                     )
+                )
 
     def _abnormal_event(self, record: ProbeRecord) -> None:
         self._abnormal += 1
+        self._m_abnormal.inc()
         self._raise_alert(
             Alert(
                 kind="abnormal",

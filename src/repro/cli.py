@@ -14,6 +14,8 @@ bundled example applications:
 - ``dscg-json``       export the annotated DSCG as JSON
 - ``svg``             hyperbolic-layout SVG of the DSCG
 - ``harness``         generate a replay harness script
+- ``export-trace``    export a run as Chrome/Perfetto or OTLP trace JSON
+- ``metrics``         run a demo with self-metrics on; print Prometheus text
 """
 
 from __future__ import annotations
@@ -176,6 +178,53 @@ def cmd_harness(args) -> int:
     return 0
 
 
+def cmd_export_trace(args) -> int:
+    from repro.telemetry import render_chrome_trace, render_otlp
+
+    database, run_id = _open_run(args)
+    dscg = reconstruct(database, run_id)
+    indent = 2 if args.pretty else None
+    if args.format == "chrome":
+        text = render_chrome_trace(dscg, run_id=run_id, indent=indent)
+    else:
+        text = render_otlp(dscg, run_id=run_id, indent=indent)
+    _emit(args.output, text)
+    return 0
+
+
+def cmd_metrics(args) -> int:
+    """Drive a demo workload with self-metrics enabled; print the scrape."""
+    from repro import telemetry
+    from repro.apps.pps import PpsSystem, four_process_deployment
+    from repro.collector import LogCollector
+    from repro.core import MonitorMode
+    from repro.telemetry.pipeline import LiveMetricsPipeline
+
+    registry = telemetry.enable(telemetry.MetricsRegistry())
+    try:
+        pps = PpsSystem(four_process_deployment(), mode=MonitorMode[args.mode.upper()])
+        try:
+            slo_ns = int(args.slo_ms * 1e6) if args.slo_ms is not None else None
+            pipeline = LiveMetricsPipeline(
+                pps.processes.values(), registry=registry, latency_slo_ns=slo_ns
+            )
+            pipeline.start(interval_s=0.02)
+            pps.run(njobs=args.jobs, pages=args.pages, complexity=args.complexity)
+            pps.quiesce()
+            pipeline.stop()
+            collector = LogCollector(
+                MonitoringDatabase(args.database) if args.database else None
+            )
+            collector.collect(pps.processes.values(),
+                              description="PPS telemetry demo (CLI)")
+        finally:
+            pps.shutdown()
+        _emit(args.output, telemetry.render_prometheus(registry))
+        return 0
+    finally:
+        telemetry.disable()
+
+
 def _emit(output: str | None, text: str) -> None:
     if output:
         with open(output, "w") as handle:
@@ -255,6 +304,36 @@ def build_parser() -> argparse.ArgumentParser:
         "harness", cmd_harness, "generate a replay harness script",
         lambda c: c.add_argument("--output", default=None),
     )
+
+    def export_trace_args(command):
+        command.add_argument("--format", default="chrome",
+                             choices=["chrome", "otlp"],
+                             help="chrome = Perfetto-loadable trace events;"
+                                  " otlp = OTLP-style span JSON")
+        command.add_argument("--output", default=None)
+        command.add_argument("--pretty", action="store_true",
+                             help="indent the JSON output")
+
+    add_run_command(
+        "export-trace", cmd_export_trace,
+        "export a collected run as standard trace JSON", export_trace_args,
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run the PPS with framework self-metrics on; print Prometheus text",
+    )
+    metrics.add_argument("--database", default=None,
+                         help="also collect the run into this database file")
+    metrics.add_argument("--mode", default="latency",
+                         choices=["causality", "latency", "cpu", "semantics", "full"])
+    metrics.add_argument("--jobs", type=int, default=3)
+    metrics.add_argument("--pages", type=int, default=4)
+    metrics.add_argument("--complexity", type=int, default=2)
+    metrics.add_argument("--slo-ms", type=float, default=None,
+                         help="latency SLO for breach counters, in milliseconds")
+    metrics.add_argument("--output", default=None)
+    metrics.set_defaults(func=cmd_metrics)
     return parser
 
 

@@ -10,13 +10,58 @@ no runtime coordination between probes and collection.
 from __future__ import annotations
 
 import itertools
+import time
+import uuid
 from typing import Iterable
 
 from repro.collector.database import MonitoringDatabase
 from repro.core.records import RunMetadata
 from repro.platform.process import SimProcess
+from repro.telemetry.metrics import NULL_COUNTER, NULL_HISTOGRAM
+from repro.telemetry.runtime import metrics_binder
 
 _run_counter = itertools.count(1)
+
+# Framework self-metrics (no-ops until repro.telemetry.enable()).
+_TELEMETRY_ON = False
+_DRAINS = NULL_COUNTER
+_RECORDS = NULL_COUNTER
+_DRAIN_NS = NULL_HISTOGRAM
+
+
+@metrics_binder
+def _bind_metrics(registry) -> None:
+    global _TELEMETRY_ON, _DRAINS, _RECORDS, _DRAIN_NS
+    if registry is None:
+        _TELEMETRY_ON = False
+        _DRAINS = NULL_COUNTER
+        _RECORDS = NULL_COUNTER
+        _DRAIN_NS = NULL_HISTOGRAM
+        return
+    _DRAINS = registry.counter(
+        "repro_collector_drains_total",
+        "Per-process log-buffer drains performed by collectors.",
+    )
+    _RECORDS = registry.counter(
+        "repro_collector_records_total",
+        "Probe records gathered into monitoring databases.",
+    )
+    _DRAIN_NS = registry.histogram(
+        "repro_collector_drain_ns",
+        "Wall time to drain and insert one process's buffer, in ns.",
+    )
+    _TELEMETRY_ON = True
+
+
+def _generate_run_id() -> str:
+    """A run id unique across collector instances and interpreters.
+
+    The module-level counter restarts with every interpreter, so two
+    processes (or two test runs appending to one database file) would
+    both mint ``run-1``; the random suffix makes collisions vanishingly
+    unlikely while keeping ids sortable by local sequence.
+    """
+    return f"run-{next(_run_counter)}-{uuid.uuid4().hex[:8]}"
 
 
 class LogCollector:
@@ -38,7 +83,7 @@ class LogCollector:
         consecutive collections partition the records into disjoint runs.
         """
         if run_id is None:
-            run_id = f"run-{next(_run_counter)}"
+            run_id = _generate_run_id()
         modes: set[str] = set()
         total = 0
         processes = list(processes)
@@ -54,8 +99,21 @@ class LogCollector:
             )
         )
         for process in processes:
-            records = process.log_buffer.drain() if drain else process.log_buffer.snapshot()
-            total += self.database.insert_records(run_id, records)
+            if _TELEMETRY_ON:
+                started = time.perf_counter_ns()
+                records = (
+                    process.log_buffer.drain() if drain else process.log_buffer.snapshot()
+                )
+                inserted = self.database.insert_records(run_id, records)
+                _DRAIN_NS.observe(time.perf_counter_ns() - started)
+            else:
+                records = (
+                    process.log_buffer.drain() if drain else process.log_buffer.snapshot()
+                )
+                inserted = self.database.insert_records(run_id, records)
+            _DRAINS.inc()
+            _RECORDS.inc(inserted)
+            total += inserted
         return run_id
 
 

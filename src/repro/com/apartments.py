@@ -26,6 +26,42 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.errors import ComError
+from repro.telemetry.metrics import NULL_COUNTER, NULL_GAUGE
+from repro.telemetry.runtime import metrics_binder
+
+# Framework self-metrics (no-ops until repro.telemetry.enable()).
+_POSTED = {"sta": NULL_COUNTER, "mta": NULL_COUNTER}
+_QUEUE_DEPTH = {"sta": NULL_GAUGE, "mta": NULL_GAUGE}
+_NESTED_DISPATCH = NULL_COUNTER
+
+
+@metrics_binder
+def _bind_metrics(registry) -> None:
+    global _NESTED_DISPATCH
+    if registry is None:
+        _POSTED["sta"] = _POSTED["mta"] = NULL_COUNTER
+        _QUEUE_DEPTH["sta"] = NULL_GAUGE
+        _QUEUE_DEPTH["mta"] = NULL_GAUGE
+        _NESTED_DISPATCH = NULL_COUNTER
+        return
+    posted = registry.counter(
+        "repro_apartment_posted_total",
+        "Call messages posted to apartment inboxes, by apartment kind.",
+        labels=("kind",),
+    )
+    depth = registry.gauge(
+        "repro_apartment_queue_depth",
+        "Call messages currently queued in apartment inboxes, by kind.",
+        labels=("kind",),
+    )
+    for kind in ("sta", "mta"):
+        _POSTED[kind] = posted.labels(kind)
+        _QUEUE_DEPTH[kind] = depth.labels(kind)
+    _NESTED_DISPATCH = registry.counter(
+        "repro_sta_nested_dispatch_total",
+        "Dispatches pumped inside an STA modal wait (the chain-mingling"
+        " hazard window of Section 2.2).",
+    )
 
 
 @dataclass
@@ -98,6 +134,8 @@ class Sta(Apartment):
     def post(self, message: CallMessage) -> None:
         if self._stopping:
             raise ComError(f"STA {self.label} is shut down")
+        _POSTED["sta"].inc()
+        _QUEUE_DEPTH["sta"].inc()
         self._inbox.put(message)
 
     def wakeup(self) -> None:
@@ -115,6 +153,7 @@ class Sta(Apartment):
                 return
             if message is _WAKEUP:
                 continue
+            _QUEUE_DEPTH["sta"].dec()
             self._dispatch(message)
 
     def _dispatch(self, message: CallMessage) -> None:
@@ -143,6 +182,8 @@ class Sta(Apartment):
                 raise ComError(f"STA {self.label} shut down during modal wait")
             if message is _WAKEUP:
                 continue
+            _QUEUE_DEPTH["sta"].dec()
+            _NESTED_DISPATCH.inc()
             self._dispatch(message)  # nested dispatch of another chain
 
     def shutdown(self) -> None:
@@ -169,6 +210,8 @@ class Mta(Apartment):
     def post(self, message: CallMessage) -> None:
         if self._stopping:
             raise ComError(f"MTA {self.label} is shut down")
+        _POSTED["mta"].inc()
+        _QUEUE_DEPTH["mta"].inc()
         self._inbox.put(message)
 
     def hosts_current_thread(self) -> bool:
@@ -179,6 +222,7 @@ class Mta(Apartment):
             message = self._inbox.get()
             if message is None:
                 return
+            _QUEUE_DEPTH["mta"].dec()
             value, error, ftl = message.dispatch(message)
             if message.reply_slot is not None:
                 message.reply_slot.complete(value, error, ftl)

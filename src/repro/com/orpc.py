@@ -25,6 +25,38 @@ from repro.com.interfaces import ComInterface, ComObject
 from repro.core.events import Domain
 from repro.core.records import OperationInfo
 from repro.errors import ComError
+from repro.telemetry.metrics import NULL_COUNTER
+from repro.telemetry.runtime import metrics_binder
+
+# Framework self-metrics (no-ops until repro.telemetry.enable()).
+_CALLS = {"direct": NULL_COUNTER, "channel": NULL_COUNTER}
+_DISPATCHES = NULL_COUNTER
+_DISPATCH_ERRORS = NULL_COUNTER
+
+
+@metrics_binder
+def _bind_metrics(registry) -> None:
+    global _DISPATCHES, _DISPATCH_ERRORS
+    if registry is None:
+        _CALLS["direct"] = _CALLS["channel"] = NULL_COUNTER
+        _DISPATCHES = NULL_COUNTER
+        _DISPATCH_ERRORS = NULL_COUNTER
+        return
+    calls = registry.counter(
+        "repro_orpc_calls_total",
+        "COM ORPC proxy calls, by path (direct = same apartment).",
+        labels=("path",),
+    )
+    _CALLS["direct"] = calls.labels("direct")
+    _CALLS["channel"] = calls.labels("channel")
+    _DISPATCHES = registry.counter(
+        "repro_orpc_dispatches_total",
+        "Server-side ORPC stub-manager dispatches.",
+    )
+    _DISPATCH_ERRORS = registry.counter(
+        "repro_orpc_dispatch_errors_total",
+        "ORPC dispatches whose implementation raised an exception.",
+    )
 
 
 class ObjectIdentity:
@@ -116,6 +148,7 @@ def invoke_through_channel(
     if apartment.hosts_current_thread():
         # Direct call within the apartment — degenerate probe pairs, like
         # the CORBA collocated case.
+        _CALLS["direct"].inc()
         if monitor is not None:
             stub_ctx, skel_ctx = monitor.collocated_call_start(op)
             try:
@@ -125,6 +158,7 @@ def invoke_through_channel(
         return getattr(identity.obj, method)(*args, **kwargs)
 
     # Probe 1: stub start (client side of the channel).
+    _CALLS["channel"].inc()
     ctx = monitor.stub_start(op) if monitor is not None else None
 
     server_runtime = identity.runtime
@@ -182,12 +216,14 @@ def _dispatch_on_server(
         # nested dispatch cannot mingle the chain being pumped over.
         saved_ftl = monitor.current_ftl()
     skel_ctx = monitor.skel_start(op, ftl) if monitor is not None else None
+    _DISPATCHES.inc()
     error: BaseException | None = None
     value: Any = None
     try:
         value = getattr(identity.obj, method)(*args, **kwargs)
     except BaseException as exc:  # noqa: BLE001 — forwarded to the caller
         error = exc
+        _DISPATCH_ERRORS.inc()
     reply_ftl = monitor.skel_end(skel_ctx) if monitor is not None else None
     if hooks and saved_ftl is not None:
         # Channel hook, dispatch exit: restore the interrupted chain.

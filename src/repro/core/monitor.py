@@ -22,6 +22,7 @@ happens.
 from __future__ import annotations
 
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -31,8 +32,35 @@ from repro.core.probes import CallContext, ProbeSample
 from repro.core.records import OperationInfo, ProbeRecord
 from repro.errors import MonitorError
 from repro.platform.process import SimProcess
+from repro.telemetry.metrics import NULL_COUNTER
+from repro.telemetry.runtime import metrics_binder
 
 _FTL_SLOT = "ftl"
+
+# Framework self-metrics (no-ops until repro.telemetry.enable()).
+_PROBE_RECORDS = dict.fromkeys(TracingEvent, NULL_COUNTER)
+_CHAINS_STARTED = NULL_COUNTER
+
+
+@metrics_binder
+def _bind_metrics(registry) -> None:
+    global _CHAINS_STARTED
+    if registry is None:
+        for event in TracingEvent:
+            _PROBE_RECORDS[event] = NULL_COUNTER
+        _CHAINS_STARTED = NULL_COUNTER
+        return
+    family = registry.counter(
+        "repro_probe_records_total",
+        "Probe records written to process-local log buffers, by probe.",
+        labels=("probe",),
+    )
+    for event in TracingEvent:
+        _PROBE_RECORDS[event] = family.labels(event.name.lower())
+    _CHAINS_STARTED = registry.counter(
+        "repro_chains_started_total",
+        "Causal chains started (fresh Function UUIDs minted at root calls).",
+    )
 
 
 class MonitorMode(enum.Enum):
@@ -105,6 +133,7 @@ class MonitoringRuntime:
         if ftl is None:
             ftl = new_chain(self.config.uuid_factory)
             self.process.tss.set(_FTL_SLOT, ftl)
+            _CHAINS_STARTED.inc()
         return ftl
 
     def bind_ftl(self, ftl: FunctionTxLog) -> None:
@@ -129,8 +158,6 @@ class MonitoringRuntime:
         child_chain_uuid: str | None = None,
         semantics: dict[str, Any] | None = None,
     ) -> ProbeRecord:
-        import threading
-
         process = self.process
         seq = ftl.advance()
         record = ProbeRecord(
@@ -156,6 +183,7 @@ class MonitoringRuntime:
             semantics=semantics if self.config.mode.samples_semantics else None,
         )
         process.log_buffer.append(record)
+        _PROBE_RECORDS[event].inc()
         return record
 
     def _finish(self, record: ProbeRecord) -> None:

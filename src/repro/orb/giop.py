@@ -15,8 +15,41 @@ from dataclasses import dataclass
 
 from repro.errors import MarshalError
 from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.telemetry.metrics import NULL_COUNTER
+from repro.telemetry.runtime import metrics_binder
 
 _MAGIC = 0x52504F47  # "RPOG"
+
+# Framework self-metrics (no-ops until repro.telemetry.enable()): message
+# and byte counters keyed (kind, direction) for both framing directions.
+_MESSAGES: dict[tuple[str, str], object] = {}
+_BYTES: dict[tuple[str, str], object] = {}
+for _kind in ("request", "reply"):
+    for _direction in ("encode", "decode"):
+        _MESSAGES[(_kind, _direction)] = NULL_COUNTER
+        _BYTES[(_kind, _direction)] = NULL_COUNTER
+
+
+@metrics_binder
+def _bind_metrics(registry) -> None:
+    if registry is None:
+        for key in _MESSAGES:
+            _MESSAGES[key] = NULL_COUNTER
+            _BYTES[key] = NULL_COUNTER
+        return
+    messages = registry.counter(
+        "repro_giop_messages_total",
+        "GIOP-like messages framed, by message kind and direction.",
+        labels=("kind", "direction"),
+    )
+    size = registry.counter(
+        "repro_giop_bytes_total",
+        "Bytes of GIOP-like messages framed, by message kind and direction.",
+        labels=("kind", "direction"),
+    )
+    for key in _MESSAGES:
+        _MESSAGES[key] = messages.labels(*key)
+        _BYTES[key] = size.labels(*key)
 
 
 class MessageKind(enum.IntEnum):
@@ -53,7 +86,10 @@ class RequestMessage:
         if self.ftl is not None:
             encoder.write_bytes(self.ftl)
         encoder.write_bytes(self.body)
-        return encoder.getvalue()
+        payload = encoder.getvalue()
+        _MESSAGES[("request", "encode")].inc()
+        _BYTES[("request", "encode")].inc(len(payload))
+        return payload
 
 
 @dataclass
@@ -73,7 +109,10 @@ class ReplyMessage:
         if self.ftl is not None:
             encoder.write_bytes(self.ftl)
         encoder.write_bytes(self.body)
-        return encoder.getvalue()
+        payload = encoder.getvalue()
+        _MESSAGES[("reply", "encode")].inc()
+        _BYTES[("reply", "encode")].inc(len(payload))
+        return payload
 
 
 def decode_message(payload: bytes) -> RequestMessage | ReplyMessage:
@@ -92,6 +131,8 @@ def decode_message(payload: bytes) -> RequestMessage | ReplyMessage:
         has_ftl = decoder.read_primitive("boolean")
         ftl = decoder.read_bytes() if has_ftl else None
         body = decoder.read_bytes()
+        _MESSAGES[("request", "decode")].inc()
+        _BYTES[("request", "decode")].inc(len(payload))
         return RequestMessage(
             request_id=request_id,
             object_key=object_key,
@@ -107,5 +148,7 @@ def decode_message(payload: bytes) -> RequestMessage | ReplyMessage:
         has_ftl = decoder.read_primitive("boolean")
         ftl = decoder.read_bytes() if has_ftl else None
         body = decoder.read_bytes()
+        _MESSAGES[("reply", "decode")].inc()
+        _BYTES[("reply", "decode")].inc(len(payload))
         return ReplyMessage(request_id=request_id, status=status, body=body, ftl=ftl)
     raise MarshalError(f"unknown message kind {kind}")

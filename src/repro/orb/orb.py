@@ -24,6 +24,7 @@ from __future__ import annotations
 import copy
 import itertools
 import threading
+import time
 from typing import Any
 
 from repro.errors import ObjectNotFound, OrbError, TransportError
@@ -34,6 +35,55 @@ from repro.orb.runtime import GLOBAL_INTERFACE_REGISTRY, InterfaceRegistry
 from repro.orb.threading_policies import ThreadingPolicy, ThreadPerRequest
 from repro.platform.network import Connection, Network
 from repro.platform.process import SimProcess
+from repro.telemetry.metrics import NULL_COUNTER, NULL_GAUGE, NULL_HISTOGRAM
+from repro.telemetry.runtime import metrics_binder
+
+# Framework self-metrics (no-ops until repro.telemetry.enable()). The
+# enabled flag gates the dispatch clock reads so the metrics-off path
+# never touches perf_counter_ns.
+_TELEMETRY_ON = False
+_REQUESTS = {False: NULL_COUNTER, True: NULL_COUNTER}  # keyed by oneway
+_INFLIGHT = NULL_GAUGE
+_DISPATCH_TOTAL = NULL_COUNTER
+_DISPATCH_NS = NULL_HISTOGRAM
+_DISPATCH_NOT_FOUND = NULL_COUNTER
+
+
+@metrics_binder
+def _bind_metrics(registry) -> None:
+    global _TELEMETRY_ON, _INFLIGHT, _DISPATCH_TOTAL, _DISPATCH_NS, _DISPATCH_NOT_FOUND
+    if registry is None:
+        _TELEMETRY_ON = False
+        _REQUESTS[False] = _REQUESTS[True] = NULL_COUNTER
+        _INFLIGHT = NULL_GAUGE
+        _DISPATCH_TOTAL = NULL_COUNTER
+        _DISPATCH_NS = NULL_HISTOGRAM
+        _DISPATCH_NOT_FOUND = NULL_COUNTER
+        return
+    requests = registry.counter(
+        "repro_orb_requests_total",
+        "Client-side ORB requests sent, by call kind.",
+        labels=("kind",),
+    )
+    _REQUESTS[False] = requests.labels("sync")
+    _REQUESTS[True] = requests.labels("oneway")
+    _INFLIGHT = registry.gauge(
+        "repro_orb_inflight_requests",
+        "Client-side ORB requests currently awaiting a reply.",
+    )
+    _DISPATCH_TOTAL = registry.counter(
+        "repro_orb_dispatch_total",
+        "Server-side ORB request dispatches (skeleton invocations).",
+    )
+    _DISPATCH_NS = registry.histogram(
+        "repro_orb_dispatch_ns",
+        "Wall time of one server-side dispatch, skeleton included, in ns.",
+    )
+    _DISPATCH_NOT_FOUND = registry.counter(
+        "repro_orb_dispatch_object_not_found_total",
+        "Dispatches rejected because the object key was not active.",
+    )
+    _TELEMETRY_ON = True
 
 
 class _ByValueRegistry:
@@ -214,17 +264,22 @@ class Orb:
             ftl=ftl,
         )
         conn = self._connection_to(ref.address)
+        _REQUESTS[oneway].inc()
         conn.send(request.encode(), sender_host=self.process.host)
         if oneway:
             return None
-        while True:
-            reply = decode_message(conn.recv(timeout=self.request_timeout))
-            if not isinstance(reply, ReplyMessage):
-                raise TransportError("expected a reply message")
-            if reply.request_id == request.request_id:
-                return reply
-            # Connections are per calling thread, so a mismatched id means
-            # a stale reply from an abandoned call; skip it.
+        _INFLIGHT.inc()
+        try:
+            while True:
+                reply = decode_message(conn.recv(timeout=self.request_timeout))
+                if not isinstance(reply, ReplyMessage):
+                    raise TransportError("expected a reply message")
+                if reply.request_id == request.request_id:
+                    return reply
+                # Connections are per calling thread, so a mismatched id means
+                # a stale reply from an abandoned call; skip it.
+        finally:
+            _INFLIGHT.dec()
 
     # ------------------------------------------------------------------
     # Server side
@@ -257,9 +312,11 @@ class Orb:
                 self.policy.submit(dispatch, connection_id)
 
     def _dispatch_request(self, request: RequestMessage, conn: Connection) -> None:
+        _DISPATCH_TOTAL.inc()
         try:
             skeleton = self.adapter.find(request.object_key)
         except ObjectNotFound as exc:
+            _DISPATCH_NOT_FOUND.inc()
             if not request.oneway:
                 from repro.orb.runtime import _marshal_system_exception
 
@@ -270,7 +327,12 @@ class Orb:
                 )
                 conn.send(reply.encode(), sender_host=self.process.host)
             return
-        reply = skeleton.dispatch(request)
+        if _TELEMETRY_ON:
+            started = time.perf_counter_ns()
+            reply = skeleton.dispatch(request)
+            _DISPATCH_NS.observe(time.perf_counter_ns() - started)
+        else:
+            reply = skeleton.dispatch(request)
         if reply is not None and not request.oneway:
             conn.send(reply.encode(), sender_host=self.process.host)
 

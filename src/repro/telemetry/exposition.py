@@ -1,0 +1,75 @@
+"""Prometheus text exposition format (version 0.0.4) for the registry.
+
+Counters, gauges and histograms render exactly as a Prometheus scrape
+endpoint would emit them, so the output of ``repro metrics`` can be fed
+to promtool, pasted into PromQL consoles, or diffed in tests:
+
+    # HELP repro_probe_records_total Probe records written, by probe.
+    # TYPE repro_probe_records_total counter
+    repro_probe_records_total{probe="stub_start"} 42
+
+Histograms expose cumulative ``_bucket{le=...}`` series plus ``_sum``
+and ``_count``, with the mandatory ``+Inf`` bucket.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.metrics import Histogram, MetricFamily, MetricsRegistry
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_number(value: int | float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _label_text(names: tuple[str, ...], values: tuple[str, ...],
+                extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = [
+        f'{name}="{_escape_label_value(value)}"'
+        for name, value in zip(names, values)
+    ]
+    pairs.extend(f'{name}="{_escape_label_value(value)}"' for name, value in extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _render_family(family: MetricFamily, lines: list[str]) -> None:
+    if family.help:
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+    lines.append(f"# TYPE {family.name} {family.kind}")
+    for label_values, metric in family.children():
+        if isinstance(metric, Histogram):
+            counts, total, count = metric.snapshot()
+            cumulative = 0
+            for boundary, bucket in zip(metric.boundaries, counts):
+                cumulative += bucket
+                labels = _label_text(
+                    family.label_names, label_values,
+                    extra=(("le", _format_number(boundary)),),
+                )
+                lines.append(f"{family.name}_bucket{labels} {cumulative}")
+            labels = _label_text(family.label_names, label_values,
+                                 extra=(("le", "+Inf"),))
+            lines.append(f"{family.name}_bucket{labels} {count}")
+            labels = _label_text(family.label_names, label_values)
+            lines.append(f"{family.name}_sum{labels} {_format_number(total)}")
+            lines.append(f"{family.name}_count{labels} {count}")
+        else:
+            labels = _label_text(family.label_names, label_values)
+            lines.append(f"{family.name}{labels} {_format_number(metric.value())}")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render every family in the registry as Prometheus exposition text."""
+    lines: list[str] = []
+    for family in registry.collect():
+        _render_family(family, lines)
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -94,3 +94,45 @@ class TestCli:
         assert main(["summary", str(db)]) == 0
         out = capsys.readouterr().out
         assert "300" in out  # the driven call count appears in the stats
+
+    def test_export_trace_chrome(self, pps_db, tmp_path):
+        out_file = tmp_path / "trace.json"
+        assert main(["export-trace", pps_db, "--format", "chrome",
+                     "--output", str(out_file)]) == 0
+        document = json.loads(out_file.read_text())
+        assert document["otherData"]["format"] == "repro-chrome-trace"
+        slices = [e for e in document["traceEvents"] if e["ph"] == "X"]
+        assert slices
+        assert len({e["args"]["trace_id"] for e in slices}) == (
+            document["otherData"]["chains"]
+        )
+
+    def test_export_trace_otlp_pretty(self, pps_db, tmp_path):
+        out_file = tmp_path / "spans.json"
+        assert main(["export-trace", pps_db, "--format", "otlp", "--pretty",
+                     "--output", str(out_file)]) == 0
+        document = json.loads(out_file.read_text())
+        assert document["otherData"]["format"] == "repro-otlp-trace"
+        assert document["resourceSpans"]
+        spans = [
+            span
+            for resource in document["resourceSpans"]
+            for span in resource["scopeSpans"][0]["spans"]
+        ]
+        assert spans and all(len(span["traceId"]) == 32 for span in spans)
+
+    def test_metrics_emits_prometheus_text(self, capsys):
+        from repro import telemetry
+
+        assert main(["metrics", "--jobs", "1", "--pages", "2",
+                     "--complexity", "1", "--slo-ms", "0.001"]) == 0
+        out = capsys.readouterr().out
+        for metric in (
+            "repro_orb_dispatch_total",
+            "repro_probe_records_total",
+            "repro_collector_drains_total",
+            "repro_online_completed_calls_total",
+        ):
+            assert metric in out, metric
+        # The command must leave global telemetry switched off again.
+        assert not telemetry.is_enabled()

@@ -1,0 +1,226 @@
+"""Unit tests for the metrics core: registry, striping, exposition, no-ops."""
+
+import threading
+
+import pytest
+
+from repro.errors import MonitorError
+from repro.telemetry import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    MetricsRegistry,
+    render_prometheus,
+)
+from repro.telemetry.metrics import DEFAULT_LATENCY_BOUNDARIES_NS
+from repro.telemetry.runtime import active_registry, disable, enable, metrics_binder
+
+
+class TestCounter:
+    def test_concurrent_increments_sum_exactly(self):
+        counter = MetricsRegistry().counter("c_total", "test")
+        threads_n, per_thread = 8, 10_000
+        barrier = threading.Barrier(threads_n)
+
+        def work():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value() == threads_n * per_thread
+
+    def test_inc_amount(self):
+        counter = MetricsRegistry().counter("c_total")
+        counter.inc(5)
+        counter.inc(2.5)
+        assert counter.value() == 7.5
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(10)
+        gauge.inc(3)
+        gauge.dec()
+        assert gauge.value() == 12
+
+    def test_concurrent_inc_dec_balance(self):
+        gauge = MetricsRegistry().gauge("g")
+
+        def work():
+            for _ in range(5_000):
+                gauge.inc()
+                gauge.dec()
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert gauge.value() == 0
+
+
+class TestHistogram:
+    def test_bucket_boundaries_le_semantics(self):
+        hist = MetricsRegistry().histogram("h", boundaries=(10, 100, 1000))
+        for value in (5, 10, 11, 100, 999, 1000, 1001, 50_000):
+            hist.observe(value)
+        counts, total, count = hist.snapshot()
+        # le=10 -> {5, 10}; le=100 -> {11, 100}; le=1000 -> {999, 1000};
+        # +Inf -> {1001, 50000}.
+        assert counts == [2, 2, 2, 2]
+        assert count == 8
+        assert total == 5 + 10 + 11 + 100 + 999 + 1000 + 1001 + 50_000
+
+    def test_concurrent_observations_sum_exactly(self):
+        hist = MetricsRegistry().histogram("h", boundaries=(100,))
+
+        def work():
+            for _ in range(4_000):
+                hist.observe(1)
+
+        threads = [threading.Thread(target=work) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        counts, total, count = hist.snapshot()
+        assert counts == [24_000, 0]
+        assert count == 24_000 and total == 24_000
+
+    def test_default_boundaries_cover_ns_latencies(self):
+        assert DEFAULT_LATENCY_BOUNDARIES_NS[0] == 1_000
+        assert DEFAULT_LATENCY_BOUNDARIES_NS[-1] == 10_000_000_000
+        assert list(DEFAULT_LATENCY_BOUNDARIES_NS) == sorted(
+            DEFAULT_LATENCY_BOUNDARIES_NS
+        )
+
+    def test_rejects_bad_boundaries(self):
+        registry = MetricsRegistry()
+        with pytest.raises(MonitorError):
+            registry.histogram("h1", boundaries=())
+        with pytest.raises(MonitorError):
+            registry.histogram("h2", boundaries=(10, 10, 20))
+        with pytest.raises(MonitorError):
+            registry.histogram("h3", boundaries=(20, 10))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_child(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m")
+        with pytest.raises(MonitorError):
+            registry.gauge("m")
+
+    def test_label_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("m", labels=("a",))
+        with pytest.raises(MonitorError):
+            registry.counter("m", labels=("b",))
+
+    def test_labeled_children_independent(self):
+        family = MetricsRegistry().counter("m_total", labels=("kind",))
+        family.labels("x").inc(3)
+        family.labels("y").inc(4)
+        assert family.labels("x").value() == 3
+        assert family.labels("y").value() == 4
+
+    def test_wrong_label_arity_rejected(self):
+        family = MetricsRegistry().counter("m_total", labels=("kind",))
+        with pytest.raises(MonitorError):
+            family.labels()
+
+
+class TestExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "a counter").inc(3)
+        registry.gauge("g", "a gauge").set(7)
+        text = render_prometheus(registry)
+        assert "# HELP c_total a counter" in text
+        assert "# TYPE c_total counter" in text
+        assert "\nc_total 3\n" in text
+        assert "\ng 7\n" in text
+
+    def test_labeled_series(self):
+        registry = MetricsRegistry()
+        family = registry.counter("c_total", labels=("probe",))
+        family.labels("stub_start").inc(2)
+        text = render_prometheus(registry)
+        assert 'c_total{probe="stub_start"} 2' in text
+
+    def test_histogram_series_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("h", "latency", boundaries=(10, 100))
+        for value in (5, 50, 500):
+            hist.observe(value)
+        text = render_prometheus(registry)
+        assert 'h_bucket{le="10"} 1' in text
+        assert 'h_bucket{le="100"} 2' in text
+        assert 'h_bucket{le="+Inf"} 3' in text
+        assert "\nh_sum 555\n" in text
+        assert "\nh_count 3\n" in text
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels=("p",)).labels('a"b\\c\nd').inc()
+        text = render_prometheus(registry)
+        assert 'c_total{p="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestNullMetrics:
+    def test_null_singletons_accept_everything(self):
+        NULL_COUNTER.inc()
+        NULL_COUNTER.inc(10)
+        NULL_GAUGE.set(3)
+        NULL_GAUGE.inc()
+        NULL_GAUGE.dec()
+        NULL_HISTOGRAM.observe(123)
+        assert NULL_COUNTER.value() == 0
+        assert NULL_HISTOGRAM.labels("anything") is NULL_HISTOGRAM
+
+
+class TestRuntimeSwitch:
+    def test_enable_rebinds_and_disable_resets(self):
+        seen = []
+
+        def bind(registry):
+            seen.append(registry)
+
+        metrics_binder(bind)
+        assert seen == [None]  # bound immediately, telemetry off
+        try:
+            registry = enable()
+            assert active_registry() is registry
+            assert seen[-1] is registry
+            # enabling again without an explicit registry keeps the first
+            assert enable() is registry
+        finally:
+            disable()
+        assert seen[-1] is None
+        assert active_registry() is None
+
+    def test_instrumented_hot_path_counts_probe_records(self):
+        from tests.helpers import Call, simulate
+
+        try:
+            registry = enable(MetricsRegistry())
+            simulate([Call("I::F", cpu_ns=10)], uuid_prefix="ee")
+            family = registry.counter("repro_probe_records_total",
+                                      labels=("probe",))
+            assert family.labels("stub_start").value() == 1
+            assert family.labels("skel_end").value() == 1
+        finally:
+            disable()
