@@ -32,6 +32,7 @@ from repro.analysis.statemachine import (
     reconstruct_chain,
     reconstruct_from_records,
 )
+from repro.analysis.parallel import default_workers, reconstruct_sharded
 from repro.analysis.xmlview import render_ccsg_xml, split_sec_usec
 
 __all__ = [
@@ -67,9 +68,11 @@ __all__ = [
     "layout_to_json",
     "layout_to_svg",
     "path_of",
+    "default_workers",
     "reconstruct",
     "reconstruct_chain",
     "reconstruct_from_records",
+    "reconstruct_sharded",
     "render_ccsg_xml",
     "render_sequence_chart",
     "self_cpu",

@@ -60,6 +60,18 @@ def self_cpu(node: CallNode) -> int | None:
     return max(total, 0)
 
 
+def annotate_chain_self_cpu(tree) -> None:
+    """Attach ``self_cpu_ns`` to every node of one chain tree.
+
+    SC_F reads only the node's skeleton probes and its immediate
+    children's stub windows — all chain-local — so the sharded analyzer
+    computes it per worker. Descendent vectors (DC_F) cross oneway chain
+    boundaries and stay in :class:`CpuAnalysis`.
+    """
+    for node in tree.walk():
+        node.self_cpu_ns = self_cpu(node)
+
+
 @dataclass
 class CpuVector:
     """CPU nanoseconds per processor type, with coverage accounting."""

@@ -141,6 +141,11 @@ class Dscg:
     def add_chain(self, tree: ChainTree) -> None:
         self.chains[tree.chain_uuid] = tree
 
+    def add_chains(self, trees: "Iterator[ChainTree] | list[ChainTree]") -> None:
+        """Bulk-add chain trees (insertion order defines iteration order)."""
+        for tree in trees:
+            self.chains[tree.chain_uuid] = tree
+
     def link_chains(self) -> None:
         """Wire oneway forks: parent stub-side node → child chain tree."""
         self.links.clear()

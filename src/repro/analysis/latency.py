@@ -75,14 +75,25 @@ def end_to_end_latency(node: CallNode) -> int | None:
     return end.wall_start - start.wall_end - overhead
 
 
+def annotate_chain_latency(tree) -> None:
+    """Attach ``latency_ns`` to every node of one chain tree.
+
+    L(F) reads only the node's own probe records and its immediate
+    children's — all within one chain — so chains annotate independently
+    and the sharded analyzer runs this inside its workers.
+    """
+    for node in tree.walk():
+        node.latency_ns = end_to_end_latency(node)
+
+
 def annotate_latency(dscg: Dscg) -> None:
     """Attach ``latency_ns`` to every node (None when not measurable).
 
     "Latency can be annotated to the DSCG's nodes to help perceive latency
     dispersed throughout the system-wide call hierarchy."
     """
-    for node in dscg.walk():
-        node.latency_ns = end_to_end_latency(node)
+    for tree in dscg.chains.values():
+        annotate_chain_latency(tree)
 
 
 @dataclass

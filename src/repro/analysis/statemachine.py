@@ -177,11 +177,39 @@ def reconstruct_from_records(records: Iterable[ProbeRecord]) -> Dscg:
     return dscg
 
 
-def reconstruct(database: MonitoringDatabase, run_id: str) -> Dscg:
-    """Build the DSCG for one collected run using the two standard queries."""
+def reconstruct(
+    database: MonitoringDatabase,
+    run_id: str,
+    workers: int = 1,
+    annotate: bool = False,
+) -> Dscg:
+    """Build the DSCG for one collected run.
+
+    The two standard queries of Section 3.1 are fused into one indexed
+    scan (:meth:`MonitoringDatabase.chains_for_run`) that streams each
+    chain's sorted records in turn — no per-chain query round-trip.
+
+    ``workers > 1`` shards the sorted chain-uuid space across a worker
+    pool (chains reconstruct independently; see
+    :mod:`repro.analysis.parallel`); ``workers=0`` picks a pool size from
+    the host CPU count. ``annotate=True`` additionally stamps each node's
+    chain-local ``latency_ns``/``self_cpu_ns`` inside the same pass.
+    """
+    if workers == 0 or workers > 1:
+        from repro.analysis.parallel import reconstruct_sharded
+
+        return reconstruct_sharded(
+            database, run_id, workers=workers or None, annotate=annotate
+        )
+    from repro.analysis.cpu import annotate_chain_self_cpu
+    from repro.analysis.latency import annotate_chain_latency
+
     dscg = Dscg()
-    for chain_uuid in database.unique_chain_uuids(run_id):
-        records = database.events_for_chain(run_id, chain_uuid)
-        dscg.add_chain(reconstruct_chain(chain_uuid, records))
+    for chain_uuid, records in database.chains_for_run(run_id):
+        tree = reconstruct_chain(chain_uuid, records)
+        if annotate:
+            annotate_chain_latency(tree)
+            annotate_chain_self_cpu(tree)
+        dscg.add_chain(tree)
     dscg.link_chains()
     return dscg

@@ -51,6 +51,36 @@ def _open_run(args) -> tuple[MonitoringDatabase, str]:
     return database, run_id
 
 
+#: Reconstructed-DSCG memo shared by every subcommand, so driving several
+#: commands in one process (tests, notebooks, library use) reconstructs
+#: each run once. Keyed by database path + run id; runs are immutable
+#: once collected, so entries only need evicting to bound memory.
+_DSCG_CACHE: dict[tuple[str, str], "object"] = {}
+_DSCG_CACHE_LIMIT = 4
+
+
+def load_dscg(database: MonitoringDatabase, run_id: str, workers: int = 1):
+    """Memoized ``reconstruct(database, run_id)`` for the CLI subcommands."""
+    if database.path == ":memory:":
+        # Distinct in-memory databases share the same path; never alias them.
+        return reconstruct(database, run_id, workers=workers)
+    key = (database.path, run_id)
+    dscg = _DSCG_CACHE.get(key)
+    if dscg is None:
+        dscg = reconstruct(database, run_id, workers=workers)
+        while len(_DSCG_CACHE) >= _DSCG_CACHE_LIMIT:
+            _DSCG_CACHE.pop(next(iter(_DSCG_CACHE)))
+        _DSCG_CACHE[key] = dscg
+    return dscg
+
+
+def _load_dscg(args) -> "object":
+    database, run_id = _open_run(args)
+    return database, run_id, load_dscg(
+        database, run_id, workers=getattr(args, "workers", 1)
+    )
+
+
 def cmd_demo_pps(args) -> int:
     from repro.apps.pps import PpsSystem, four_process_deployment, monolithic_deployment
     from repro.collector import LogCollector
@@ -90,8 +120,7 @@ def cmd_demo_embedded(args) -> int:
 
 
 def cmd_summary(args) -> int:
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     print(f"run: {run_id}")
     print(dscg_summary(dscg))
     stats = database.population_stats(run_id)
@@ -100,30 +129,26 @@ def cmd_summary(args) -> int:
 
 
 def cmd_latency(args) -> int:
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     print(latency_table(dscg, limit=args.limit))
     return 0
 
 
 def cmd_cpu(args) -> int:
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     print(cpu_table(dscg, limit=args.limit))
     return 0
 
 
 def cmd_ccsg(args) -> int:
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     xml = render_ccsg_xml(build_ccsg(dscg, CpuAnalysis(dscg)), description=run_id)
     _emit(args.output, xml)
     return 0
 
 
 def cmd_critical_path(args) -> int:
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     paths = critical_paths(dscg, top=args.top)
     if not paths:
         print("(no measurable chains — was the run in latency mode?)")
@@ -137,8 +162,7 @@ def cmd_critical_path(args) -> int:
 def cmd_impact(args) -> int:
     from repro.analysis.impact import ImpactEstimator, render_impact
 
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     estimator = ImpactEstimator(dscg)
     if args.function:
         print(render_impact(estimator.estimate(args.function, scale=args.scale)))
@@ -155,23 +179,20 @@ def cmd_impact(args) -> int:
 
 
 def cmd_dscg_json(args) -> int:
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     _emit(args.output, dscg_to_json(dscg))
     return 0
 
 
 def cmd_svg(args) -> int:
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     layout = HyperbolicLayout().layout_dscg(dscg)
     _emit(args.output, layout_to_svg(layout))
     return 0
 
 
 def cmd_harness(args) -> int:
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     script = render_harness_script(derive_plan(dscg),
                                    module_docstring=f"Derived from run {run_id!r}.")
     _emit(args.output, script)
@@ -181,8 +202,7 @@ def cmd_harness(args) -> int:
 def cmd_export_trace(args) -> int:
     from repro.telemetry import render_chrome_trace, render_otlp
 
-    database, run_id = _open_run(args)
-    dscg = reconstruct(database, run_id)
+    database, run_id, dscg = _load_dscg(args)
     indent = 2 if args.pretty else None
     if args.format == "chrome":
         text = render_chrome_trace(dscg, run_id=run_id, indent=indent)
@@ -261,6 +281,11 @@ def build_parser() -> argparse.ArgumentParser:
         command = sub.add_parser(name, help=help_text)
         command.add_argument("database")
         command.add_argument("--run", default=None, help="run id (default: latest)")
+        command.add_argument(
+            "--workers", type=int, default=1,
+            help="analyzer worker pool size: 1 = serial single-scan,"
+                 " N = shard chains over N workers, 0 = one per CPU",
+        )
         if extra:
             extra(command)
         command.set_defaults(func=func)

@@ -90,30 +90,33 @@ class LogCollector:
         for process in processes:
             if process.monitor is not None:
                 modes.add(process.monitor.config.mode.value)
-        self.database.create_run(
-            RunMetadata(
-                run_id=run_id,
-                description=description,
-                monitor_mode=",".join(sorted(modes)),
-                extra={"processes": [p.name for p in processes]},
+        # One transaction per collection: the run row and every process's
+        # drained buffer commit together, instead of one fsync per drain.
+        with self.database.bulk_ingest():
+            self.database.create_run(
+                RunMetadata(
+                    run_id=run_id,
+                    description=description,
+                    monitor_mode=",".join(sorted(modes)),
+                    extra={"processes": [p.name for p in processes]},
+                )
             )
-        )
-        for process in processes:
-            if _TELEMETRY_ON:
-                started = time.perf_counter_ns()
-                records = (
-                    process.log_buffer.drain() if drain else process.log_buffer.snapshot()
-                )
-                inserted = self.database.insert_records(run_id, records)
-                _DRAIN_NS.observe(time.perf_counter_ns() - started)
-            else:
-                records = (
-                    process.log_buffer.drain() if drain else process.log_buffer.snapshot()
-                )
-                inserted = self.database.insert_records(run_id, records)
-            _DRAINS.inc()
-            _RECORDS.inc(inserted)
-            total += inserted
+            for process in processes:
+                if _TELEMETRY_ON:
+                    started = time.perf_counter_ns()
+                    records = (
+                        process.log_buffer.drain() if drain else process.log_buffer.snapshot()
+                    )
+                    inserted = self.database.insert_records(run_id, records)
+                    _DRAIN_NS.observe(time.perf_counter_ns() - started)
+                else:
+                    records = (
+                        process.log_buffer.drain() if drain else process.log_buffer.snapshot()
+                    )
+                    inserted = self.database.insert_records(run_id, records)
+                _DRAINS.inc()
+                _RECORDS.inc(inserted)
+                total += inserted
         return run_id
 
 

@@ -7,6 +7,19 @@ Section 3.1 describes the reconstruction input as two queries:
 2. "for each identified UUID, the second query sorts the events associated
    with the invocations sharing the UUID by ascending order" —
    :meth:`MonitoringDatabase.events_for_chain`.
+
+The analyzer's fast path fuses the two into a single indexed scan:
+:meth:`MonitoringDatabase.chains_for_run` streams ``(chain_uuid,
+records)`` groups out of one ``ORDER BY chain_uuid, event_seq, id``
+traversal, so reconstruction never pays one query (and one lock
+round-trip) per chain.
+
+Concurrency model: one write connection guarded by a lock; reads on
+file-backed databases go through per-thread connections against a WAL
+journal, so analyzer workers scan in parallel without contending with
+each other or with ingest. ``:memory:`` databases cannot be shared
+across connections, so their reads fall back to the (serialized) write
+connection.
 """
 
 from __future__ import annotations
@@ -14,11 +27,33 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+from contextlib import contextmanager
 from typing import Iterable, Iterator
 
 from repro.core.events import CallKind, Domain, TracingEvent
 from repro.core.records import ProbeRecord, RunMetadata
 from repro.collector.schema import RECORD_COLUMNS, SCHEMA_STATEMENTS
+
+#: Column order used by every record SELECT; positions are relied on by
+#: the tuple-based :func:`_row_to_record` conversion below.
+_SELECT_COLUMNS = ", ".join(RECORD_COLUMNS[1:])  # all but run_id
+
+_INSERT_SQL = (
+    f"INSERT INTO records ({', '.join(RECORD_COLUMNS)})"
+    f" VALUES ({', '.join('?' for _ in RECORD_COLUMNS)})"
+)
+
+# Enum round-trips by value lookup are measurably cheaper than the enum
+# constructors on the million-record conversion path.
+_EVENTS = {event.value: event for event in TracingEvent}
+_CALL_KINDS = {kind.value: kind for kind in CallKind}
+_DOMAINS = {domain.value: domain for domain in Domain}
+
+#: Rows fetched per lock acquisition / round-trip when streaming.
+_FETCH_BATCH = 2048
+
+#: Rows per executemany chunk on the ingest path.
+_INSERT_CHUNK = 2000
 
 
 def _record_row(run_id: str, record: ProbeRecord) -> tuple:
@@ -49,30 +84,36 @@ def _record_row(run_id: str, record: ProbeRecord) -> tuple:
     )
 
 
-def _row_to_record(row: sqlite3.Row) -> ProbeRecord:
+def _row_to_record(row: tuple) -> ProbeRecord:
+    """Tuple-positional row conversion (the hot path of every analysis).
+
+    Arguments are passed positionally in ProbeRecord field order — on a
+    23-field dataclass the keyword-passing overhead alone is measurable
+    at millions of records.
+    """
     return ProbeRecord(
-        chain_uuid=row["chain_uuid"],
-        event_seq=row["event_seq"],
-        event=TracingEvent(row["event"]),
-        interface=row["interface"],
-        operation=row["operation"],
-        object_id=row["object_id"],
-        component=row["component"],
-        process=row["process"],
-        pid=row["pid"],
-        host=row["host"],
-        thread_id=row["thread_id"],
-        processor_type=row["processor_type"],
-        platform=row["platform"],
-        call_kind=CallKind(row["call_kind"]),
-        collocated=bool(row["collocated"]),
-        domain=Domain(row["domain"]),
-        wall_start=row["wall_start"],
-        wall_end=row["wall_end"],
-        cpu_start=row["cpu_start"],
-        cpu_end=row["cpu_end"],
-        child_chain_uuid=row["child_chain_uuid"],
-        semantics=json.loads(row["semantics"]) if row["semantics"] else None,
+        row[0],  # chain_uuid
+        row[1],  # event_seq
+        _EVENTS[row[2]],
+        row[3],  # interface
+        row[4],  # operation
+        row[5],  # object_id
+        row[6],  # component
+        row[7],  # process
+        row[8],  # pid
+        row[9],  # host
+        row[10],  # thread_id
+        row[11],  # processor_type
+        row[12],  # platform
+        _CALL_KINDS[row[13]],
+        bool(row[14]),  # collocated
+        _DOMAINS[row[15]],
+        row[16],  # wall_start
+        row[17],  # wall_end
+        row[18],  # cpu_start
+        row[19],  # cpu_end
+        row[20],  # child_chain_uuid
+        json.loads(row[21]) if row[21] else None,
     )
 
 
@@ -80,13 +121,70 @@ class MonitoringDatabase:
     """sqlite-backed store for probe records, keyed by run id."""
 
     def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._is_memory = path == ":memory:"
         self._conn = sqlite3.connect(path, check_same_thread=False)
-        self._conn.row_factory = sqlite3.Row
         self._lock = threading.Lock()
+        self._commit_depth = 0  # >0 inside bulk_ingest(): defer commits
+        self._readers: "threading.local" = threading.local()
+        self._reader_conns: list[sqlite3.Connection] = []
+        self._closed = False
         with self._lock:
+            if not self._is_memory:
+                # WAL lets per-thread read connections scan concurrently
+                # with each other and with the single writer.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
             for statement in SCHEMA_STATEMENTS:
                 self._conn.execute(statement)
             self._conn.commit()
+
+    # ------------------------------------------------------------------
+    # Read-connection plumbing
+
+    def _reader(self) -> sqlite3.Connection | None:
+        """This thread's read connection, or None for ``:memory:``.
+
+        ``:memory:`` databases are private to their connection, so reads
+        fall back to the locked write connection (serialized).
+        """
+        if self._is_memory or self._closed:
+            return None
+        conn = getattr(self._readers, "conn", None)
+        if conn is None:
+            conn = sqlite3.connect(self.path, check_same_thread=False)
+            conn.execute("PRAGMA query_only=ON")
+            self._readers.conn = conn
+            with self._lock:
+                self._reader_conns.append(conn)
+        return conn
+
+    def _fetchall(self, sql: str, params: tuple = ()) -> list[tuple]:
+        """One read query, lock-free on file-backed databases."""
+        reader = self._reader()
+        if reader is not None:
+            return reader.execute(sql, params).fetchall()
+        with self._lock:
+            return self._conn.execute(sql, params).fetchall()
+
+    def _stream(self, sql: str, params: tuple = ()) -> Iterator[list[tuple]]:
+        """Stream row batches; the lock is only held per fetchmany call."""
+        reader = self._reader()
+        if reader is not None:
+            cursor = reader.execute(sql, params)
+            while True:
+                rows = cursor.fetchmany(_FETCH_BATCH)
+                if not rows:
+                    return
+                yield rows
+        else:
+            with self._lock:
+                cursor = self._conn.execute(sql, params)
+                rows = cursor.fetchmany(_FETCH_BATCH)
+            while rows:
+                yield rows
+                with self._lock:
+                    rows = cursor.fetchmany(_FETCH_BATCH)
 
     # ------------------------------------------------------------------
     # Ingest
@@ -98,99 +196,188 @@ class MonitoringDatabase:
                 " VALUES (?, ?, ?, ?)",
                 (meta.run_id, meta.description, meta.monitor_mode, json.dumps(meta.extra)),
             )
-            self._conn.commit()
+            self._maybe_commit()
 
-    def insert_records(self, run_id: str, records: Iterable[ProbeRecord]) -> int:
-        rows = [_record_row(run_id, record) for record in records]
-        placeholders = ", ".join("?" for _ in RECORD_COLUMNS)
-        columns = ", ".join(RECORD_COLUMNS)
+    def insert_records(
+        self, run_id: str, records: Iterable[ProbeRecord], chunk_size: int = _INSERT_CHUNK
+    ) -> int:
+        """Chunked ``executemany`` ingest; one commit (unless deferred).
+
+        Chunking keeps peak memory flat on million-record drains while
+        still amortizing the per-statement overhead.
+        """
+        total = 0
+        chunk: list[tuple] = []
         with self._lock:
-            self._conn.executemany(
-                f"INSERT INTO records ({columns}) VALUES ({placeholders})", rows
-            )
+            for record in records:
+                chunk.append(_record_row(run_id, record))
+                if len(chunk) >= chunk_size:
+                    self._conn.executemany(_INSERT_SQL, chunk)
+                    total += len(chunk)
+                    chunk.clear()
+            if chunk:
+                self._conn.executemany(_INSERT_SQL, chunk)
+                total += len(chunk)
+            self._maybe_commit()
+        return total
+
+    @contextmanager
+    def bulk_ingest(self):
+        """Defer commits so one collection becomes one transaction."""
+        with self._lock:
+            self._commit_depth += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._commit_depth -= 1
+                if self._commit_depth == 0:
+                    self._conn.commit()
+
+    def _maybe_commit(self) -> None:
+        # Caller holds self._lock.
+        if self._commit_depth == 0:
             self._conn.commit()
-        return len(rows)
 
     # ------------------------------------------------------------------
     # The two standard analyzer queries
 
     def unique_chain_uuids(self, run_id: str) -> list[str]:
         """Every Function UUID ever created during the run (query 1)."""
-        with self._lock:
-            cursor = self._conn.execute(
-                "SELECT DISTINCT chain_uuid FROM records WHERE run_id = ?"
-                " ORDER BY chain_uuid",
-                (run_id,),
-            )
-            return [row["chain_uuid"] for row in cursor.fetchall()]
+        rows = self._fetchall(
+            "SELECT DISTINCT chain_uuid FROM records WHERE run_id = ?"
+            " ORDER BY chain_uuid",
+            (run_id,),
+        )
+        return [row[0] for row in rows]
 
     def events_for_chain(self, run_id: str, chain_uuid: str) -> list[ProbeRecord]:
         """All events of one chain, ascending by event number (query 2)."""
-        with self._lock:
-            cursor = self._conn.execute(
-                "SELECT * FROM records WHERE run_id = ? AND chain_uuid = ?"
-                " ORDER BY event_seq ASC, id ASC",
-                (run_id, chain_uuid),
-            )
-            return [_row_to_record(row) for row in cursor.fetchall()]
+        rows = self._fetchall(
+            f"SELECT {_SELECT_COLUMNS} FROM records"
+            " WHERE run_id = ? AND chain_uuid = ?"
+            " ORDER BY event_seq ASC, id ASC",
+            (run_id, chain_uuid),
+        )
+        return [_row_to_record(row) for row in rows]
+
+    def chains_for_run(
+        self,
+        run_id: str,
+        first_chain: str | None = None,
+        last_chain: str | None = None,
+    ) -> Iterator[tuple[str, list[ProbeRecord]]]:
+        """Stream ``(chain_uuid, sorted records)`` groups in one scan.
+
+        Fuses the paper's two standard queries: a single traversal of the
+        ``(run_id, chain_uuid, event_seq)`` index yields every chain's
+        events already grouped and sorted, replacing the per-chain N+1
+        query loop. ``first_chain``/``last_chain`` (inclusive) restrict
+        the scan to a contiguous shard of the sorted chain-uuid space —
+        the unit of parallelism in :mod:`repro.analysis.parallel`.
+
+        Chains are yielded in ascending ``chain_uuid`` order, so a
+        shard-by-shard concatenation is identical to the full scan.
+        """
+        sql = f"SELECT {_SELECT_COLUMNS} FROM records WHERE run_id = ?"
+        params: list = [run_id]
+        if first_chain is not None:
+            sql += " AND chain_uuid >= ?"
+            params.append(first_chain)
+        if last_chain is not None:
+            sql += " AND chain_uuid <= ?"
+            params.append(last_chain)
+        sql += " ORDER BY chain_uuid ASC, event_seq ASC, id ASC"
+
+        current: str | None = None
+        group: list[ProbeRecord] = []
+        for rows in self._stream(sql, tuple(params)):
+            for row in rows:
+                chain_uuid = row[0]
+                if chain_uuid != current:
+                    if current is not None:
+                        yield current, group
+                    current = chain_uuid
+                    group = []
+                group.append(_row_to_record(row))
+        if current is not None:
+            yield current, group
 
     # ------------------------------------------------------------------
     # Supporting queries
 
     def record_count(self, run_id: str) -> int:
-        with self._lock:
-            cursor = self._conn.execute(
-                "SELECT COUNT(*) AS n FROM records WHERE run_id = ?", (run_id,)
-            )
-            return cursor.fetchone()["n"]
+        rows = self._fetchall(
+            "SELECT COUNT(*) FROM records WHERE run_id = ?", (run_id,)
+        )
+        return rows[0][0]
 
     def all_records(self, run_id: str) -> Iterator[ProbeRecord]:
-        with self._lock:
-            cursor = self._conn.execute(
-                "SELECT * FROM records WHERE run_id = ? ORDER BY id ASC", (run_id,)
-            )
-            rows = cursor.fetchall()
-        for row in rows:
-            yield _row_to_record(row)
+        """Stream a run's records in insert order.
+
+        Rows are fetched in batches and converted outside the lock, so a
+        million-record run neither materializes in memory nor starves
+        concurrent writers for the duration of the export.
+        """
+        sql = (
+            f"SELECT {_SELECT_COLUMNS} FROM records WHERE run_id = ?"
+            " ORDER BY id ASC"
+        )
+        for rows in self._stream(sql, (run_id,)):
+            for row in rows:
+                yield _row_to_record(row)
 
     def population_stats(self, run_id: str) -> dict[str, int]:
-        """Unique methods/interfaces/components/processes — the Figure-5 stats."""
-        queries = {
-            "calls": "SELECT COUNT(*) AS n FROM records WHERE run_id = ?"
-            " AND event = 1",
-            "unique_methods": "SELECT COUNT(DISTINCT interface || '::' || operation) AS n"
-            " FROM records WHERE run_id = ?",
-            "unique_interfaces": "SELECT COUNT(DISTINCT interface) AS n FROM records"
-            " WHERE run_id = ?",
-            "unique_components": "SELECT COUNT(DISTINCT component) AS n FROM records"
-            " WHERE run_id = ?",
-            "unique_objects": "SELECT COUNT(DISTINCT object_id) AS n FROM records"
-            " WHERE run_id = ?",
-            "processes": "SELECT COUNT(DISTINCT process) AS n FROM records WHERE run_id = ?",
-            "threads": "SELECT COUNT(DISTINCT process || '/' || thread_id) AS n"
-            " FROM records WHERE run_id = ?",
-            "chains": "SELECT COUNT(DISTINCT chain_uuid) AS n FROM records WHERE run_id = ?",
+        """Unique methods/interfaces/components/processes — the Figure-5 stats.
+
+        All eight counters come out of one table scan instead of eight
+        sequential full scans under the global lock.
+        """
+        rows = self._fetchall(
+            """
+            SELECT
+                COUNT(CASE WHEN event = 1 THEN 1 END),
+                COUNT(DISTINCT interface || '::' || operation),
+                COUNT(DISTINCT interface),
+                COUNT(DISTINCT component),
+                COUNT(DISTINCT object_id),
+                COUNT(DISTINCT process),
+                COUNT(DISTINCT process || '/' || thread_id),
+                COUNT(DISTINCT chain_uuid)
+            FROM records WHERE run_id = ?
+            """,
+            (run_id,),
+        )
+        row = rows[0]
+        return {
+            "calls": row[0],
+            "unique_methods": row[1],
+            "unique_interfaces": row[2],
+            "unique_components": row[3],
+            "unique_objects": row[4],
+            "processes": row[5],
+            "threads": row[6],
+            "chains": row[7],
         }
-        stats: dict[str, int] = {}
-        with self._lock:
-            for key, sql in queries.items():
-                stats[key] = self._conn.execute(sql, (run_id,)).fetchone()["n"]
-        return stats
 
     def runs(self) -> list[RunMetadata]:
-        with self._lock:
-            cursor = self._conn.execute("SELECT * FROM runs ORDER BY run_id")
-            rows = cursor.fetchall()
+        rows = self._fetchall(
+            "SELECT run_id, description, monitor_mode, extra FROM runs ORDER BY run_id"
+        )
         return [
             RunMetadata(
-                run_id=row["run_id"],
-                description=row["description"],
-                monitor_mode=row["monitor_mode"],
-                extra=json.loads(row["extra"]),
+                run_id=row[0],
+                description=row[1],
+                monitor_mode=row[2],
+                extra=json.loads(row[3]),
             )
             for row in rows
         ]
 
     def close(self) -> None:
         with self._lock:
+            self._closed = True
+            readers, self._reader_conns = self._reader_conns, []
+            for conn in readers:
+                conn.close()
             self._conn.close()

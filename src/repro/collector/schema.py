@@ -44,6 +44,11 @@ SCHEMA_STATEMENTS = (
         semantics        TEXT
     )
     """,
+    # Drives the analyzer's fused single-scan reconstruction
+    # (MonitoringDatabase.chains_for_run): index entries end with the
+    # implicit rowid, so "ORDER BY chain_uuid, event_seq, id" is an
+    # in-order index walk with no sort step, and a shard's
+    # "chain_uuid BETWEEN lo AND hi" is a contiguous index range.
     """
     CREATE INDEX IF NOT EXISTS idx_records_chain
         ON records (run_id, chain_uuid, event_seq)

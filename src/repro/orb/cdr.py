@@ -29,6 +29,12 @@ _FORMATS = {
     "double": ("d", 8),
 }
 
+# Precompiled big-endian codecs: struct.Struct.pack/unpack_from skip the
+# per-call format-string parse that module-level struct.pack pays, and
+# every GIOP message body funnels through these.
+_STRUCTS = {kind: (struct.Struct(">" + fmt), size) for kind, (fmt, size) in _FORMATS.items()}
+_ULONG = _STRUCTS["unsigned long"][0]
+
 
 class CdrEncoder:
     """Append-only big-endian encoder with CDR alignment."""
@@ -43,7 +49,7 @@ class CdrEncoder:
 
     def write_primitive(self, kind: str, value) -> None:
         try:
-            fmt, size = _FORMATS[kind]
+            codec, size = _STRUCTS[kind]
         except KeyError:
             raise MarshalError(f"unknown primitive kind {kind!r}") from None
         self._align(size)
@@ -55,25 +61,34 @@ class CdrEncoder:
                     if len(value) != 1:
                         raise MarshalError(f"char must be a single character, got {value!r}")
                     value = ord(value)
-            self._chunks.extend(struct.pack(">" + fmt, value))
+            self._chunks.extend(codec.pack(value))
         except struct.error as exc:
             raise MarshalError(f"cannot marshal {value!r} as {kind}: {exc}") from None
+
+    def _write_ulong(self, value: int) -> None:
+        self._align(4)
+        try:
+            self._chunks.extend(_ULONG.pack(value))
+        except struct.error as exc:
+            raise MarshalError(
+                f"cannot marshal {value!r} as unsigned long: {exc}"
+            ) from None
 
     def write_string(self, value: str) -> None:
         if not isinstance(value, str):
             raise MarshalError(f"expected str, got {type(value).__name__}")
         encoded = value.encode("utf-8") + b"\x00"
-        self.write_primitive("unsigned long", len(encoded))
+        self._write_ulong(len(encoded))
         self._chunks.extend(encoded)
 
     def write_bytes(self, value: bytes) -> None:
         if not isinstance(value, (bytes, bytearray)):
             raise MarshalError(f"expected bytes, got {type(value).__name__}")
-        self.write_primitive("unsigned long", len(value))
+        self._write_ulong(len(value))
         self._chunks.extend(value)
 
     def write_length(self, value: int) -> None:
-        self.write_primitive("unsigned long", value)
+        self._write_ulong(value)
 
     def getvalue(self) -> bytes:
         return bytes(self._chunks)
@@ -96,14 +111,14 @@ class CdrDecoder:
 
     def read_primitive(self, kind: str):
         try:
-            fmt, size = _FORMATS[kind]
+            codec, size = _STRUCTS[kind]
         except KeyError:
             raise MarshalError(f"unknown primitive kind {kind!r}") from None
         self._align(size)
         end = self._pos + size
         if end > len(self._payload):
             raise MarshalError(f"buffer underrun reading {kind}")
-        (value,) = struct.unpack(">" + fmt, self._payload[self._pos : end])
+        (value,) = codec.unpack_from(self._payload, self._pos)
         self._pos = end
         if kind == "boolean":
             return bool(value)
@@ -111,8 +126,17 @@ class CdrDecoder:
             return chr(value)
         return value
 
+    def _read_ulong(self) -> int:
+        self._align(4)
+        end = self._pos + 4
+        if end > len(self._payload):
+            raise MarshalError("buffer underrun reading unsigned long")
+        (value,) = _ULONG.unpack_from(self._payload, self._pos)
+        self._pos = end
+        return value
+
     def read_string(self) -> str:
-        length = self.read_primitive("unsigned long")
+        length = self._read_ulong()
         end = self._pos + length
         if end > len(self._payload):
             raise MarshalError("buffer underrun reading string")
@@ -123,7 +147,7 @@ class CdrDecoder:
         return raw[:-1].decode("utf-8")
 
     def read_bytes(self) -> bytes:
-        length = self.read_primitive("unsigned long")
+        length = self._read_ulong()
         end = self._pos + length
         if end > len(self._payload):
             raise MarshalError("buffer underrun reading bytes")
@@ -132,7 +156,7 @@ class CdrDecoder:
         return bytes(raw)
 
     def read_length(self) -> int:
-        return self.read_primitive("unsigned long")
+        return self._read_ulong()
 
     @property
     def remaining(self) -> int:

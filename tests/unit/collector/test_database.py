@@ -117,6 +117,99 @@ class TestDatabase:
         seqs = [r.event_seq for r in db.all_records("r1")]
         assert seqs == [5, 1]
 
+    def test_all_records_streams_across_fetch_batches(self):
+        from repro.collector import database as database_module
+
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        count = database_module._FETCH_BATCH + 7
+        db.insert_records("r1", [make_record(seq=s) for s in range(count)])
+        seqs = [r.event_seq for r in db.all_records("r1")]
+        assert seqs == list(range(count))
+
+    def test_chains_for_run_groups_sorted(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        db.insert_records(
+            "r1",
+            [
+                make_record(chain="bb" * 16, seq=1),
+                make_record(chain="aa" * 16, seq=0),
+                make_record(chain="bb" * 16, seq=0),
+                make_record(chain="cc" * 16, seq=0),
+            ],
+        )
+        groups = list(db.chains_for_run("r1"))
+        assert [uuid for uuid, _ in groups] == ["aa" * 16, "bb" * 16, "cc" * 16]
+        assert [r.event_seq for r in dict(groups)["bb" * 16]] == [0, 1]
+
+    def test_chains_for_run_shard_bounds_inclusive(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        for chain in ("aa" * 16, "bb" * 16, "cc" * 16, "dd" * 16):
+            db.insert_records("r1", [make_record(chain=chain)])
+        shard = list(db.chains_for_run("r1", first_chain="bb" * 16,
+                                       last_chain="cc" * 16))
+        assert [uuid for uuid, _ in shard] == ["bb" * 16, "cc" * 16]
+
+    def test_chains_for_run_matches_per_chain_queries(self, tmp_path):
+        db = MonitoringDatabase(str(tmp_path / "chains.db"))
+        db.create_run(RunMetadata(run_id="r1"))
+        db.insert_records(
+            "r1",
+            [make_record(chain=f"{i:032x}", seq=s)
+             for i in range(5) for s in (1, 0)],
+        )
+        fused = {uuid: records for uuid, records in db.chains_for_run("r1")}
+        assert set(fused) == set(db.unique_chain_uuids("r1"))
+        for uuid, records in fused.items():
+            assert records == db.events_for_chain("r1", uuid)
+
+    def test_file_backed_reads_from_other_threads(self, tmp_path):
+        import threading
+
+        db = MonitoringDatabase(str(tmp_path / "wal.db"))
+        db.create_run(RunMetadata(run_id="r1"))
+        db.insert_records("r1", [make_record(seq=s) for s in range(10)])
+        results = []
+
+        def read():
+            results.append(len(list(db.all_records("r1"))))
+
+        threads = [threading.Thread(target=read) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results == [10, 10, 10, 10]
+        db.close()
+
+    def test_insert_records_chunks(self):
+        db = MonitoringDatabase()
+        db.create_run(RunMetadata(run_id="r1"))
+        inserted = db.insert_records(
+            "r1", (make_record(seq=s) for s in range(25)), chunk_size=10
+        )
+        assert inserted == 25
+        assert db.record_count("r1") == 25
+
+    def test_bulk_ingest_commits_once_at_exit(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "bulk.db")
+        db = MonitoringDatabase(path)
+        observer = sqlite3.connect(path)
+        with db.bulk_ingest():
+            db.create_run(RunMetadata(run_id="r1"))
+            db.insert_records("r1", [make_record(seq=s) for s in range(3)])
+            # Not yet committed: invisible to an independent connection.
+            visible = observer.execute("SELECT COUNT(*) FROM records").fetchone()[0]
+            assert visible == 0
+        visible = observer.execute("SELECT COUNT(*) FROM records").fetchone()[0]
+        assert visible == 3
+        observer.close()
+        db.close()
+
 
 class TestCollector:
     def make_process(self, name):
