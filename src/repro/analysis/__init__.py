@@ -1,6 +1,12 @@
 """Off-line analyzer: DSCG reconstruction, latency, CPU, CCSG, views."""
 
 from repro.analysis.ccsg import Ccsg, CcsgNode, build_ccsg
+from repro.analysis.completeness import (
+    LossReport,
+    expected_events,
+    loss_report,
+    missing_events,
+)
 from repro.analysis.cpu import CpuAnalysis, CpuVector, self_cpu
 from repro.analysis.critical_path import (
     CriticalPath,
@@ -58,7 +64,11 @@ __all__ = [
     "Dscg",
     "HyperbolicLayout",
     "LayoutNode",
+    "LossReport",
     "annotate_latency",
+    "expected_events",
+    "loss_report",
+    "missing_events",
     "build_ccsg",
     "call_path_profiles",
     "causality_overhead",

@@ -199,13 +199,18 @@ class Dscg:
         interfaces: set[str] = set()
         components: set[str] = set()
         objects: set[str] = set()
+        partial_chains: set[str] = set()
         nodes = 0
+        partial_nodes = 0
         for node in self.walk():
             nodes += 1
             functions.add(node.function)
             interfaces.add(node.interface)
             components.add(node.component)
             objects.add(node.object_id)
+            if node.partial:
+                partial_nodes += 1
+                partial_chains.add(node.chain_uuid)
         return {
             "chains": len(self.chains),
             "nodes": nodes,
@@ -215,5 +220,7 @@ class Dscg:
             "unique_objects": len(objects),
             "oneway_links": len(self.links),
             "abnormal_events": len(self.abnormal_events()),
+            "partial_nodes": partial_nodes,
+            "partial_chains": len(partial_chains),
             "max_depth": self.max_depth(),
         }

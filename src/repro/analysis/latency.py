@@ -41,13 +41,18 @@ def probe_set(node: CallNode) -> tuple[TracingEvent, ...]:
 
 
 def causality_overhead(node: CallNode) -> int:
-    """O_F — total probe self-time of F's immediate children."""
+    """O_F — total probe self-time of F's immediate children.
+
+    A child contributes only when its full probe set R survived capture:
+    under lossy capture, compensating with a partial R would subtract an
+    arbitrary fraction of the child's true probe cost and bias L(F).
+    """
     total = 0
     for child in node.children:
-        for event in probe_set(child):
-            record = child.records.get(event)
-            if record is not None:
-                total += record.probe_wall_cost()
+        records = [child.records.get(event) for event in probe_set(child)]
+        if any(record is None for record in records):
+            continue
+        total += sum(record.probe_wall_cost() for record in records)
     return total
 
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.analysis.completeness import loss_report
 from repro.analysis.cpu import CpuAnalysis
 from repro.analysis.dscg import Dscg
 from repro.analysis.latency import latency_report
@@ -48,8 +49,49 @@ def dscg_summary(dscg: Dscg) -> str:
         f" {stats['unique_components']} unique components,"
         f" {stats['unique_objects']} objects; max depth {stats['max_depth']};"
         f" {stats['oneway_links']} oneway fork(s);"
-        f" {stats['abnormal_events']} abnormal event(s)."
+        f" {stats['abnormal_events']} abnormal event(s);"
+        f" {stats['partial_nodes']} partial node(s)"
+        f" in {stats['partial_chains']} chain(s)."
     )
+
+
+def loss_summary(dscg: Dscg, collector_loss: dict | None = None) -> str:
+    """Loss-accounting section: capture completeness plus collector loss.
+
+    ``collector_loss`` is the ``extra["loss"]`` dict a resilient
+    :class:`~repro.collector.collector.LogCollector` stored in the run's
+    metadata, when available.
+    """
+    report = loss_report(dscg)
+    lines = [
+        f"Capture completeness: {report.complete_chains}/{report.chains}"
+        f" chain(s) complete; {report.partial_nodes} partial node(s),"
+        f" {report.missing_records} missing probe record(s),"
+        f" {report.abnormal_events} abnormal event(s).",
+    ]
+    if report.partial_by_function:
+        worst = sorted(
+            report.partial_by_function.items(), key=lambda kv: (-kv[1], kv[0])
+        )[:5]
+        lines.append(
+            "Most-affected functions: "
+            + ", ".join(f"{fn} ({count})" for fn, count in worst)
+            + "."
+        )
+    if collector_loss:
+        failed = collector_loss.get("failed_drains") or []
+        lines.append(
+            "Collection: "
+            f"{collector_loss.get('records_dropped_at_probe', 0)} record(s)"
+            " dropped at the probe,"
+            f" {collector_loss.get('records_lost_in_delivery', 0)} lost in"
+            " delivery,"
+            f" {collector_loss.get('records_uncollected', 0)} uncollected"
+            f" ({len(failed)} failed drain(s):"
+            f" {', '.join(failed) if failed else 'none'};"
+            f" {collector_loss.get('drain_retries', 0)} retry/retries)."
+        )
+    return "\n".join(lines)
 
 
 def latency_table(dscg: Dscg, limit: int = 20) -> str:

@@ -154,6 +154,9 @@ def reconstruct_chain(chain_uuid: str, records: Sequence[ProbeRecord]) -> ChainT
                 )
 
     for leftover in stack:
+        # Salvage, not discard: the frame keeps its place in the tree but
+        # is flagged partial so latency math and reports can exclude it.
+        leftover.partial = True
         tree.abnormal.append(
             AbnormalEvent(
                 chain_uuid=chain_uuid,

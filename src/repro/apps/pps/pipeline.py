@@ -138,11 +138,16 @@ class PpsSystem:
         uuid_prefix: str = "dd",
         policy_factory: Callable[[], Any] | None = None,
         network_latency_ns: int = 0,
+        network: Network | None = None,
+        request_timeout: float = 30.0,
     ):
         self.deployment = deployment
-        self.network = Network()
+        # An injected network (e.g. a faults.FaultyNetwork) lets the chaos
+        # matrix run the full pipeline under seeded message faults.
+        self.network = network if network is not None else Network()
         if network_latency_ns:
             self.network.set_default_latency(network_latency_ns)
+        self.request_timeout = request_timeout
         self.registry = InterfaceRegistry()
         self.compiled = compile_idl(PPS_IDL, instrument=instrument, registry=self.registry)
         self.clock = clock if clock is not None else VirtualClock()
@@ -177,6 +182,7 @@ class PpsSystem:
                 policy=policy,
                 collocation_optimization=deployment.collocation,
                 registry=self.registry,
+                request_timeout=request_timeout,
             )
             self.processes[process_name] = process
             self.orbs[process_name] = orb

@@ -7,6 +7,7 @@ bundled example applications:
 - ``demo-pps``        run the PPS, collect into a database file
 - ``demo-embedded``   run the synthetic embedded system, collect
 - ``summary``         DSCG summary of a collected run
+- ``loss``            canonical loss-accounting JSON (capture + collection)
 - ``latency``         per-function latency table
 - ``cpu``             per-function self-CPU table
 - ``ccsg``            emit the Figure-6 CCSG XML
@@ -33,7 +34,7 @@ from repro.analysis import (
     render_ccsg_xml,
     render_critical_path,
 )
-from repro.analysis.report import cpu_table, dscg_summary, latency_table
+from repro.analysis.report import cpu_table, dscg_summary, latency_table, loss_summary
 from repro.analysis.serialize import dscg_to_json
 from repro.collector import MonitoringDatabase
 from repro.testing_harness import derive_plan, render_harness_script
@@ -119,12 +120,41 @@ def cmd_demo_embedded(args) -> int:
         system.shutdown()
 
 
+def _collector_loss(database: MonitoringDatabase, run_id: str) -> dict | None:
+    """The ``extra["loss"]`` dict the collector stored for this run, if any."""
+    for meta in database.runs():
+        if meta.run_id == run_id:
+            loss = meta.extra.get("loss") if meta.extra else None
+            return loss if isinstance(loss, dict) else None
+    return None
+
+
 def cmd_summary(args) -> int:
     database, run_id, dscg = _load_dscg(args)
     print(f"run: {run_id}")
     print(dscg_summary(dscg))
+    print(loss_summary(dscg, _collector_loss(database, run_id)))
     stats = database.population_stats(run_id)
     print(f"population: {stats}")
+    return 0
+
+
+def cmd_loss(args) -> int:
+    """Canonical loss-accounting JSON: capture + collection, one object.
+
+    Deterministic for a given database — sorted keys, no timestamps — so
+    CI can diff the output of two replays of the same fault seed.
+    """
+    import json
+
+    from repro.analysis import loss_report
+
+    database, run_id, dscg = _load_dscg(args)
+    accounting = {
+        "capture": loss_report(dscg).to_dict(),
+        "collection": _collector_loss(database, run_id),
+    }
+    _emit(args.output, json.dumps(accounting, indent=2, sort_keys=True))
     return 0
 
 
@@ -292,6 +322,10 @@ def build_parser() -> argparse.ArgumentParser:
         return command
 
     add_run_command("summary", cmd_summary, "DSCG summary of a collected run")
+    add_run_command(
+        "loss", cmd_loss, "canonical loss-accounting JSON for a run",
+        lambda c: c.add_argument("--output", default=None),
+    )
     add_run_command(
         "latency", cmd_latency, "per-function latency table",
         lambda c: c.add_argument("--limit", type=int, default=20),

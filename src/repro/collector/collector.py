@@ -16,6 +16,7 @@ from typing import Iterable
 
 from repro.collector.database import MonitoringDatabase
 from repro.core.records import RunMetadata
+from repro.errors import TransientCollectorError
 from repro.platform.process import SimProcess
 from repro.telemetry.metrics import NULL_COUNTER, NULL_HISTOGRAM
 from repro.telemetry.runtime import metrics_binder
@@ -27,16 +28,25 @@ _TELEMETRY_ON = False
 _DRAINS = NULL_COUNTER
 _RECORDS = NULL_COUNTER
 _DRAIN_NS = NULL_HISTOGRAM
+_RETRIES = NULL_COUNTER
+_FAILED_DRAINS = NULL_COUNTER
+_LOST_RECORDS = NULL_COUNTER
+_PROBE_DROPS = NULL_COUNTER
 
 
 @metrics_binder
 def _bind_metrics(registry) -> None:
     global _TELEMETRY_ON, _DRAINS, _RECORDS, _DRAIN_NS
+    global _RETRIES, _FAILED_DRAINS, _LOST_RECORDS, _PROBE_DROPS
     if registry is None:
         _TELEMETRY_ON = False
         _DRAINS = NULL_COUNTER
         _RECORDS = NULL_COUNTER
         _DRAIN_NS = NULL_HISTOGRAM
+        _RETRIES = NULL_COUNTER
+        _FAILED_DRAINS = NULL_COUNTER
+        _LOST_RECORDS = NULL_COUNTER
+        _PROBE_DROPS = NULL_COUNTER
         return
     _DRAINS = registry.counter(
         "repro_collector_drains_total",
@@ -49,6 +59,22 @@ def _bind_metrics(registry) -> None:
     _DRAIN_NS = registry.histogram(
         "repro_collector_drain_ns",
         "Wall time to drain and insert one process's buffer, in ns.",
+    )
+    _RETRIES = registry.counter(
+        "repro_collector_drain_retries_total",
+        "Drain attempts repeated after a transient delivery failure.",
+    )
+    _FAILED_DRAINS = registry.counter(
+        "repro_collector_failed_drains_total",
+        "Process drains abandoned after exhausting every retry.",
+    )
+    _LOST_RECORDS = registry.counter(
+        "repro_collector_lost_records_total",
+        "Probe records lost on the probe->collector delivery path.",
+    )
+    _PROBE_DROPS = registry.counter(
+        "repro_collector_probe_dropped_records_total",
+        "Probe records dropped at the source by bounded log buffers.",
     )
     _TELEMETRY_ON = True
 
@@ -65,10 +91,50 @@ def _generate_run_id() -> str:
 
 
 class LogCollector:
-    """Gathers per-process log buffers into a monitoring database."""
+    """Gathers per-process log buffers into a monitoring database.
 
-    def __init__(self, database: MonitoringDatabase | None = None):
+    Collection is resilient: a drain that raises
+    :class:`~repro.errors.TransientCollectorError` is retried with
+    exponential backoff, and whatever is lost anyway — records dropped
+    at the probe by a bounded buffer, records lost in delivery, or whole
+    buffers left uncollected after exhausting retries — is accounted in
+    the run's metadata (``extra["loss"]``) instead of silently vanishing.
+    """
+
+    def __init__(
+        self,
+        database: MonitoringDatabase | None = None,
+        retries: int = 3,
+        backoff_s: float = 0.05,
+    ):
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.database = database if database is not None else MonitoringDatabase()
+        self.retries = retries
+        self.backoff_s = backoff_s
+
+    def _drain_with_retry(self, process: SimProcess, drain: bool) -> tuple[list, int, int]:
+        """Drain one buffer, retrying transient failures.
+
+        Returns ``(records, expected, retries_used)``; ``expected`` is the
+        buffer occupancy before the successful attempt, so the caller can
+        charge ``expected - len(records)`` to in-delivery loss. Raises
+        :class:`TransientCollectorError` once retries are exhausted.
+        """
+        buffer = process.log_buffer
+        attempt = 0
+        while True:
+            expected = len(buffer)
+            try:
+                records = buffer.drain() if drain else buffer.snapshot()
+                return records, expected, attempt
+            except TransientCollectorError:
+                if attempt >= self.retries:
+                    raise
+                attempt += 1
+                _RETRIES.inc()
+                if self.backoff_s > 0:
+                    time.sleep(self.backoff_s * (2 ** (attempt - 1)))
 
     def collect(
         self,
@@ -85,11 +151,51 @@ class LogCollector:
         if run_id is None:
             run_id = _generate_run_id()
         modes: set[str] = set()
-        total = 0
         processes = list(processes)
         for process in processes:
             if process.monitor is not None:
                 modes.add(process.monitor.config.mode.value)
+
+        # Drain first (with retries), then ingest: the database transaction
+        # should not stay open across sleeps, and the loss accounting must
+        # be final before the run row is written.
+        batches: list[tuple[SimProcess, list]] = []
+        drain_retries = 0
+        failed_drains: list[str] = []
+        lost_in_delivery = 0
+        uncollected = 0
+        dropped_at_probe = 0
+        for process in processes:
+            started = time.perf_counter_ns() if _TELEMETRY_ON else 0
+            try:
+                records, expected, retries_used = self._drain_with_retry(process, drain)
+            except TransientCollectorError:
+                drain_retries += self.retries
+                failed_drains.append(process.name)
+                uncollected += len(process.log_buffer)
+                _FAILED_DRAINS.inc()
+                continue
+            drain_retries += retries_used
+            missing = expected - len(records)
+            if missing > 0:
+                lost_in_delivery += missing
+                _LOST_RECORDS.inc(missing)
+            dropped = getattr(process.log_buffer, "dropped", 0)
+            if dropped:
+                dropped_at_probe += dropped
+                _PROBE_DROPS.inc(dropped)
+            batches.append((process, records))
+            if _TELEMETRY_ON:
+                _DRAIN_NS.observe(time.perf_counter_ns() - started)
+            _DRAINS.inc()
+
+        loss = {
+            "drain_retries": drain_retries,
+            "failed_drains": sorted(failed_drains),
+            "records_dropped_at_probe": dropped_at_probe,
+            "records_lost_in_delivery": lost_in_delivery,
+            "records_uncollected": uncollected,
+        }
         # One transaction per collection: the run row and every process's
         # drained buffer commit together, instead of one fsync per drain.
         with self.database.bulk_ingest():
@@ -98,25 +204,12 @@ class LogCollector:
                     run_id=run_id,
                     description=description,
                     monitor_mode=",".join(sorted(modes)),
-                    extra={"processes": [p.name for p in processes]},
+                    extra={"processes": [p.name for p in processes], "loss": loss},
                 )
             )
-            for process in processes:
-                if _TELEMETRY_ON:
-                    started = time.perf_counter_ns()
-                    records = (
-                        process.log_buffer.drain() if drain else process.log_buffer.snapshot()
-                    )
-                    inserted = self.database.insert_records(run_id, records)
-                    _DRAIN_NS.observe(time.perf_counter_ns() - started)
-                else:
-                    records = (
-                        process.log_buffer.drain() if drain else process.log_buffer.snapshot()
-                    )
-                    inserted = self.database.insert_records(run_id, records)
-                _DRAINS.inc()
+            for _process, records in batches:
+                inserted = self.database.insert_records(run_id, records)
                 _RECORDS.inc(inserted)
-                total += inserted
         return run_id
 
 

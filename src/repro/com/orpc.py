@@ -24,7 +24,7 @@ from repro.com.apartments import Apartment, CallMessage, ReplySlot
 from repro.com.interfaces import ComInterface, ComObject
 from repro.core.events import Domain
 from repro.core.records import OperationInfo
-from repro.errors import ComError
+from repro.errors import ComError, ComponentCrash
 from repro.telemetry.metrics import NULL_COUNTER
 from repro.telemetry.runtime import metrics_binder
 
@@ -220,7 +220,19 @@ def _dispatch_on_server(
     error: BaseException | None = None
     value: Any = None
     try:
+        hook = server_runtime.process.fault_hook
+        if hook is not None:
+            hook.on_dispatch(interface.name, method)
         value = getattr(identity.obj, method)(*args, **kwargs)
+    except ComponentCrash as crash:
+        # Injected component death mid-call: the skeleton-end probe never
+        # fires (the component is gone), but the apartment thread — which
+        # models the *host* process's message pump — survives and reports
+        # the death to the caller as a channel error.
+        _DISPATCH_ERRORS.inc()
+        if hooks and saved_ftl is not None:
+            monitor.bind_ftl(saved_ftl)
+        return None, ComError(f"server component crashed: {crash}"), None
     except BaseException as exc:  # noqa: BLE001 — forwarded to the caller
         error = exc
         _DISPATCH_ERRORS.inc()

@@ -39,6 +39,35 @@ class TransportError(ReproError):
     """Raised when a network endpoint cannot deliver a message."""
 
 
+class TransientCollectorError(ReproError):
+    """A retryable failure on the probe-log -> collector delivery path.
+
+    The collector treats this as "the transport hiccuped, the records are
+    still in the process buffer" and retries with backoff; anything else
+    raised during a drain is a real bug and propagates.
+    """
+
+
+class ComponentCrash(BaseException):
+    """A simulated component death injected mid-call.
+
+    Deliberately *not* a :class:`ReproError` (nor even an ``Exception``):
+    a crashed component cannot run its own error handling, so the generic
+    ``except Exception`` recovery paths in skeletons and servants must not
+    be able to catch and mask it. Only the fault-aware dispatch layers
+    (ORB request dispatch, the COM channel) handle it — by dropping the
+    call on the floor exactly as a dead process would.
+    """
+
+    def __init__(self, component: str, operation: str, call_index: int):
+        self.component = component
+        self.operation = operation
+        self.call_index = call_index
+        super().__init__(
+            f"injected crash of {component} during call #{call_index} to {operation}"
+        )
+
+
 class ObjectNotFound(ReproError):
     """Raised when an object reference does not resolve to a servant."""
 

@@ -1,0 +1,81 @@
+"""Lossy probe-record delivery (the probe -> collector path).
+
+A :class:`LossyLogBuffer` stands between a process's real log buffer and
+the collector: drains may fail transiently (exercising the collector's
+retry/backoff) and individual records may be lost in transit (exercising
+the analyzer's soundness under partial observation). Probes keep
+appending to the real buffer untouched — only *delivery* is faulty, as
+in a real deployment where the log store outlives a flaky uplink.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.errors import TransientCollectorError
+from repro.faults.plan import FaultKind
+
+
+class LossyLogBuffer:
+    """Wraps a process's log buffer with plan-scheduled delivery faults."""
+
+    def __init__(self, inner, injector, scope: str):
+        self._inner = inner
+        self._injector = injector
+        self._scope = scope
+        self._drain_attempts = 0
+        self._record_index = 0
+        self._lock = threading.Lock()
+
+    # -- probe side: appends pass straight through ----------------------
+
+    def append(self, record: Any) -> None:
+        self._inner.append(record)
+
+    def snapshot(self) -> list[Any]:
+        return self._inner.snapshot()
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    @property
+    def capacity(self):
+        return getattr(self._inner, "capacity", None)
+
+    @property
+    def dropped(self) -> int:
+        return getattr(self._inner, "dropped", 0)
+
+    # -- collector side: delivery is faulty -----------------------------
+
+    def drain(self) -> list[Any]:
+        """Deliver the buffered records, subject to the fault plan.
+
+        A transient failure raises *before* the inner buffer is touched,
+        so a retry sees the records intact. On success, each record is
+        individually subject to loss; lost records are logged against
+        this process's scope.
+        """
+        plan = self._injector.plan
+        with self._lock:
+            attempt = self._drain_attempts
+            self._drain_attempts += 1
+        if plan.drain_fails(self._scope, attempt):
+            self._injector.record(
+                FaultKind.COLLECT_FAIL, self._scope, attempt, detail=f"attempt {attempt}"
+            )
+            raise TransientCollectorError(
+                f"injected drain failure for {self._scope} (attempt {attempt})"
+            )
+        records = self._inner.drain()
+        delivered = []
+        with self._lock:
+            base = self._record_index
+            self._record_index += len(records)
+        for offset, record in enumerate(records):
+            if plan.loses_record(self._scope, base + offset):
+                self._injector.record(FaultKind.RECORD_LOSS, self._scope, base + offset)
+                continue
+            delivered.append(record)
+        return delivered

@@ -1,0 +1,134 @@
+"""Fault-injecting network: drop, duplicate, reorder, corrupt, truncate,
+reset and delay at the message level.
+
+:class:`FaultyNetwork` is a drop-in :class:`~repro.platform.network.Network`
+whose connections consult the injector's :class:`~repro.faults.plan.FaultPlan`
+on every ``send``. Decisions are keyed by the *directed link* (labels with
+per-thread connection serials stripped) and a per-connection message
+counter, so a single-threaded driver replays byte-identically from the
+seed while unrelated links never perturb each other's schedules.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.faults.plan import FaultKind
+from repro.platform.clocks import VirtualClock
+from repro.platform.host import Host
+from repro.platform.network import Connection, Network
+
+
+def link_scope(local_label: str, peer_label: str) -> str:
+    """Directed-link name with per-thread connection serials stripped.
+
+    Client connection labels look like ``client/t3``; the ``/t3`` part
+    depends on thread creation order, so fault decisions key on the
+    stable ``client->server`` form instead.
+    """
+    return f"{local_label.split('/')[0]}->{peer_label.split('/')[0]}"
+
+
+class FaultyConnection(Connection):
+    """A connection that runs every send through the fault plan."""
+
+    def __init__(self, local_label: str, peer_label: str, network: "FaultyNetwork"):
+        super().__init__(local_label, peer_label, network)
+        self._injector = network.injector
+        self._scope = link_scope(local_label, peer_label)
+        self._send_index = 0
+        #: Payload held back by a REORDER fault, delivered after the next.
+        self._held: tuple[bytes, Host | None] | None = None
+
+    def send(self, payload: bytes, sender_host: Host | None = None) -> None:
+        if self.closed:
+            # Match the base transport: sending on a closed (e.g. reset)
+            # connection raises, rather than taking a new fault decision.
+            self._deliver(payload, sender_host)
+            return
+        index = self._send_index
+        self._send_index += 1
+        plan = self._injector.plan
+        fault = plan.message_fault(self._scope, index)
+
+        if fault is None:
+            self._deliver_with_held(payload, sender_host)
+            return
+
+        self._injector.record(fault, self._scope, index)
+        if fault is FaultKind.DROP:
+            self._flush_held()
+            return
+        if fault is FaultKind.RESET:
+            self._held = None
+            self.close()
+            return
+        if fault is FaultKind.DUPLICATE:
+            self._deliver_with_held(payload, sender_host)
+            self._deliver(payload, sender_host)
+            return
+        if fault is FaultKind.REORDER:
+            self._flush_held()
+            self._held = (payload, sender_host)
+            return
+        if fault is FaultKind.CORRUPT:
+            offset = plan.choice(self._scope, index, "corrupt_at", len(payload))
+            flip = 1 + plan.choice(self._scope, index, "corrupt_bit", 255)
+            damaged = bytearray(payload)
+            if damaged:
+                damaged[offset] ^= flip
+            self._deliver_with_held(bytes(damaged), sender_host)
+            return
+        if fault is FaultKind.TRUNCATE:
+            cut = plan.choice(self._scope, index, "truncate_at", max(len(payload), 1))
+            self._deliver_with_held(payload[:cut], sender_host)
+            return
+        if fault is FaultKind.DELAY:
+            self._spike(sender_host, plan.delay_ns)
+            self._deliver_with_held(payload, sender_host)
+            return
+        raise AssertionError(f"unhandled fault kind {fault}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+
+    def _deliver_with_held(self, payload: bytes, sender_host: Host | None) -> None:
+        """Deliver ``payload``, then any payload a REORDER fault held back.
+
+        The held message lands *after* the newer one — that is the
+        reordering observable to the receiver.
+        """
+        self._deliver(payload, sender_host)
+        self._flush_held()
+
+    def _flush_held(self) -> None:
+        if self._held is None:
+            return
+        held_payload, held_host = self._held
+        self._held = None
+        if not self.closed:
+            self._deliver(held_payload, held_host)
+
+    def _spike(self, sender_host: Host | None, delay_ns: int) -> None:
+        """Charge an extra latency spike the same way link latency is."""
+        if delay_ns <= 0:
+            return
+        clock = sender_host.clock if sender_host is not None else None
+        idle = getattr(clock, "idle", None)
+        if isinstance(clock, VirtualClock) or callable(idle):
+            try:
+                clock.idle(delay_ns)  # type: ignore[union-attr]
+                return
+            except AttributeError:
+                pass
+        time.sleep(delay_ns / 1e9)
+
+
+class FaultyNetwork(Network):
+    """A network whose connections inject plan-scheduled faults."""
+
+    def __init__(self, injector):
+        super().__init__()
+        self.injector = injector
+
+    def _new_connection(self, local_label: str, peer_label: str) -> Connection:
+        return FaultyConnection(local_label, peer_label, self)

@@ -27,7 +27,7 @@ import threading
 import time
 from typing import Any
 
-from repro.errors import ObjectNotFound, OrbError, TransportError
+from repro.errors import ComponentCrash, ObjectNotFound, OrbError, TransportError
 from repro.orb.giop import ReplyMessage, ReplyStatus, RequestMessage, decode_message
 from repro.orb.poa import ObjectAdapter
 from repro.orb.refs import ObjectRef
@@ -47,11 +47,14 @@ _INFLIGHT = NULL_GAUGE
 _DISPATCH_TOTAL = NULL_COUNTER
 _DISPATCH_NS = NULL_HISTOGRAM
 _DISPATCH_NOT_FOUND = NULL_COUNTER
+_MALFORMED = NULL_COUNTER
+_CRASHED_DISPATCHES = NULL_COUNTER
 
 
 @metrics_binder
 def _bind_metrics(registry) -> None:
     global _TELEMETRY_ON, _INFLIGHT, _DISPATCH_TOTAL, _DISPATCH_NS, _DISPATCH_NOT_FOUND
+    global _MALFORMED, _CRASHED_DISPATCHES
     if registry is None:
         _TELEMETRY_ON = False
         _REQUESTS[False] = _REQUESTS[True] = NULL_COUNTER
@@ -59,6 +62,8 @@ def _bind_metrics(registry) -> None:
         _DISPATCH_TOTAL = NULL_COUNTER
         _DISPATCH_NS = NULL_HISTOGRAM
         _DISPATCH_NOT_FOUND = NULL_COUNTER
+        _MALFORMED = NULL_COUNTER
+        _CRASHED_DISPATCHES = NULL_COUNTER
         return
     requests = registry.counter(
         "repro_orb_requests_total",
@@ -82,6 +87,14 @@ def _bind_metrics(registry) -> None:
     _DISPATCH_NOT_FOUND = registry.counter(
         "repro_orb_dispatch_object_not_found_total",
         "Dispatches rejected because the object key was not active.",
+    )
+    _MALFORMED = registry.counter(
+        "repro_orb_malformed_messages_total",
+        "Wire payloads that failed to decode (dropped, reader kept alive).",
+    )
+    _CRASHED_DISPATCHES = registry.counter(
+        "repro_orb_crashed_dispatches_total",
+        "Dispatches aborted by an injected component crash (no reply sent).",
     )
     _TELEMETRY_ON = True
 
@@ -271,7 +284,16 @@ class Orb:
         _INFLIGHT.inc()
         try:
             while True:
-                reply = decode_message(conn.recv(timeout=self.request_timeout))
+                payload = conn.recv(timeout=self.request_timeout)
+                try:
+                    reply = decode_message(payload)
+                except TransportError:
+                    raise
+                except Exception as exc:
+                    # A corrupt/truncated reply must surface as a transport
+                    # failure, not a decoder crash in the caller's stack.
+                    _MALFORMED.inc()
+                    raise TransportError(f"undecodable reply payload: {exc}") from exc
                 if not isinstance(reply, ReplyMessage):
                     raise TransportError("expected a reply message")
                 if reply.request_id == request.request_id:
@@ -299,7 +321,13 @@ class Orb:
                 payload = conn.recv(timeout=None)
             except TransportError:
                 return
-            message = decode_message(payload)
+            try:
+                message = decode_message(payload)
+            except Exception:
+                # A corrupt/truncated request must not kill the reader
+                # thread; drop the payload and keep serving the link.
+                _MALFORMED.inc()
+                continue
             if not isinstance(message, RequestMessage):
                 continue
 
@@ -325,16 +353,36 @@ class Orb:
                     status=ReplyStatus.SYSTEM_EXCEPTION,
                     body=_marshal_system_exception(exc),
                 )
-                conn.send(reply.encode(), sender_host=self.process.host)
+                self._send_reply(conn, reply)
             return
-        if _TELEMETRY_ON:
-            started = time.perf_counter_ns()
-            reply = skeleton.dispatch(request)
-            _DISPATCH_NS.observe(time.perf_counter_ns() - started)
-        else:
-            reply = skeleton.dispatch(request)
+        try:
+            if _TELEMETRY_ON:
+                started = time.perf_counter_ns()
+                reply = skeleton.dispatch(request)
+                _DISPATCH_NS.observe(time.perf_counter_ns() - started)
+            else:
+                reply = skeleton.dispatch(request)
+        except ComponentCrash:
+            # Simulated component death mid-call: the skeleton-end probe
+            # never fired and no reply exists. Reset the connection so the
+            # client observes the death promptly instead of timing out.
+            _CRASHED_DISPATCHES.inc()
+            conn.close()
+            return
         if reply is not None and not request.oneway:
+            self._send_reply(conn, reply)
+
+    def _send_reply(self, conn: Connection, reply: ReplyMessage) -> None:
+        """Send a reply, tolerating a connection torn down mid-dispatch.
+
+        A client reset (or an injected connection fault) between request
+        receipt and reply send must not kill the dispatching thread — a
+        pooled policy worker dying would silently shrink the pool.
+        """
+        try:
             conn.send(reply.encode(), sender_host=self.process.host)
+        except TransportError:
+            pass
 
     # ------------------------------------------------------------------
 

@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Any
 
 from repro.core.events import Domain
 from repro.core.records import OperationInfo
-from repro.errors import MarshalError, OrbError, RemoteApplicationError
+from repro.errors import ComponentCrash, MarshalError, OrbError, RemoteApplicationError
 from repro.orb.cdr import CdrDecoder, CdrEncoder
 
 if TYPE_CHECKING:  # imported lazily to avoid a circular import with repro.idl
@@ -232,6 +232,11 @@ class StubBase:
 
     def _call_servant(self, servant, op_name: str, args: tuple) -> Any:
         """Direct collocated invocation (bypassing the skeleton)."""
+        hook = self._orb.process.fault_hook
+        if hook is not None:
+            # Collocated calls still dispatch "into" the component; a
+            # plan-scheduled crash fires here, mid-call.
+            hook.on_dispatch(self._interface, op_name)
         method = getattr(servant, op_name)
         result = method(*args)
         # Validate the result shape so collocated and remote calls agree.
@@ -249,9 +254,17 @@ class StubBase:
         op_info = self._op_info(op_name)
         stub_ctx, skel_ctx = monitor.collocated_call_start(op_info)
         try:
-            return self._call_servant(servant, op_name, args)
-        finally:
+            result = self._call_servant(servant, op_name, args)
+        except ComponentCrash:
+            # The component died mid-call: probes 3 and 4 never fire (the
+            # process that would run them is gone). The open frame shows
+            # up as a partial chain in the analyzer — by design.
+            raise
+        except BaseException:
             monitor.collocated_call_end(stub_ctx, skel_ctx)
+            raise
+        monitor.collocated_call_end(stub_ctx, skel_ctx)
+        return result
 
     def __repr__(self) -> str:
         return f"<stub {self._interface} -> {self.object_ref.to_url()}>"
@@ -317,9 +330,17 @@ class SkeletonBase:
         return {"status": status.name.lower(), "exception": repr(result)}
 
     def _execute(self, op_name: str, args: tuple) -> tuple[ReplyStatus, Any]:
-        """Run the servant method, classifying the outcome."""
+        """Run the servant method, classifying the outcome.
+
+        An injected :class:`ComponentCrash` is a ``BaseException`` and
+        deliberately escapes this classifier: a dead component sends no
+        reply and fires no further probes.
+        """
         op = self._op(op_name)
         declared = tuple(exc_type.py_class for exc_type in op.raises)
+        hook = self._orb.process.fault_hook
+        if hook is not None:
+            hook.on_dispatch(self._interface, op_name)
         try:
             result = getattr(self.servant, op_name)(*args)
             return ReplyStatus.OK, result

@@ -40,6 +40,10 @@ class Connection:
 
     def send(self, payload: bytes, sender_host: Host | None = None) -> None:
         """Deliver ``payload`` to the peer endpoint, applying link latency."""
+        self._deliver(payload, sender_host)
+
+    def _deliver(self, payload: bytes, sender_host: Host | None) -> None:
+        """The actual delivery path; ``send`` overrides decide, this delivers."""
         if self._closed or self._peer is None:
             raise TransportError(f"connection {self.local_label}->{self.peer_label} is closed")
         self._network.apply_latency(self.local_label, self.peer_label, sender_host)
@@ -54,6 +58,10 @@ class Connection:
                 f"recv timed out on {self.local_label}<-{self.peer_label}"
             ) from None
         if payload is None:
+            # Like TCP after FIN: observing the peer's close closes this
+            # side too, so connection caches reconnect instead of sending
+            # into a dead endpoint.
+            self._closed = True
             raise TransportError(f"connection {self.local_label} closed by peer")
         return payload
 
@@ -92,14 +100,18 @@ class Network:
         with self._lock:
             self._listeners.pop(address, None)
 
+    def _new_connection(self, local_label: str, peer_label: str) -> Connection:
+        """Connection factory; fault-injecting networks override this."""
+        return Connection(local_label, peer_label, self)
+
     def connect(self, client_label: str, address: str) -> Connection:
         """Open a connection from ``client_label`` to a listening ``address``."""
         with self._lock:
             on_connect = self._listeners.get(address)
         if on_connect is None:
             raise TransportError(f"no listener at {address}")
-        client_side = Connection(client_label, address, self)
-        server_side = Connection(address, client_label, self)
+        client_side = self._new_connection(client_label, address)
+        server_side = self._new_connection(address, client_label)
         client_side._attach(server_side)
         server_side._attach(client_side)
         on_connect(server_side)

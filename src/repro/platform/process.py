@@ -32,15 +32,35 @@ class LocalLogBuffer:
     Probes append without any cross-process coordination (paper: "all
     runtime behavior information is recorded individually by probes
     without coordination and global clock synchronization").
+
+    ``capacity`` bounds the buffer: once full, further appends are
+    *dropped and counted* rather than blocking the probe or growing
+    without bound — a probe must never stall the application it observes.
+    The analyzer tolerates the resulting record loss (chains reconstruct
+    partial and flagged), so bounded capture degrades accounting, not
+    soundness.
     """
 
-    def __init__(self):
+    def __init__(self, capacity: int | None = None):
+        if capacity is not None and capacity < 1:
+            raise ValueError("log buffer capacity must be >= 1")
+        self.capacity = capacity
         self._records: list[Any] = []
+        self._dropped = 0
         self._lock = threading.Lock()
 
     def append(self, record: Any) -> None:
         with self._lock:
+            if self.capacity is not None and len(self._records) >= self.capacity:
+                self._dropped += 1
+                return
             self._records.append(record)
+
+    @property
+    def dropped(self) -> int:
+        """Records rejected because the buffer was at capacity."""
+        with self._lock:
+            return self._dropped
 
     def drain(self) -> list[Any]:
         """Return and clear all records (used by the collector)."""
@@ -70,6 +90,7 @@ class SimProcess:
         self.monitor: Any = None  # attached by repro.core.monitor
         self.orb: Any = None  # attached by repro.orb.orb
         self.com: Any = None  # attached by repro.com.runtime
+        self.fault_hook: Any = None  # attached by repro.faults.FaultInjector
         self._threads: list[threading.Thread] = []
         self._threads_lock = threading.Lock()
         self._alive = True

@@ -1,0 +1,383 @@
+"""The seeded chaos matrix: every fault domain x every call style, twice.
+
+Each scenario runs a real workload (two-process CORBA, a three-domain
+chain, the PPS pipeline) under a seeded :class:`FaultPlan`, collects
+through the resilient collector, reconstructs offline, and produces one
+canonical accounting dict (per-call outcomes, injected faults, capture
+completeness, collection loss). Every scenario is executed twice with
+the same seed and the accounting must match exactly — the determinism
+contract that makes chaotic failures replayable from their seed.
+
+Set ``CHAOS_ACCOUNTING_OUT=<path>`` to append each scenario's accounting
+as JSON lines (CI diffs the files of two consecutive full runs).
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis import loss_report, reconstruct
+from repro.collector import LogCollector, MonitoringDatabase
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+)
+from repro.faults import FaultInjector, FaultKind, FaultPlan
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb, ThreadPerConnection
+from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
+
+IDL = """
+module CH {
+  interface Svc {
+    long ping(in long x);
+    oneway void notify(in long x);
+  };
+};
+"""
+
+#: fault domain -> FaultPlan keyword arguments (rates tuned so every
+#: scenario injects something without drowning the workload).
+FAULT_DOMAINS = {
+    "drop": {"rates": {FaultKind.DROP: 0.25}},
+    "duplicate": {"rates": {FaultKind.DUPLICATE: 0.3}},
+    "reorder": {"rates": {FaultKind.REORDER: 0.3}},
+    "reset": {"rates": {FaultKind.RESET: 0.15}},
+    "crash": {},  # crash_calls filled per call style
+}
+
+CALL_STYLES = ("sync", "oneway", "collocated")
+
+_SEEDS = {"sync": 101, "oneway": 202, "collocated": 303}
+
+
+def _quiesce(processes, settle=3, interval=0.002, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    last, stable = -1, 0
+    while time.monotonic() < deadline:
+        size = sum(len(p.log_buffer) for p in processes)
+        if size == last:
+            stable += 1
+            if stable >= settle:
+                return
+        else:
+            stable, last = 0, size
+        time.sleep(interval)
+
+
+def _accounting(injector, processes, errors, results):
+    """One canonical dict: what happened, what was injected, what was lost."""
+    collector = LogCollector(MonitoringDatabase(), retries=2, backoff_s=0.0)
+    collector.collect(processes, run_id="chaos", description="chaos")
+    dscg = reconstruct(collector.database, "chaos")
+    (meta,) = collector.database.runs()
+    # summary() comes after collect(): record-loss and drain-failure
+    # faults are injected during the drain itself.
+    return {
+        "client_errors": errors,
+        "results": results,
+        "faults": injector.summary(),
+        "capture": loss_report(dscg).to_dict(),
+        "stats": dscg.stats(),
+        "collection": meta.extra["loss"],
+    }
+
+
+def run_corba_scenario(style: str, fault: str, seed: int) -> dict:
+    """Two-process CORBA workload under one fault domain; returns accounting."""
+    plan_kwargs = dict(FAULT_DOMAINS[fault])
+    if fault == "crash":
+        plan_kwargs["crash_calls"] = (
+            {"CH::Svc::notify": 2} if style == "oneway" else {"CH::Svc::ping": 3}
+        )
+    plan = FaultPlan(
+        seed=seed, record_loss_rate=0.05, collect_fail_attempts=1, **plan_kwargs
+    )
+    injector = FaultInjector(plan)
+    network = injector.network()
+    clock = VirtualClock()
+    host = Host("chaos-host", PlatformKind.HPUX_11, clock=clock)
+    uuid_factory = SequentialUuidFactory("fa")
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+
+    def make_process(name):
+        process = SimProcess(name, host)
+        MonitoringRuntime(
+            process,
+            MonitorConfig(mode=MonitorMode.LATENCY, uuid_factory=uuid_factory),
+        )
+        return process
+
+    class SvcImpl(compiled.Svc):
+        def ping(self, x):
+            clock.consume(300)
+            return x * 2
+
+        def notify(self, x):
+            clock.consume(200)
+
+    server = make_process("server")
+    server_orb = Orb(
+        server,
+        network,
+        policy=ThreadPerConnection(),
+        registry=registry,
+        request_timeout=0.1,
+    )
+    ref = server_orb.activate(SvcImpl())
+    if style == "collocated":
+        client = server
+        stub = server_orb.resolve(ref)
+        processes = [server]
+    else:
+        client = make_process("client")
+        client_orb = Orb(
+            client, network, registry=registry, request_timeout=0.1
+        )
+        stub = client_orb.resolve(ref)
+        processes = [client, server]
+    injector.arm_crashes(server)
+
+    errors = 0
+    results = []
+    try:
+        for i in range(8):
+            try:
+                if style == "oneway":
+                    stub.notify(i)
+                    results.append("sent")
+                    # Oneway dispatch is asynchronous: settle before the
+                    # next send so crash-triggered connection teardown
+                    # cannot race it (determinism, not correctness).
+                    _quiesce(processes)
+                else:
+                    results.append(stub.ping(i))
+            except BaseException as exc:  # ComponentCrash included
+                errors += 1
+                results.append(type(exc).__name__)
+            finally:
+                if client.monitor is not None:
+                    client.monitor.unbind_ftl()
+        _quiesce(processes)
+        for process in processes:
+            injector.lossy_delivery(process)
+        return _accounting(injector, processes, errors, results)
+    finally:
+        for process in processes:
+            process.shutdown()
+
+
+@pytest.mark.parametrize("fault", sorted(FAULT_DOMAINS))
+@pytest.mark.parametrize("style", CALL_STYLES)
+def test_matrix_cell_is_deterministic(style, fault):
+    seed = _SEEDS[style]
+    first = run_corba_scenario(style, fault, seed)
+    second = run_corba_scenario(style, fault, seed)
+    assert first == second, f"{style} x {fault}: accounting diverged between runs"
+    _dump(f"corba:{style}:{fault}", first)
+
+
+def test_matrix_actually_injects_faults():
+    """Sanity: across the matrix, every fault domain fired at least once."""
+    seen = set()
+    for style in CALL_STYLES:
+        for fault in sorted(FAULT_DOMAINS):
+            accounting = run_corba_scenario(style, fault, _SEEDS[style])
+            seen.update(accounting["faults"]["by_kind"])
+    assert {"drop", "duplicate", "reorder", "reset", "crash", "record_loss",
+            "collect_fail"} <= seen
+
+
+def test_different_seeds_differ():
+    a = run_corba_scenario("sync", "drop", 101)
+    b = run_corba_scenario("sync", "drop", 9999)
+    assert a["faults"]["by_site"] != b["faults"]["by_site"]
+
+
+# ----------------------------------------------------------------------
+# Three-domain chain under faults
+
+
+def run_three_domain_scenario(seed: int) -> dict:
+    from repro.com import ComInterface, ComObject, ComRuntime
+    from repro.j2ee import Container, Jndi, stateless
+
+    plan = FaultPlan(
+        seed=seed,
+        rates={FaultKind.DROP: 0.12},
+        record_loss_rate=0.05,
+        crash_calls={"IMiddle::relay": 3},
+    )
+    injector = FaultInjector(plan)
+    network = injector.network()
+    clock = VirtualClock()
+    host = Host("chaos-host", PlatformKind.HPUX_11, clock=clock)
+    uuid_factory = SequentialUuidFactory("3d")
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL_GATEWAY, instrument=True, registry=registry)
+    IMiddle = ComInterface("IMiddle", ("relay",))
+
+    def make_process(name):
+        process = SimProcess(name, host)
+        MonitoringRuntime(
+            process,
+            MonitorConfig(mode=MonitorMode.LATENCY, uuid_factory=uuid_factory),
+        )
+        return process
+
+    front = make_process("front")
+    middle = make_process("middle")
+    back = make_process("back")
+    driver = make_process("driver")
+    processes = [front, middle, back, driver]
+
+    front_orb = Orb(
+        front,
+        network,
+        policy=ThreadPerConnection(),
+        registry=registry,
+        request_timeout=0.1,
+    )
+    client_orb = Orb(driver, network, registry=registry, request_timeout=0.1)
+    com_runtime = ComRuntime(middle)
+    front_com = ComRuntime(front)
+    container = Container(back, "backend")
+    jndi = Jndi()
+
+    @stateless
+    class TaxService:
+        def compute(self, amount):
+            clock.consume(400)
+            return amount * 2
+
+    jndi.bind("tax", container, container.deploy(TaxService))
+
+    class MiddleObj(ComObject):
+        implements = (IMiddle,)
+
+        def relay(self, amount):
+            clock.consume(200)
+            return jndi.lookup("tax", middle).compute(amount) + 1
+
+    sta = com_runtime.create_sta("m")
+    middle_identity = com_runtime.create_object(MiddleObj, sta)
+    injector.arm_crashes(middle)
+
+    class GatewayImpl(compiled.Gateway):
+        def handle(self, request):
+            clock.consume(100)
+            proxy = front_com.proxy_for(middle_identity, IMiddle)
+            return proxy.relay(request) + 1
+
+    gateway_ref = front_orb.activate(GatewayImpl())
+    stub = client_orb.resolve(gateway_ref)
+
+    errors = 0
+    results = []
+    try:
+        for i in range(6):
+            try:
+                results.append(stub.handle(i))
+            except BaseException as exc:
+                errors += 1
+                results.append(type(exc).__name__)
+            finally:
+                if driver.monitor is not None:
+                    driver.monitor.unbind_ftl()
+        _quiesce(processes)
+        for process in processes:
+            injector.lossy_delivery(process)
+        return _accounting(injector, processes, errors, results)
+    finally:
+        for process in processes:
+            process.shutdown()
+
+
+IDL_GATEWAY = """
+module TD {
+  interface Gateway {
+    long handle(in long request);
+  };
+};
+"""
+
+
+def test_three_domain_chain_is_deterministic():
+    first = run_three_domain_scenario(seed=77)
+    second = run_three_domain_scenario(seed=77)
+    assert first == second
+    # The crash fired inside the COM domain and the analyzer salvaged.
+    assert first["faults"]["by_kind"].get("crash") == 1
+    assert first["capture"]["partial_chains"] >= 1
+    _dump("three-domain", first)
+
+
+# ----------------------------------------------------------------------
+# PPS pipeline under faults
+
+
+def run_pps_scenario(seed: int) -> dict:
+    from repro.apps.pps import PpsSystem, four_process_deployment
+
+    plan = FaultPlan(
+        seed=seed,
+        rates={FaultKind.DROP: 0.04},
+        record_loss_rate=0.04,
+        collect_fail_attempts=1,
+        crash_calls={"PPS::Halftone::halftone": 3},
+    )
+    injector = FaultInjector(plan)
+    pps = PpsSystem(
+        four_process_deployment(),
+        mode=MonitorMode.LATENCY,
+        network=injector.network(),
+        request_timeout=0.1,
+        policy_factory=ThreadPerConnection,
+    )
+    for process in pps.processes.values():
+        injector.arm_crashes(process)
+    errors = 0
+    results = []
+    try:
+        for job in range(3):
+            try:
+                pps.run(njobs=1, pages=2, complexity=1)
+                results.append("ok")
+            except BaseException as exc:
+                errors += 1
+                results.append(type(exc).__name__)
+        pps.quiesce()
+        processes = list(pps.processes.values())
+        for process in processes:
+            injector.lossy_delivery(process)
+        return _accounting(injector, processes, errors, results)
+    finally:
+        pps.shutdown()
+
+
+def test_pps_pipeline_is_deterministic():
+    first = run_pps_scenario(seed=55)
+    second = run_pps_scenario(seed=55)
+    assert first == second
+    assert first["faults"]["total"] > 0
+    _dump("pps", first)
+
+
+# ----------------------------------------------------------------------
+
+
+def _dump(name: str, accounting: dict) -> None:
+    """Append one scenario's accounting for the CI determinism diff."""
+    out = os.environ.get("CHAOS_ACCOUNTING_OUT")
+    if not out:
+        return
+    with open(out, "a") as handle:
+        handle.write(
+            json.dumps({"scenario": name, "accounting": accounting}, sort_keys=True)
+            + "\n"
+        )

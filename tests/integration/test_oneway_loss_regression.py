@@ -1,0 +1,77 @@
+"""Regression: oneway skeleton-side frames must not leak in-flight state.
+
+The online monitor once kept skeleton-opened oneway frames open forever
+(skel_end did not close them); the fix completes skel-opened frames at
+skel_end. Under fault injection this matters doubly: when a oneway
+fork's *other* leg is dropped entirely, the surviving leg must still
+open and close cleanly, leaving no phantom in-flight invocations.
+"""
+
+from repro.analysis import OnlineMonitor, loss_report, reconstruct_from_records
+from repro.core import MonitorMode, TracingEvent
+from tests.helpers import Call, simulate
+
+
+def _oneway_records():
+    sim = simulate(
+        [Call("A::fork", oneway=True, cpu_ns=500)], mode=MonitorMode.LATENCY
+    )
+    stub_leg = [r for r in sim.records if r.event.name.startswith("STUB")]
+    skel_leg = [r for r in sim.records if r.event.name.startswith("SKEL")]
+    assert len(stub_leg) == 2 and len(skel_leg) == 2
+    return sim.records, stub_leg, skel_leg
+
+
+def test_skel_leg_alone_completes():
+    # The stub-side (parent chain) records were dropped by faults; the
+    # forked skeleton leg still opens at skel_start and closes at skel_end.
+    _, _stub_leg, skel_leg = _oneway_records()
+    monitor = OnlineMonitor()
+    monitor.ingest_many(skel_leg)
+    assert monitor.open_invocations() == []
+    assert monitor.live_chain_count() == 0
+    assert monitor.completed_calls() == 1
+
+
+def test_stub_leg_alone_completes():
+    # The forked leg's records were dropped; the stub side still closes.
+    _, stub_leg, _skel_leg = _oneway_records()
+    monitor = OnlineMonitor()
+    monitor.ingest_many(stub_leg)
+    assert monitor.open_invocations() == []
+    assert monitor.live_chain_count() == 0
+    assert monitor.completed_calls() == 1
+
+
+def test_full_stream_leaves_nothing_open():
+    records, _, _ = _oneway_records()
+    monitor = OnlineMonitor()
+    monitor.ingest_many(records)
+    assert monitor.open_invocations() == []
+    assert monitor.live_chain_count() == 0
+    assert monitor.completed_calls() == 2
+
+
+def test_skel_end_loss_keeps_frame_open_not_leaked_forever():
+    # Only skel_end missing: the frame is genuinely in flight (we cannot
+    # know it ended) — but it is exactly one frame, not an accumulation.
+    _, _, skel_leg = _oneway_records()
+    start_only = [r for r in skel_leg if r.event is TracingEvent.SKEL_START]
+    monitor = OnlineMonitor()
+    monitor.ingest_many(start_only)
+    open_invocations = monitor.open_invocations()
+    assert len(open_invocations) == 1
+    assert open_invocations[0].opened_by == "skel"
+
+
+def test_offline_analyzer_flags_the_dropped_leg():
+    # The offline DSCG view of the same fault: the surviving skel-side
+    # chain reconstructs clean; dropping its skel_end flags it partial.
+    _, _, skel_leg = _oneway_records()
+    clean = reconstruct_from_records(skel_leg)
+    assert loss_report(clean).partial_nodes == 0
+    truncated = [r for r in skel_leg if r.event is TracingEvent.SKEL_START]
+    dscg = reconstruct_from_records(truncated)
+    report = loss_report(dscg)
+    assert report.partial_nodes == 1
+    assert report.partial_chains == 1

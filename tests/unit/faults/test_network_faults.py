@@ -1,0 +1,151 @@
+"""Message-level fault injection on the simulated network."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.faults import FaultInjector, FaultKind, FaultPlan, link_scope
+from repro.platform import Host, PlatformKind, VirtualClock
+
+
+def _connect(plan: FaultPlan):
+    injector = FaultInjector(plan)
+    network = injector.network()
+    server_inbox = []
+    network.listen("server", server_inbox.append)
+    client = network.connect("client/t1", "server")
+    server = server_inbox[0]
+    return injector, client, server
+
+
+def _recv_all(conn, limit=10):
+    out = []
+    for _ in range(limit):
+        try:
+            out.append(conn.recv(timeout=0.05))
+        except TransportError:
+            break
+    return out
+
+
+class TestLinkScope:
+    def test_strips_connection_serials(self):
+        assert link_scope("client/t3", "server") == "client->server"
+        assert link_scope("server", "client/t12") == "server->client"
+
+    def test_plain_labels_untouched(self):
+        assert link_scope("a", "b") == "a->b"
+
+
+class TestEachFaultKind:
+    def test_clean_plan_is_transparent(self):
+        injector, client, server = _connect(FaultPlan(seed=1))
+        client.send(b"one")
+        client.send(b"two")
+        assert _recv_all(server) == [b"one", b"two"]
+        assert injector.events() == []
+
+    def test_drop(self):
+        plan = FaultPlan(seed=1, rates={FaultKind.DROP: 1.0})
+        injector, client, server = _connect(plan)
+        client.send(b"gone")
+        assert _recv_all(server) == []
+        assert injector.counters() == {"drop@client->server": 1}
+
+    def test_duplicate(self):
+        plan = FaultPlan(seed=1, rates={FaultKind.DUPLICATE: 1.0})
+        injector, client, server = _connect(plan)
+        client.send(b"twice")
+        assert _recv_all(server) == [b"twice", b"twice"]
+
+    def test_reorder_swaps_adjacent_messages(self):
+        # Fault only message 0: it is held and delivered after message 1.
+        class ReorderFirst(FaultPlan):
+            def message_fault(self, scope, index):
+                return FaultKind.REORDER if index == 0 else None
+
+        injector, client, server = _connect(ReorderFirst(seed=1))
+        client.send(b"first")
+        client.send(b"second")
+        assert _recv_all(server) == [b"second", b"first"]
+
+    def test_reorder_tail_flushes_on_next_fault_decision(self):
+        plan = FaultPlan(seed=1, rates={FaultKind.REORDER: 1.0})
+        injector, client, server = _connect(plan)
+        client.send(b"a")  # held
+        client.send(b"b")  # flushes a, holds b
+        assert _recv_all(server) == [b"a"]
+
+    def test_corrupt_flips_exactly_one_byte(self):
+        plan = FaultPlan(seed=3, rates={FaultKind.CORRUPT: 1.0})
+        injector, client, server = _connect(plan)
+        original = bytes(range(32))
+        client.send(original)
+        (received,) = _recv_all(server)
+        assert len(received) == len(original)
+        diffs = [i for i, (a, b) in enumerate(zip(original, received)) if a != b]
+        assert len(diffs) == 1
+
+    def test_truncate_shortens_payload(self):
+        plan = FaultPlan(seed=2, rates={FaultKind.TRUNCATE: 1.0})
+        injector, client, server = _connect(plan)
+        client.send(b"x" * 64)
+        (received,) = _recv_all(server)
+        assert len(received) < 64
+        assert received == b"x" * len(received)
+
+    def test_reset_closes_the_connection(self):
+        plan = FaultPlan(seed=1, rates={FaultKind.RESET: 1.0})
+        injector, client, server = _connect(plan)
+        client.send(b"never arrives")
+        assert client.closed
+        with pytest.raises(TransportError):
+            server.recv(timeout=0.05)
+        with pytest.raises(TransportError):
+            client.send(b"after reset")
+
+    def test_delay_charges_the_sender_clock(self):
+        plan = FaultPlan(seed=1, rates={FaultKind.DELAY: 1.0}, delay_ns=5_000_000)
+        injector, client, server = _connect(plan)
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        before = clock.wall_ns()
+        client.send(b"slow", sender_host=host)
+        assert clock.wall_ns() - before >= 5_000_000
+        assert _recv_all(server) == [b"slow"]
+
+
+class TestDeterministicReplay:
+    def test_same_seed_same_fault_sites(self):
+        plan = FaultPlan(
+            seed=21,
+            rates={FaultKind.DROP: 0.3, FaultKind.DUPLICATE: 0.2},
+        )
+
+        def run():
+            injector, client, server = _connect(plan)
+            for i in range(50):
+                client.send(f"m{i}".encode())
+            return [e for e in injector.events()], _recv_all(server, limit=200)
+
+        events_a, received_a = run()
+        events_b, received_b = run()
+        assert events_a == events_b
+        assert received_a == received_b
+        assert events_a  # the seed actually injected something
+
+    def test_connection_serial_does_not_change_the_schedule(self):
+        # Thread t1 vs t7 labels map to the same link scope.
+        plan = FaultPlan(seed=21, rates={FaultKind.DROP: 0.3})
+        injector = FaultInjector(plan)
+        network = injector.network()
+        inbox = []
+        network.listen("server", inbox.append)
+        first = network.connect("client/t1", "server")
+        second = network.connect("client/t7", "server")
+        for i in range(30):
+            first.send(f"m{i}".encode())
+        received_first = _recv_all(inbox[0], limit=60)
+        for i in range(30):
+            second.send(f"m{i}".encode())
+        received_second = _recv_all(inbox[1], limit=60)
+        assert received_first == received_second

@@ -1,0 +1,132 @@
+"""FaultPlan determinism: same seed, same schedule — always."""
+
+import json
+
+import pytest
+
+from repro.faults import MESSAGE_FAULT_PRIORITY, FaultKind, FaultPlan
+
+
+def _plan(seed: int) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        rates={
+            FaultKind.DROP: 0.1,
+            FaultKind.DUPLICATE: 0.05,
+            FaultKind.REORDER: 0.05,
+            FaultKind.CORRUPT: 0.02,
+            FaultKind.TRUNCATE: 0.02,
+            FaultKind.RESET: 0.01,
+            FaultKind.DELAY: 0.05,
+        },
+        record_loss_rate=0.1,
+        collect_fail_attempts=2,
+        crash_calls={"I::op": 3},
+    )
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = _plan(7).schedule("client->server", 500)
+        b = _plan(7).schedule("client->server", 500)
+        assert a == b
+
+    def test_schedule_is_byte_identical_across_instances(self):
+        a = json.dumps(_plan(42).schedule("x->y", 1000)).encode()
+        b = json.dumps(_plan(42).schedule("x->y", 1000)).encode()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = _plan(1).schedule("client->server", 500)
+        b = _plan(2).schedule("client->server", 500)
+        assert a != b
+
+    def test_different_scopes_differ(self):
+        plan = _plan(7)
+        assert plan.schedule("a->b", 500) != plan.schedule("b->a", 500)
+
+    def test_scopes_are_independent(self):
+        # Adding/consulting other scopes never perturbs a scope's schedule.
+        plan = _plan(9)
+        before = plan.schedule("a->b", 200)
+        plan.schedule("noise->noise", 200)
+        plan.message_fault("other", 0)
+        assert plan.schedule("a->b", 200) == before
+
+    def test_fraction_is_uniformish_and_in_range(self):
+        plan = FaultPlan(seed=3)
+        draws = [plan.fraction("s", i) for i in range(2000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        mean = sum(draws) / len(draws)
+        assert 0.45 < mean < 0.55
+
+    def test_rate_one_always_fires_rate_zero_never(self):
+        always = FaultPlan(seed=5, rates={FaultKind.DROP: 1.0})
+        never = FaultPlan(seed=5, rates={FaultKind.DROP: 0.0})
+        assert all(f == "drop" for f in always.schedule("s", 100))
+        assert all(f == "pass" for f in never.schedule("s", 100))
+
+    def test_priority_resolves_multi_fault_draws(self):
+        # With every rate at 1.0, the highest-priority kind always wins.
+        plan = FaultPlan(seed=1, rates={k: 1.0 for k in MESSAGE_FAULT_PRIORITY})
+        assert plan.message_fault("s", 0) is MESSAGE_FAULT_PRIORITY[0]
+
+
+class TestScheduleShape:
+    def test_observed_rate_tracks_configured_rate(self):
+        plan = FaultPlan(seed=11, rates={FaultKind.DROP: 0.2})
+        schedule = plan.schedule("link", 5000)
+        drops = schedule.count("drop")
+        assert 0.15 < drops / 5000 < 0.25
+
+    def test_crash_at(self):
+        plan = _plan(1)
+        assert plan.crash_at("I::op") == 3
+        assert plan.crash_at("I::other") is None
+
+    def test_drain_fails_only_for_leading_attempts(self):
+        plan = _plan(1)
+        assert plan.drain_fails("proc", 0)
+        assert plan.drain_fails("proc", 1)
+        assert not plan.drain_fails("proc", 2)
+
+    def test_record_loss_is_deterministic(self):
+        plan = _plan(13)
+        losses = [plan.loses_record("proc", i) for i in range(300)]
+        assert losses == [plan.loses_record("proc", i) for i in range(300)]
+        assert any(losses) and not all(losses)
+
+
+class TestSerialization:
+    def test_json_roundtrip(self):
+        plan = _plan(99)
+        restored = FaultPlan.from_json(plan.to_json())
+        assert restored == plan
+        assert restored.schedule("a->b", 300) == plan.schedule("a->b", 300)
+
+    def test_to_json_is_canonical(self):
+        assert _plan(99).to_json() == _plan(99).to_json()
+        assert _plan(99).to_json() != _plan(98).to_json()
+
+    def test_from_dict_defaults(self):
+        plan = FaultPlan.from_dict({"seed": 4})
+        assert plan.seed == 4
+        assert plan.rates == {}
+        assert plan.record_loss_rate == 0.0
+        assert plan.crash_calls == {}
+
+
+class TestValidation:
+    def test_rejects_out_of_range_rate(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, rates={FaultKind.DROP: 1.5})
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, rates={FaultKind.DROP: -0.1})
+
+    def test_rejects_out_of_range_record_loss(self):
+        with pytest.raises(ValueError):
+            FaultPlan(seed=1, record_loss_rate=2.0)
+
+    def test_string_keys_coerce_to_fault_kinds(self):
+        plan = FaultPlan(seed=1, rates={"drop": 0.5})
+        assert plan.rates == {FaultKind.DROP: 0.5}
