@@ -1,0 +1,376 @@
+"""Invocation data-plane throughput benchmark.
+
+Measures calls/sec and per-probe overhead across the matrix
+``{sync_remote, oneway_remote, collocated} x {1, 8, 32 client threads}``
+for two data planes:
+
+- **fast** — the current tree: multiplexed client channels (request
+  pipelining over one shared connection), fused CDR marshalling plans,
+  zero-copy GIOP decode, batched per-thread probe logging.
+- **baseline** — the pre-PR lock-step data plane. Two baselines are
+  supported, recorded honestly in the output JSON:
+
+  * ``--baseline-src PATH`` points at a checkout of the pre-PR tree
+    (e.g. a ``git worktree`` of the parent commit); the same cells run
+    in a subprocess with ``PYTHONPATH`` set to that tree. This is the
+    real pre-PR data plane and is what the committed
+    ``BENCH_invocation_throughput.json`` uses.
+  * without ``--baseline-src`` the baseline runs in-process against the
+    current tree with ``channel="per-thread"`` and the slow (per-field)
+    marshalling entry points — a *compat* approximation used by the CI
+    smoke job, labelled ``"in-tree-compat"`` so nobody mistakes it for
+    the real pre-PR numbers.
+
+Probe overhead is computed at 1 client thread (no scheduler noise):
+``(ns_per_call_monitored - ns_per_call_unmonitored) / records_per_call``
+— i.e. the paper's O_F, amortized per probe record actually written.
+
+Every cell runs in a fresh subprocess so import state, marshal-plan
+caches and telemetry rebinding never leak between planes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_invocation_throughput.py \
+        [--quick] [--check] [--baseline-src /path/to/prepr/src] \
+        [--max-overhead-ns N] [--output BENCH_invocation_throughput.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+import time
+
+KINDS = ("sync_remote", "oneway_remote", "collocated")
+THREADS = (1, 8, 32)
+
+IDL = """
+module Bench {
+  interface Svc {
+    long ping(in long x);
+    oneway void cast(in long x);
+  };
+};
+"""
+
+
+# ---------------------------------------------------------------------------
+# Worker mode: runs inside a subprocess against whatever tree PYTHONPATH
+# selects (current tree for the fast plane, a pre-PR checkout for the
+# real baseline). Uses only API that exists in both trees and
+# feature-detects the rest.
+# ---------------------------------------------------------------------------
+
+
+def _measure_cell(kind: str, threads: int, monitored: bool, plane: str,
+                  total_calls: int) -> dict:
+    from repro.core import MonitorConfig, MonitoringRuntime, MonitorMode
+    from repro.idl import compile_idl
+    from repro.orb import InterfaceRegistry, Orb, ThreadPool
+    from repro.platform import Host, Network, SimProcess
+
+    network = Network()
+    host = Host("bench-host")  # real clock: throughput is wall time
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry)
+
+    server = SimProcess("bench-server", host)
+    client = SimProcess("bench-client", host)
+    if monitored:
+        MonitoringRuntime(server, MonitorConfig(mode=MonitorMode.LATENCY))
+        MonitoringRuntime(client, MonitorConfig(mode=MonitorMode.LATENCY))
+
+    orb_kwargs = {}
+    channel_param = "channel" in inspect.signature(Orb.__init__).parameters
+    if channel_param:
+        orb_kwargs["channel"] = "mux" if plane == "fast" else "per-thread"
+    server_orb = Orb(server, network, policy=ThreadPool(size=8),
+                     registry=registry, **orb_kwargs)
+
+    class Impl(compiled.Svc):
+        def ping(self, x):
+            return x + 1
+
+        def cast(self, x):
+            pass
+
+    ref = server_orb.activate(Impl())
+    if kind == "collocated":
+        caller_orb = server_orb
+    else:
+        caller_orb = Orb(client, network, registry=registry, **orb_kwargs)
+    stub = caller_orb.resolve(ref)
+
+    # The compat baseline on the current tree also reverts marshalling to
+    # the per-field slow path (the pre-PR entry points, kept for the
+    # byte-identity property tests). On a real pre-PR tree these slow
+    # variants do not exist and nothing needs patching.
+    patched = []
+    if plane == "baseline" and channel_param:
+        import repro.orb.runtime as _rt
+
+        for name in ("_marshal_args", "_unmarshal_args",
+                     "_marshal_result", "_unmarshal_result"):
+            slow = getattr(_rt, name + "_slow", None)
+            if slow is not None:
+                patched.append((name, getattr(_rt, name)))
+                setattr(_rt, name, slow)
+
+    per_thread = max(1, total_calls // threads)
+    calls = per_thread * threads
+    oneway = kind == "oneway_remote"
+    barrier = threading.Barrier(threads + 1)
+
+    def work():
+        invoke = stub.cast if oneway else stub.ping
+        barrier.wait()
+        for _ in range(per_thread):
+            invoke(7)
+
+    workers = [threading.Thread(target=work, name=f"bench-client-{i}")
+               for i in range(threads)]
+    for thread in workers:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter_ns()
+    for thread in workers:
+        thread.join()
+    elapsed_ns = time.perf_counter_ns() - start
+
+    def _records() -> int:
+        return len(server.log_buffer.snapshot()) + len(client.log_buffer.snapshot())
+
+    records = 0
+    if monitored:
+        if oneway:
+            # Oneways measure send rate; dispatches may still be queued.
+            # One trailing sync call flushes the FIFO pool queue, then we
+            # wait for the record count to go quiescent.
+            stub_sync = caller_orb.resolve(ref)
+            stub_sync.ping(0)
+            records = _records()
+            while True:
+                time.sleep(0.02)
+                now = _records()
+                if now == records:
+                    break
+                records = now
+            records -= 4  # the flush call's own probe records
+        else:
+            records = _records()
+
+    try:
+        caller_orb.shutdown()
+        if caller_orb is not server_orb:
+            server_orb.shutdown()
+    finally:
+        client.shutdown()
+        server.shutdown()
+        for name, original in patched:
+            import repro.orb.runtime as _rt
+
+            setattr(_rt, name, original)
+
+    return {
+        "kind": kind,
+        "threads": threads,
+        "plane": plane,
+        "monitored": monitored,
+        "calls": calls,
+        "elapsed_ns": elapsed_ns,
+        "calls_per_sec": round(calls / (elapsed_ns / 1e9), 1),
+        "ns_per_call": round(elapsed_ns / calls, 1),
+        "probe_records": records,
+        "records_per_call": round(records / calls, 2) if monitored else 0.0,
+    }
+
+
+def _run_worker(spec_json: str) -> None:
+    spec = json.loads(spec_json)
+    repeat = spec.get("repeat", 1)
+    results = []
+    for cell in spec["cells"]:
+        # Best-of-N: each run includes full setup/teardown; keeping the
+        # fastest run filters scheduler noise out of sub-second cells.
+        runs = [
+            _measure_cell(cell["kind"], cell["threads"], cell["monitored"],
+                          cell["plane"], spec["total_calls"])
+            for _ in range(repeat)
+        ]
+        best = max(runs, key=lambda r: r["calls_per_sec"])
+        best["all_runs_calls_per_sec"] = [r["calls_per_sec"] for r in runs]
+        results.append(best)
+    print(json.dumps(results))
+
+
+# ---------------------------------------------------------------------------
+# Orchestrator mode.
+# ---------------------------------------------------------------------------
+
+
+def _spawn_worker(cells: list[dict], total_calls: int,
+                  pythonpath: str, repeat: int) -> list[dict]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = pythonpath
+    spec = json.dumps(
+        {"cells": cells, "total_calls": total_calls, "repeat": repeat}
+    )
+    proc = subprocess.run(
+        [sys.executable, os.path.abspath(__file__), "--worker", spec],
+        capture_output=True, text=True, env=env, timeout=1200,
+    )
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"bench worker failed (PYTHONPATH={pythonpath}):\n{proc.stderr}"
+        )
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def _cell_key(cell: dict) -> tuple:
+    return (cell["kind"], cell["threads"], cell["plane"], cell["monitored"])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller call counts (CI smoke)")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if a gate fails")
+    parser.add_argument("--baseline-src", default=None,
+                        help="src/ of a pre-PR checkout for the real baseline")
+    parser.add_argument("--baseline-label", default=None,
+                        help="label recorded for --baseline-src (e.g. git:<sha>)")
+    parser.add_argument("--max-overhead-ns", type=float, default=None,
+                        help="fail --check if mean per-probe overhead exceeds this")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail --check if sync_remote@8 speedup is below this")
+    parser.add_argument("--repeat", type=int, default=None,
+                        help="best-of-N runs per cell (default 3, 1 with --quick)")
+    parser.add_argument("--calls", type=int, default=None,
+                        help="total calls per cell (default 3000, 400 with --quick)")
+    parser.add_argument("--output", default="BENCH_invocation_throughput.json")
+    parser.add_argument("--worker", default=None, help=argparse.SUPPRESS)
+    args = parser.parse_args(argv)
+
+    if args.worker is not None:
+        _run_worker(args.worker)
+        return 0
+
+    total_calls = args.calls or (400 if args.quick else 3000)
+    repeat = args.repeat or (1 if args.quick else 3)
+    here = os.path.dirname(os.path.abspath(__file__))
+    fast_src = os.path.join(os.path.dirname(here), "src")
+
+    fast_cells = [
+        {"kind": kind, "threads": threads, "plane": "fast", "monitored": mon}
+        for kind in KINDS for threads in THREADS for mon in (True, False)
+    ]
+    baseline_cells = [
+        {"kind": kind, "threads": threads, "plane": "baseline", "monitored": True}
+        for kind in KINDS for threads in THREADS
+    ] + [
+        {"kind": kind, "threads": 1, "plane": "baseline", "monitored": False}
+        for kind in KINDS
+    ]
+
+    baseline_src = args.baseline_src or fast_src
+    baseline_label = (
+        args.baseline_label or ("pre-pr-checkout" if args.baseline_src
+                                else "in-tree-compat")
+    )
+
+    print(f"fast plane: {len(fast_cells)} cells x {total_calls} calls",
+          file=sys.stderr)
+    fast = _spawn_worker(fast_cells, total_calls, fast_src, repeat)
+    print(f"baseline plane ({baseline_label}): {len(baseline_cells)} cells",
+          file=sys.stderr)
+    baseline = _spawn_worker(baseline_cells, total_calls, baseline_src, repeat)
+
+    by_key = {_cell_key(c): c for c in fast + baseline}
+
+    speedups: dict[str, dict[str, float]] = {}
+    for kind in KINDS:
+        speedups[kind] = {}
+        for threads in THREADS:
+            new = by_key[(kind, threads, "fast", True)]
+            old = by_key[(kind, threads, "baseline", True)]
+            speedups[kind][str(threads)] = round(
+                new["calls_per_sec"] / old["calls_per_sec"], 2
+            )
+
+    def _overhead(plane: str, kind: str) -> float | None:
+        mon = by_key[(kind, 1, plane, True)]
+        unmon = by_key[(kind, 1, plane, False)]
+        if not mon["records_per_call"]:
+            return None
+        return (mon["ns_per_call"] - unmon["ns_per_call"]) / mon["records_per_call"]
+
+    probe_overhead = {
+        plane: {kind: (None if _overhead(plane, kind) is None
+                       else round(_overhead(plane, kind), 1))
+                for kind in KINDS}
+        for plane in ("fast", "baseline")
+    }
+    means = {}
+    for plane, per_kind in probe_overhead.items():
+        values = [v for v in per_kind.values() if v is not None]
+        means[plane] = round(sum(values) / len(values), 1) if values else None
+
+    result = {
+        "benchmark": "invocation_throughput",
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "total_calls_per_cell": total_calls,
+        "repeat_best_of": repeat,
+        "baseline_source": baseline_label,
+        "cells": fast + baseline,
+        "speedup_vs_baseline": speedups,
+        "probe_overhead_ns_per_record": probe_overhead,
+        "mean_probe_overhead_ns": means,
+        "notes": (
+            "speedup_vs_baseline = fast monitored calls/sec over baseline "
+            "monitored calls/sec; probe overhead measured at 1 client "
+            "thread as (monitored - unmonitored) ns/call divided by probe "
+            "records per call. baseline_source=in-tree-compat means the "
+            "baseline is the current tree in per-thread lock-step mode "
+            "with slow marshalling, not a true pre-PR checkout."
+        ),
+    }
+
+    with open(args.output, "w") as handle:
+        json.dump(result, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.output}", file=sys.stderr)
+    print(json.dumps({"speedup_vs_baseline": speedups,
+                      "mean_probe_overhead_ns": means}, indent=2))
+
+    if args.check:
+        failures = []
+        if args.min_speedup is not None:
+            got = speedups["sync_remote"]["8"]
+            if got < args.min_speedup:
+                failures.append(
+                    f"sync_remote@8 speedup {got} < {args.min_speedup}"
+                )
+        if args.max_overhead_ns is not None and means["fast"] is not None:
+            if means["fast"] > args.max_overhead_ns:
+                failures.append(
+                    f"mean probe overhead {means['fast']}ns "
+                    f"> {args.max_overhead_ns}ns"
+                )
+        if failures:
+            for failure in failures:
+                print(f"GATE FAILED: {failure}", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,7 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 from repro.core.events import CallKind, TracingEvent
 from repro.core.records import ProbeRecord
@@ -130,7 +130,7 @@ class OnlineMonitor:
         self._completed_calls = 0
         self._abnormal = 0
         self._lock = threading.Lock()
-        self._cursors: dict[int, int] = {}
+        self._cursors: dict[int, Any] = {}
         # Records from different process buffers arrive interleaved; the
         # FTL's event number lets us re-serialize each chain on the fly.
         self._expected_seq: dict[str, int] = defaultdict(int)
@@ -170,16 +170,29 @@ class OnlineMonitor:
             self._expected_seq[chain] += 1
 
     def poll(self, processes: list[SimProcess]) -> int:
-        """Pull any new records from process buffers (non-draining)."""
+        """Pull any new records from process buffers (non-draining).
+
+        Buffers that expose :meth:`~repro.platform.process.LocalLogBuffer.read_from`
+        are read incrementally through its cursor; with per-thread
+        segmented buffers a flat index into ``snapshot()`` would re-read
+        (or skip) records as older segments keep growing.
+        """
         new = 0
         with self._lock:
             for process in processes:
-                snapshot = process.log_buffer.snapshot()
-                cursor = self._cursors.get(process.pid, 0)
-                for record in snapshot[cursor:]:
+                buffer = process.log_buffer
+                read_from = getattr(buffer, "read_from", None)
+                if read_from is not None:
+                    records, cursor = read_from(self._cursors.get(process.pid))
+                    self._cursors[process.pid] = cursor
+                else:
+                    snapshot = buffer.snapshot()
+                    offset = self._cursors.get(process.pid, 0)
+                    records = snapshot[offset:]
+                    self._cursors[process.pid] = len(snapshot)
+                for record in records:
                     self._enqueue_locked(record)
                     new += 1
-                self._cursors[process.pid] = len(snapshot)
         return new
 
     # ------------------------------------------------------------------

@@ -45,6 +45,36 @@ def default_workers() -> int:
     return max(1, min(_MAX_AUTO_WORKERS, os.cpu_count() or 1))
 
 
+def _env_worker_ceiling() -> int | None:
+    """Parse the ``REPRO_ANALYZER_WORKERS`` override (None if unset/bad)."""
+    raw = os.environ.get("REPRO_ANALYZER_WORKERS", "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value >= 1 else None
+
+
+def effective_workers(requested: int | None, oversubscribe: bool = False) -> int:
+    """Pool width actually used for a requested worker count.
+
+    Normally the request is clamped to the core count (threads beyond it
+    only contend on the GIL). ``REPRO_ANALYZER_WORKERS`` replaces that
+    ceiling, letting CI exercise real multi-shard pools on one-core
+    containers; ``oversubscribe=True`` skips the clamp entirely.
+    """
+    if requested is None or requested <= 0:
+        requested = default_workers()
+    if oversubscribe:
+        return requested
+    ceiling = _env_worker_ceiling()
+    if ceiling is None:
+        ceiling = os.cpu_count() or 1
+    return max(1, min(requested, ceiling))
+
+
 def shard_bounds(
     chain_uuids: Sequence[str], workers: int
 ) -> list[tuple[str, str]]:
@@ -106,10 +136,7 @@ def reconstruct_sharded(
     the plain fused scan rather than running 8x slower). Pass
     ``oversubscribe=True`` to force the requested width anyway.
     """
-    if workers is None or workers <= 0:
-        workers = default_workers()
-    if not oversubscribe:
-        workers = max(1, min(workers, os.cpu_count() or 1))
+    workers = effective_workers(workers, oversubscribe)
     chain_uuids = database.unique_chain_uuids(run_id)
     bounds = shard_bounds(chain_uuids, workers)
     dscg = Dscg()

@@ -23,7 +23,7 @@ from __future__ import annotations
 import struct
 import threading
 import uuid as _uuid
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 _WIRE = struct.Struct(">16sq")
 
@@ -62,12 +62,20 @@ class SequentialUuidFactory:
         return self._prefix + "0" * pad + body
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionTxLog:
-    """One FTL instance, mutated in place as it travels the tunnel."""
+    """One FTL instance, mutated in place as it travels the tunnel.
+
+    ``to_bytes`` runs on every remote probe crossing, so the hex-decoded
+    UUID half of the wire image is memoized on first use (the UUID is
+    fixed for the instance's lifetime; only the sequence half changes).
+    """
 
     chain_uuid: str
     event_seq_no: int = -1
+    #: Memoized ``bytes.fromhex(chain_uuid)``; excluded from equality so
+    #: a marshalled/unmarshalled pair still compares equal.
+    _raw_uuid: bytes | None = field(default=None, repr=False, compare=False)
 
     def advance(self) -> int:
         """Consume the next event number and return it.
@@ -87,11 +95,14 @@ class FunctionTxLog:
         return FunctionTxLog(chain_uuid=uuid_factory(), event_seq_no=-1)
 
     def copy(self) -> "FunctionTxLog":
-        return FunctionTxLog(self.chain_uuid, self.event_seq_no)
+        return FunctionTxLog(self.chain_uuid, self.event_seq_no, self._raw_uuid)
 
     def to_bytes(self) -> bytes:
         """Marshal to the constant-size wire format."""
-        return _WIRE.pack(bytes.fromhex(self.chain_uuid), self.event_seq_no)
+        raw = self._raw_uuid
+        if raw is None:
+            raw = self._raw_uuid = bytes.fromhex(self.chain_uuid)
+        return _WIRE.pack(raw, self.event_seq_no)
 
     @classmethod
     def from_bytes(cls, payload: bytes) -> "FunctionTxLog":
@@ -99,7 +110,7 @@ class FunctionTxLog:
         if len(payload) != _WIRE.size:
             raise ValueError(f"FTL payload must be {_WIRE.size} bytes, got {len(payload)}")
         raw_uuid, seq = _WIRE.unpack(payload)
-        return cls(chain_uuid=raw_uuid.hex(), event_seq_no=seq)
+        return cls(chain_uuid=raw_uuid.hex(), event_seq_no=seq, _raw_uuid=bytes(raw_uuid))
 
 
 def new_chain(uuid_factory=random_uuid_factory) -> FunctionTxLog:

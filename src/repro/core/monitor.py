@@ -37,6 +37,11 @@ from repro.telemetry.runtime import metrics_binder
 
 _FTL_SLOT = "ftl"
 
+
+def _no_cpu_counter() -> None:
+    """Prebound stand-in for hosts without per-thread CPU counters."""
+    return None
+
 # Framework self-metrics (no-ops until repro.telemetry.enable()).
 _PROBE_RECORDS = dict.fromkeys(TracingEvent, NULL_COUNTER)
 _CHAINS_STARTED = NULL_COUNTER
@@ -93,6 +98,15 @@ class MonitorMode(enum.Enum):
         return self in (MonitorMode.SEMANTICS, MonitorMode.FULL)
 
 
+#: Probe-path flag table: (samples_wall, samples_cpu, samples_semantics)
+#: per mode, so a probe reads its three gates with one dict lookup
+#: instead of three enum property calls.
+_MODE_FLAGS = {
+    _mode: (_mode.samples_wall, _mode.samples_cpu, _mode.samples_semantics)
+    for _mode in MonitorMode
+}
+
+
 @dataclass
 class MonitorConfig:
     """Configuration for one process's monitoring runtime."""
@@ -110,15 +124,32 @@ class MonitoringRuntime:
         self.process = process
         self.config = config if config is not None else MonitorConfig()
         process.monitor = self
+        # Probe fast path: every record carries the same process/host
+        # identity, and every sample reads the same (immutable) clock.
+        # Prebinding both cuts attribute-chain walks out of the paper's
+        # per-probe overhead term O_F. The monitor *mode* stays dynamic —
+        # tests flip it mid-run — so it is re-read on each probe.
+        host = process.host
+        self._wall_ns = host.clock.wall_ns
+        if host.capabilities.supports_thread_cpu:
+            self._cpu_ns = host.clock.thread_cpu_ns
+        else:
+            self._cpu_ns = _no_cpu_counter
+        self._process_name = process.name
+        self._pid = process.pid
+        self._host_name = host.name
+        self._processor_type = host.processor_type.value
+        self._platform = host.platform_kind.value
 
     # ------------------------------------------------------------------
     # Clock sampling
 
     def _sample(self) -> ProbeSample:
-        mode = self.config.mode
-        wall = self.process.host.wall_ns() if mode.samples_wall else None
-        cpu = self.process.host.thread_cpu_ns() if mode.samples_cpu else None
-        return ProbeSample(wall=wall, cpu=cpu)
+        wall, cpu, _ = _MODE_FLAGS[self.config.mode]
+        return ProbeSample(
+            self._wall_ns() if wall else None,
+            self._cpu_ns() if cpu else None,
+        )
 
     # ------------------------------------------------------------------
     # FTL / TSS plumbing
@@ -152,43 +183,48 @@ class MonitoringRuntime:
         op: OperationInfo,
         event: TracingEvent,
         ftl: FunctionTxLog,
-        start: ProbeSample,
+        wall: int | None,
+        cpu: int | None,
         call_kind: CallKind,
         collocated: bool,
         child_chain_uuid: str | None = None,
         semantics: dict[str, Any] | None = None,
     ) -> ProbeRecord:
-        process = self.process
-        seq = ftl.advance()
+        # Positional construction in declared field order: slotted
+        # dataclass __init__ with keywords costs measurably more, and
+        # this constructor runs four times per monitored invocation.
         record = ProbeRecord(
-            chain_uuid=ftl.chain_uuid,
-            event_seq=seq,
-            event=event,
-            interface=op.interface,
-            operation=op.operation,
-            object_id=op.object_id,
-            component=op.component,
-            process=process.name,
-            pid=process.pid,
-            host=process.host.name,
-            thread_id=threading.get_ident(),
-            processor_type=process.host.processor_type.value,
-            platform=process.host.platform_kind.value,
-            call_kind=call_kind,
-            collocated=collocated,
-            domain=op.domain,
-            wall_start=start.wall,
-            cpu_start=start.cpu,
-            child_chain_uuid=child_chain_uuid,
-            semantics=semantics if self.config.mode.samples_semantics else None,
+            ftl.chain_uuid,
+            ftl.advance(),
+            event,
+            op.interface,
+            op.operation,
+            op.object_id,
+            op.component,
+            self._process_name,
+            self._pid,
+            self._host_name,
+            threading.get_ident(),
+            self._processor_type,
+            self._platform,
+            call_kind,
+            collocated,
+            op.domain,
+            wall,
+            None,
+            cpu,
+            None,
+            child_chain_uuid,
+            semantics,
         )
-        process.log_buffer.append(record)
+        self.process.log_buffer.append(record)
         _PROBE_RECORDS[event].inc()
         return record
 
     def _finish(self, record: ProbeRecord) -> None:
-        end = self._sample()
-        record.finish(end.wall, end.cpu)
+        wall, cpu, _ = _MODE_FLAGS[self.config.mode]
+        record.wall_end = self._wall_ns() if wall else None
+        record.cpu_end = self._cpu_ns() if cpu else None
 
     # ------------------------------------------------------------------
     # Probe 1: stub start
@@ -211,7 +247,9 @@ class MonitoringRuntime:
         """
         if not self.config.enabled:
             return None
-        start = self._sample()
+        samples_wall, samples_cpu, samples_sem = _MODE_FLAGS[self.config.mode]
+        wall = self._wall_ns() if samples_wall else None
+        cpu = self._cpu_ns() if samples_cpu else None
         ftl = self._ftl_for_call()
         child_ftl: FunctionTxLog | None = None
         child_uuid: str | None = None
@@ -222,11 +260,12 @@ class MonitoringRuntime:
             op,
             TracingEvent.STUB_START,
             ftl,
-            start,
+            wall,
+            cpu,
             CallKind.ONEWAY if oneway else CallKind.SYNC,
             collocated,
             child_chain_uuid=child_uuid,
-            semantics=semantics,
+            semantics=semantics if samples_sem else None,
         )
         carried = child_ftl if oneway else ftl
         ctx = CallContext(
@@ -238,7 +277,8 @@ class MonitoringRuntime:
             child_ftl=child_ftl,
             request_ftl_payload=carried.to_bytes(),
         )
-        self._finish(record)
+        record.wall_end = self._wall_ns() if samples_wall else None
+        record.cpu_end = self._cpu_ns() if samples_cpu else None
         return ctx
 
     # ------------------------------------------------------------------
@@ -260,7 +300,9 @@ class MonitoringRuntime:
         """
         if ctx is None or not self.config.enabled:
             return
-        start = self._sample()
+        samples_wall, samples_cpu, samples_sem = _MODE_FLAGS[self.config.mode]
+        wall = self._wall_ns() if samples_wall else None
+        cpu = self._cpu_ns() if samples_cpu else None
         ftl = self.process.tss.get(_FTL_SLOT)
         if ftl is None:
             # The thread lost its chain (possible only through misuse of
@@ -276,15 +318,17 @@ class MonitoringRuntime:
             if returned.chain_uuid == ftl.chain_uuid:
                 ftl.event_seq_no = returned.event_seq_no
         record = self._make_record(
-            op=ctx.op,
-            event=TracingEvent.STUB_END,
-            ftl=ftl,
-            start=start,
-            call_kind=ctx.call_kind,
-            collocated=ctx.collocated,
-            semantics=semantics,
+            ctx.op,
+            TracingEvent.STUB_END,
+            ftl,
+            wall,
+            cpu,
+            ctx.call_kind,
+            ctx.collocated,
+            semantics=semantics if samples_sem else None,
         )
-        self._finish(record)
+        record.wall_end = self._wall_ns() if samples_wall else None
+        record.cpu_end = self._cpu_ns() if samples_cpu else None
 
     # ------------------------------------------------------------------
     # Probe 2: skeleton start
@@ -309,7 +353,9 @@ class MonitoringRuntime:
         """
         if not self.config.enabled:
             return None
-        start = self._sample()
+        samples_wall, samples_cpu, samples_sem = _MODE_FLAGS[self.config.mode]
+        wall = self._wall_ns() if samples_wall else None
+        cpu = self._cpu_ns() if samples_cpu else None
         if request_ftl_payload is not None:
             ftl = FunctionTxLog.from_bytes(request_ftl_payload)
             self.process.tss.set(_FTL_SLOT, ftl)
@@ -319,10 +365,11 @@ class MonitoringRuntime:
             op,
             TracingEvent.SKEL_START,
             ftl,
-            start,
+            wall,
+            cpu,
             CallKind.ONEWAY if oneway else CallKind.SYNC,
             collocated,
-            semantics=semantics,
+            semantics=semantics if samples_sem else None,
         )
         ctx = CallContext(
             op=op,
@@ -331,7 +378,8 @@ class MonitoringRuntime:
             collocated=collocated,
             start_record=record,
         )
-        self._finish(record)
+        record.wall_end = self._wall_ns() if samples_wall else None
+        record.cpu_end = self._cpu_ns() if samples_cpu else None
         return ctx
 
     # ------------------------------------------------------------------
@@ -351,21 +399,25 @@ class MonitoringRuntime:
         """
         if ctx is None or not self.config.enabled:
             return None
-        start = self._sample()
+        samples_wall, samples_cpu, samples_sem = _MODE_FLAGS[self.config.mode]
+        wall = self._wall_ns() if samples_wall else None
+        cpu = self._cpu_ns() if samples_cpu else None
         ftl = self.process.tss.get(_FTL_SLOT)
         if ftl is None:
             ftl = ctx.ftl
             self.process.tss.set(_FTL_SLOT, ftl)
         record = self._make_record(
-            op=ctx.op,
-            event=TracingEvent.SKEL_END,
-            ftl=ftl,
-            start=start,
-            call_kind=ctx.call_kind,
-            collocated=ctx.collocated,
-            semantics=semantics,
+            ctx.op,
+            TracingEvent.SKEL_END,
+            ftl,
+            wall,
+            cpu,
+            ctx.call_kind,
+            ctx.collocated,
+            semantics=semantics if samples_sem else None,
         )
-        self._finish(record)
+        record.wall_end = self._wall_ns() if samples_wall else None
+        record.cpu_end = self._cpu_ns() if samples_cpu else None
         if ctx.call_kind is CallKind.ONEWAY:
             return None
         return ftl.to_bytes()

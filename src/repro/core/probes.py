@@ -23,7 +23,7 @@ from repro.core.ftl import FunctionTxLog
 from repro.core.records import OperationInfo, ProbeRecord
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeSample:
     """One paired reading of the local clocks."""
 
@@ -31,7 +31,7 @@ class ProbeSample:
     cpu: int | None
 
 
-@dataclass
+@dataclass(slots=True)
 class CallContext:
     """State threaded from a start probe to the matching end probe.
 

@@ -20,7 +20,7 @@ from typing import Any
 from repro.core.events import CallKind, Domain, TracingEvent
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class OperationInfo:
     """Static identity of one IDL operation on one component object."""
 
@@ -35,9 +35,16 @@ class OperationInfo:
         return f"{self.interface}::{self.operation}"
 
 
-@dataclass
+@dataclass(slots=True)
 class ProbeRecord:
-    """One tracing event as logged by a probe."""
+    """One tracing event as logged by a probe.
+
+    ``slots=True`` because the monitored system materializes four of
+    these per invocation: the slotted layout drops the per-record
+    ``__dict__`` (roughly halving footprint) and makes the probe-side
+    field stores cheaper, both of which land directly in the paper's
+    probe-overhead term O_F.
+    """
 
     chain_uuid: str
     event_seq: int
@@ -93,7 +100,7 @@ class ProbeRecord:
         return self.cpu_end - self.cpu_start
 
 
-@dataclass
+@dataclass(slots=True)
 class ChainLink:
     """Parent/child relationship between two causal chains (oneway fork)."""
 

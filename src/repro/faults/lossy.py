@@ -36,6 +36,11 @@ class LossyLogBuffer:
     def snapshot(self) -> list[Any]:
         return self._inner.snapshot()
 
+    def read_from(self, cursor):
+        """Incremental live reads pass straight through (delivery faults
+        apply only to the collector's ``drain`` path)."""
+        return self._inner.read_from(cursor)
+
     def __len__(self) -> int:
         return len(self._inner)
 

@@ -72,10 +72,15 @@ class ResolvedInterface:
     operations: list[ResolvedOperation]
 
     def operation(self, name: str) -> ResolvedOperation:
-        for op in self.operations:
-            if op.name == name:
-                return op
-        raise KeyError(name)
+        # Memoized index: stubs/skeletons look operations up on every
+        # call, and a linear scan is measurable on wide interfaces.
+        index = self.__dict__.get("_op_index")
+        if index is None:
+            index = self.__dict__["_op_index"] = {op.name: op for op in self.operations}
+        try:
+            return index[name]
+        except KeyError:
+            raise KeyError(name) from None
 
 
 @dataclass

@@ -93,14 +93,29 @@ class CdrEncoder:
     def getvalue(self) -> bytes:
         return bytes(self._chunks)
 
+    def getbuffer(self) -> bytearray:
+        """The live backing buffer — no copy.
+
+        Callers that immediately hand the payload to a transport (which
+        treats it as read-only) use this to skip the ``bytes()`` copy
+        that :meth:`getvalue` pays; the encoder must not be written to
+        afterwards.
+        """
+        return self._chunks
+
     def __len__(self) -> int:
         return len(self._chunks)
 
 
 class CdrDecoder:
-    """Matching decoder; raises :class:`MarshalError` on underrun."""
+    """Matching decoder; raises :class:`MarshalError` on underrun.
 
-    def __init__(self, payload: bytes):
+    Accepts ``bytes`` or a ``memoryview``: GIOP decoding hands body and
+    FTL regions to consumers as zero-copy views over the received frame,
+    so nested decoders never re-copy the payload.
+    """
+
+    def __init__(self, payload: bytes | bytearray | memoryview):
         self._payload = payload
         self._pos = 0
 
@@ -142,9 +157,10 @@ class CdrDecoder:
             raise MarshalError("buffer underrun reading string")
         raw = self._payload[self._pos : end]
         self._pos = end
-        if not raw.endswith(b"\x00"):
+        # Indexed NUL check (not .endswith) so memoryview payloads work.
+        if length == 0 or raw[-1] != 0:
             raise MarshalError("string missing NUL terminator")
-        return raw[:-1].decode("utf-8")
+        return bytes(raw[:-1]).decode("utf-8")
 
     def read_bytes(self) -> bytes:
         length = self._read_ulong()

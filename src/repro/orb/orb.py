@@ -9,8 +9,11 @@ One :class:`Orb` is attached to each simulated process. It owns:
 - the object adapter mapping object keys to skeletons,
 - the server threading policy (thread-per-request by default, matching
   the Section-2.1 baseline),
-- client connection management (one connection per calling thread per
-  target endpoint, so replies never interleave and observation O1 holds),
+- client connection management: by default one *multiplexed* connection
+  per target endpoint shared by every calling thread, with replies
+  demultiplexed by request id (true request pipelining); the legacy
+  ``channel="per-thread"`` mode keeps one connection per calling thread
+  and the lock-step read-your-own-reply loop,
 - collocation optimization (on by default; the generated stubs consult
   :meth:`Orb.collocated_servant` and short-circuit through the direct
   pointer when allowed),
@@ -28,7 +31,14 @@ import time
 from typing import Any
 
 from repro.errors import ComponentCrash, ObjectNotFound, OrbError, TransportError
-from repro.orb.giop import ReplyMessage, ReplyStatus, RequestMessage, decode_message
+from repro.orb.channel import MuxChannel
+from repro.orb.giop import (
+    ReplyMessage,
+    ReplyStatus,
+    RequestMessage,
+    decode_message,
+    encode_request,
+)
 from repro.orb.poa import ObjectAdapter
 from repro.orb.refs import ObjectRef
 from repro.orb.runtime import GLOBAL_INTERFACE_REGISTRY, InterfaceRegistry
@@ -134,7 +144,10 @@ class Orb:
         collocation_optimization: bool = True,
         registry: InterfaceRegistry | None = None,
         request_timeout: float = 30.0,
+        channel: str = "mux",
     ):
+        if channel not in ("mux", "per-thread"):
+            raise OrbError(f"unknown channel mode {channel!r}")
         self.process = process
         self.network = network
         self.address = process.name
@@ -143,9 +156,14 @@ class Orb:
         self.collocation_optimization = collocation_optimization
         self.registry = registry if registry is not None else GLOBAL_INTERFACE_REGISTRY
         self.request_timeout = request_timeout
+        self.channel_mode = channel
         self._client_state = threading.local()
+        self._channels: dict[str, MuxChannel] = {}
+        self._channels_lock = threading.Lock()
         self._request_ids = itertools.count(1)
         self._connection_serial = itertools.count(1)
+        #: Per-operation constant request-frame middles (see encode_request).
+        self._request_templates: dict[tuple, bytes] = {}
         self._server_connections: list[Connection] = []
         self._server_connections_lock = threading.Lock()
         self._shut_down = False
@@ -256,6 +274,29 @@ class Orb:
             connections[address] = conn
         return conn
 
+    def _channel_to(self, address: str) -> MuxChannel:
+        """The shared multiplexed channel to ``address`` (created lazily).
+
+        One connection per endpoint regardless of calling-thread count; a
+        dead channel (peer reset, injected fault) is replaced on the next
+        call, mirroring the per-thread mode's reconnect-after-close.
+
+        Fast path first: a healthy cached channel is returned from a
+        GIL-atomic dict read, so pipelined caller threads never serialize
+        on the channel-table lock; the lock only guards (re)connection.
+        """
+        chan = self._channels.get(address)
+        if chan is not None and not chan.closed:
+            return chan
+        with self._channels_lock:
+            chan = self._channels.get(address)
+            if chan is None or chan.closed:
+                label = f"{self.address}/t{next(self._connection_serial)}"
+                conn = self.network.connect(label, address)
+                chan = MuxChannel(conn, self.process)
+                self._channels[address] = chan
+            return chan
+
     def send_request(
         self,
         ref: ObjectRef,
@@ -267,18 +308,42 @@ class Orb:
         """Marshal-level entry point used by generated stubs."""
         if self._shut_down:
             raise OrbError("ORB has been shut down")
-        request = RequestMessage(
-            request_id=next(self._request_ids),
-            object_key=ref.object_key,
-            interface=ref.interface,
-            operation=operation,
-            oneway=oneway,
-            body=body,
-            ftl=ftl,
+        request_id = next(self._request_ids)
+        payload = encode_request(
+            request_id,
+            ref.object_key,
+            ref.interface,
+            operation,
+            oneway,
+            body,
+            ftl,
+            self._request_templates,
         )
-        conn = self._connection_to(ref.address)
         _REQUESTS[oneway].inc()
-        conn.send(request.encode(), sender_host=self.process.host)
+        if self.channel_mode == "mux":
+            channel = self._channel_to(ref.address)
+            if oneway:
+                channel.call(
+                    request_id,
+                    payload,
+                    self.process.host,
+                    oneway=True,
+                    timeout=None,
+                )
+                return None
+            _INFLIGHT.inc()
+            try:
+                return channel.call(
+                    request_id,
+                    payload,
+                    self.process.host,
+                    oneway=False,
+                    timeout=self.request_timeout,
+                )
+            finally:
+                _INFLIGHT.dec()
+        conn = self._connection_to(ref.address)
+        conn.send(payload, sender_host=self.process.host)
         if oneway:
             return None
         _INFLIGHT.inc()
@@ -296,7 +361,7 @@ class Orb:
                     raise TransportError(f"undecodable reply payload: {exc}") from exc
                 if not isinstance(reply, ReplyMessage):
                     raise TransportError("expected a reply message")
-                if reply.request_id == request.request_id:
+                if reply.request_id == request_id:
                     return reply
                 # Connections are per calling thread, so a mismatched id means
                 # a stale reply from an abandoned call; skip it.
@@ -391,6 +456,11 @@ class Orb:
             return
         self._shut_down = True
         self.network.unlisten(self.address)
+        with self._channels_lock:
+            channels = list(self._channels.values())
+            self._channels.clear()
+        for channel in channels:
+            channel.close()  # unblocks the demux reader thread
         with self._server_connections_lock:
             connections = list(self._server_connections)
         for conn in connections:

@@ -20,9 +20,11 @@ import threading
 from typing import TYPE_CHECKING, Any
 
 from repro.core.events import Domain
+from repro.core.monitor import _MODE_FLAGS
 from repro.core.records import OperationInfo
 from repro.errors import ComponentCrash, MarshalError, OrbError, RemoteApplicationError
 from repro.orb.cdr import CdrDecoder, CdrEncoder
+from repro.orb.fastcdr import MarshalPlan
 
 if TYPE_CHECKING:  # imported lazily to avoid a circular import with repro.idl
     from repro.idl.semantics import ResolvedInterface, ResolvedOperation
@@ -75,8 +77,39 @@ class InterfaceRegistry:
 GLOBAL_INTERFACE_REGISTRY = InterfaceRegistry()
 
 
-def _marshal_args(op: "ResolvedOperation", values: tuple) -> bytes:
+def _args_plan(op: "ResolvedOperation") -> MarshalPlan:
+    """The operation's compiled argument plan, built at first use."""
+    plan = op.__dict__.get("_args_plan")
+    if plan is None:
+        plan = op.__dict__["_args_plan"] = MarshalPlan(
+            [param.idl_type for param in op.in_params]
+        )
+    return plan
+
+
+def _result_plan(op: "ResolvedOperation") -> MarshalPlan:
+    """Compiled plan for [return?] + out parameters, built at first use."""
+    plan = op.__dict__.get("_result_plan")
+    if plan is None:
+        types = [] if op.return_type.is_void else [op.return_type]
+        types.extend(param.idl_type for param in op.out_params)
+        plan = op.__dict__["_result_plan"] = MarshalPlan(types)
+    return plan
+
+
+def _marshal_args(op: "ResolvedOperation", values: tuple) -> bytes | bytearray:
     """Encode the in/inout arguments of one invocation."""
+    plan = _args_plan(op)
+    if len(values) != plan.arity:
+        raise MarshalError(
+            f"{op.name} expects {plan.arity} argument(s), got {len(values)}"
+        )
+    return plan.marshal(values)
+
+
+def _marshal_args_slow(op: "ResolvedOperation", values: tuple) -> bytes:
+    """Unfused reference encoder; the equivalence suite pins the fast
+    path to its byte output."""
     in_params = op.in_params
     if len(values) != len(in_params):
         raise MarshalError(
@@ -88,7 +121,11 @@ def _marshal_args(op: "ResolvedOperation", values: tuple) -> bytes:
     return encoder.getvalue()
 
 
-def _unmarshal_args(op: "ResolvedOperation", body: bytes) -> tuple:
+def _unmarshal_args(op: "ResolvedOperation", body) -> tuple:
+    return _args_plan(op).unmarshal(body)
+
+
+def _unmarshal_args_slow(op: "ResolvedOperation", body) -> tuple:
     decoder = CdrDecoder(body)
     values = tuple(param.idl_type.unmarshal(decoder) for param in op.in_params)
     decoder.expect_exhausted()
@@ -97,7 +134,7 @@ def _unmarshal_args(op: "ResolvedOperation", body: bytes) -> tuple:
 
 def _result_values(op: "ResolvedOperation", result: Any) -> list:
     """Normalize a servant return value into [return?] + outs order."""
-    slots = (0 if op.return_type.is_void else 1) + len(op.out_params)
+    slots = _result_plan(op).arity
     if slots == 0:
         if result is not None:
             raise MarshalError(f"{op.name} is void but servant returned {result!r}")
@@ -111,7 +148,13 @@ def _result_values(op: "ResolvedOperation", result: Any) -> list:
     return list(result)
 
 
-def _marshal_result(op: "ResolvedOperation", result: Any) -> bytes:
+def _marshal_result(op: "ResolvedOperation", result: Any) -> bytes | bytearray:
+    values = _result_values(op, result)
+    return _result_plan(op).marshal(values)
+
+
+def _marshal_result_slow(op: "ResolvedOperation", result: Any) -> bytes:
+    """Unfused reference encoder for the equivalence suite."""
     values = _result_values(op, result)
     encoder = CdrEncoder()
     index = 0
@@ -124,7 +167,16 @@ def _marshal_result(op: "ResolvedOperation", result: Any) -> bytes:
     return encoder.getvalue()
 
 
-def _unmarshal_result(op: "ResolvedOperation", body: bytes) -> Any:
+def _unmarshal_result(op: "ResolvedOperation", body) -> Any:
+    values = _result_plan(op).unmarshal(body)
+    if not values:
+        return None
+    if len(values) == 1:
+        return values[0]
+    return values
+
+
+def _unmarshal_result_slow(op: "ResolvedOperation", body) -> Any:
     decoder = CdrDecoder(body)
     values: list = []
     if not op.return_type.is_void:
@@ -184,6 +236,7 @@ class StubBase:
     def __init__(self, orb, object_ref: ObjectRef):
         self._orb = orb
         self.object_ref = object_ref
+        self._op_info_cache: dict[str, OperationInfo] = {}
 
     # -- helpers used by generated code --------------------------------
 
@@ -195,18 +248,23 @@ class StubBase:
         return self._resolved.operation(name)
 
     def _op_info(self, name: str) -> OperationInfo:
-        return OperationInfo(
-            interface=self._interface,
-            operation=name,
-            object_id=self.object_ref.object_key,
-            component=self.object_ref.component,
-            domain=Domain.CORBA,
-        )
+        # OperationInfo is frozen, so one instance per (stub, op) is
+        # safely shared across every probe of every call.
+        info = self._op_info_cache.get(name)
+        if info is None:
+            info = self._op_info_cache[name] = OperationInfo(
+                interface=self._interface,
+                operation=name,
+                object_id=self.object_ref.object_key,
+                component=self.object_ref.component,
+                domain=Domain.CORBA,
+            )
+        return info
 
     def _semantics_args(self, op_name: str, args: tuple) -> dict | None:
         """Application-semantics payload for probe 1 (parameters)."""
         monitor = self._monitor
-        if monitor is None or not monitor.config.mode.samples_semantics:
+        if monitor is None or not _MODE_FLAGS[monitor.config.mode][2]:
             return None
         return {"operation": op_name, "args": [repr(a) for a in args]}
 
@@ -282,6 +340,8 @@ class SkeletonBase:
         self._orb = orb
         self.object_key = object_key
         self.component = component or type(servant).__name__
+        self._op_info_cache: dict[str, OperationInfo] = {}
+        self._dispatch_cache: dict[str, Any] = {}
 
     @property
     def _monitor(self):
@@ -291,17 +351,25 @@ class SkeletonBase:
         return self._resolved.operation(name)
 
     def _op_info(self, name: str) -> OperationInfo:
-        return OperationInfo(
-            interface=self._interface,
-            operation=name,
-            object_id=self.object_key,
-            component=self.component,
-            domain=Domain.CORBA,
-        )
+        info = self._op_info_cache.get(name)
+        if info is None:
+            info = self._op_info_cache[name] = OperationInfo(
+                interface=self._interface,
+                operation=name,
+                object_id=self.object_key,
+                component=self.component,
+                domain=Domain.CORBA,
+            )
+        return info
 
     def dispatch(self, request: RequestMessage) -> ReplyMessage | None:
         """Route a decoded request to the generated per-operation handler."""
-        handler = getattr(self, f"_dispatch_{request.operation}", None)
+        operation = request.operation
+        handler = self._dispatch_cache.get(operation)
+        if handler is None:
+            handler = getattr(self, f"_dispatch_{operation}", None)
+            if handler is not None:
+                self._dispatch_cache[operation] = handler
         if handler is None:
             if request.oneway:
                 return None
@@ -323,7 +391,7 @@ class SkeletonBase:
     def _semantics_outcome(self, status: ReplyStatus, result: Any) -> dict | None:
         """Application-semantics payload for probe 3 (result/exception)."""
         monitor = self._monitor
-        if monitor is None or not monitor.config.mode.samples_semantics:
+        if monitor is None or not _MODE_FLAGS[monitor.config.mode][2]:
             return None
         if status is ReplyStatus.OK:
             return {"status": "ok", "result": repr(result)}

@@ -96,7 +96,9 @@ class ThreadPool(ThreadingPolicy):
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self.size = size
-        self._work: queue.Queue = queue.Queue()
+        # SimpleQueue: the pool queue is crossed once per dispatched
+        # request, so the cheaper C-level put/get matters under load.
+        self._work: queue.SimpleQueue = queue.SimpleQueue()
         self._started = False
 
     def start(self, process) -> None:

@@ -50,13 +50,17 @@ class Clock:
 
 
 class RealClock(Clock):
-    """Clock backed by the interpreter's high-resolution OS counters."""
+    """Clock backed by the interpreter's high-resolution OS counters.
 
-    def wall_ns(self) -> int:
-        return time.perf_counter_ns()
+    The readers are bound as instance attributes pointing straight at the
+    ``time`` builtins: probes prebind ``clock.wall_ns`` and then sample
+    with zero Python frames in between, which matters because every probe
+    reads the clock twice (the O_F bracket).
+    """
 
-    def thread_cpu_ns(self) -> int:
-        return time.thread_time_ns()
+    def __init__(self):
+        self.wall_ns = time.perf_counter_ns
+        self.thread_cpu_ns = time.thread_time_ns
 
 
 class VirtualClock(Clock):

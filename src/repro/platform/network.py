@@ -31,7 +31,10 @@ class Connection:
         self.local_label = local_label
         self.peer_label = peer_label
         self._network = network
-        self._inbox: queue.Queue[bytes | None] = queue.Queue()
+        # SimpleQueue: C-implemented put/get, no task-tracking machinery.
+        # Every remote invocation crosses an inbox twice (request and
+        # reply), so the queue primitive sits squarely on the data plane.
+        self._inbox: queue.SimpleQueue[bytes | None] = queue.SimpleQueue()
         self._peer: Connection | None = None
         self._closed = False
 
@@ -39,8 +42,18 @@ class Connection:
         self._peer = peer
 
     def send(self, payload: bytes, sender_host: Host | None = None) -> None:
-        """Deliver ``payload`` to the peer endpoint, applying link latency."""
-        self._deliver(payload, sender_host)
+        """Deliver ``payload`` to the peer endpoint, applying link latency.
+
+        Flattened copy of :meth:`_deliver` — the fault layer overrides
+        ``send`` and routes through ``_deliver``, but the base transport
+        skips the extra frame on every message.
+        """
+        if self._closed or self._peer is None:
+            raise TransportError(f"connection {self.local_label}->{self.peer_label} is closed")
+        network = self._network
+        if network._latency_active:
+            network.apply_latency(self.local_label, self.peer_label, sender_host)
+        self._peer._inbox.put(payload)
 
     def _deliver(self, payload: bytes, sender_host: Host | None) -> None:
         """The actual delivery path; ``send`` overrides decide, this delivers."""
@@ -81,12 +94,24 @@ class Connection:
 
 
 class Network:
-    """Registry of listening endpoints plus link-latency configuration."""
+    """Registry of listening endpoints plus link-latency configuration.
+
+    Latency configuration is published copy-on-write: ``set_latency`` and
+    ``set_default_latency`` replace the table wholesale under the lock,
+    while ``apply_latency`` — which runs on **every** send — reads the
+    published snapshot without acquiring anything. The zero-latency fast
+    path (the common case: no latency configured anywhere) is a single
+    attribute read and a falsy check; probes sending on N threads never
+    serialize behind the network's global lock.
+    """
 
     def __init__(self):
         self._listeners: dict[str, Callable[[Connection], None]] = {}
+        #: Immutable snapshot, replaced (never mutated) by setters.
         self._latency_ns: dict[tuple[str, str], int] = {}
         self._default_latency_ns = 0
+        #: True iff any latency is configured; gates the per-send lookup.
+        self._latency_active = False
         self._lock = threading.Lock()
 
     def listen(self, address: str, on_connect: Callable[[Connection], None]) -> None:
@@ -119,17 +144,28 @@ class Network:
 
     def set_default_latency(self, latency_ns: int) -> None:
         """Latency applied to links without an explicit setting."""
-        self._default_latency_ns = latency_ns
+        with self._lock:
+            self._default_latency_ns = latency_ns
+            self._latency_active = bool(self._latency_ns) or latency_ns > 0
 
     def set_latency(self, from_label: str, to_label: str, latency_ns: int) -> None:
         """Latency for one directed link (labels as used by connect/listen)."""
         with self._lock:
-            self._latency_ns[(from_label, to_label)] = latency_ns
+            table = dict(self._latency_ns)
+            table[(from_label, to_label)] = latency_ns
+            self._latency_ns = table
+            self._latency_active = True
 
     def apply_latency(self, from_label: str, to_label: str, sender_host: Host | None) -> None:
-        """Charge the configured link latency against the sender's clock."""
-        with self._lock:
-            latency = self._latency_ns.get((from_label, to_label), self._default_latency_ns)
+        """Charge the configured link latency against the sender's clock.
+
+        Lock-free by design: reads the copy-on-write snapshot published
+        by the setters. A send racing a ``set_latency`` sees either the
+        old or the new table — never a half-written one.
+        """
+        if not self._latency_active:
+            return
+        latency = self._latency_ns.get((from_label, to_label), self._default_latency_ns)
         if latency <= 0:
             return
         clock = sender_host.clock if sender_host is not None else None

@@ -33,28 +33,53 @@ class LocalLogBuffer:
     runtime behavior information is recorded individually by probes
     without coordination and global clock synchronization").
 
+    The unbounded default takes that to its conclusion *within* the
+    process too: each appending thread owns a private segment list
+    (registered once, under the lock, the first time the thread logs),
+    and every subsequent ``append`` is a single GIL-atomic
+    ``list.append`` — no lock acquisition on the probe hot path. The
+    collector's ``drain`` copies-then-trims each segment under the lock,
+    so a record appended concurrently with a drain is either delivered
+    in that drain or kept for the next one, never lost. Records stay
+    ordered within a thread; cross-thread interleaving is surrendered
+    (the analyzer orders by chain UUID and event number, never by
+    buffer position).
+
     ``capacity`` bounds the buffer: once full, further appends are
     *dropped and counted* rather than blocking the probe or growing
     without bound — a probe must never stall the application it observes.
-    The analyzer tolerates the resulting record loss (chains reconstruct
-    partial and flagged), so bounded capture degrades accounting, not
-    soundness.
+    Bounded buffers keep the original single-list locked path so the
+    capacity check and the drop counter stay exact. The analyzer
+    tolerates the resulting record loss (chains reconstruct partial and
+    flagged), so bounded capture degrades accounting, not soundness.
     """
 
     def __init__(self, capacity: int | None = None):
         if capacity is not None and capacity < 1:
             raise ValueError("log buffer capacity must be >= 1")
         self.capacity = capacity
-        self._records: list[Any] = []
+        self._records: list[Any] = []  # bounded mode only
+        self._segments: list[list[Any]] = []  # unbounded mode, creation order
+        self._tls = threading.local()
         self._dropped = 0
         self._lock = threading.Lock()
 
     def append(self, record: Any) -> None:
-        with self._lock:
-            if self.capacity is not None and len(self._records) >= self.capacity:
-                self._dropped += 1
-                return
-            self._records.append(record)
+        if self.capacity is not None:
+            with self._lock:
+                if len(self._records) >= self.capacity:
+                    self._dropped += 1
+                    return
+                self._records.append(record)
+            return
+        try:
+            segment = self._tls.segment
+        except AttributeError:
+            segment = []
+            with self._lock:
+                self._segments.append(segment)
+            self._tls.segment = segment
+        segment.append(record)
 
     @property
     def dropped(self) -> int:
@@ -63,19 +88,61 @@ class LocalLogBuffer:
             return self._dropped
 
     def drain(self) -> list[Any]:
-        """Return and clear all records (used by the collector)."""
+        """Return and clear all records (used by the collector).
+
+        Segments are consumed copy-then-trim: an append racing the drain
+        lands after the copied prefix and survives into the next drain.
+        """
         with self._lock:
-            records = self._records
-            self._records = []
+            if self.capacity is not None:
+                records = self._records
+                self._records = []
+                return records
+            records = []
+            for segment in self._segments:
+                count = len(segment)
+                records.extend(segment[:count])
+                del segment[:count]
             return records
 
     def snapshot(self) -> list[Any]:
         with self._lock:
-            return list(self._records)
+            if self.capacity is not None:
+                return list(self._records)
+            out: list[Any] = []
+            for segment in self._segments:
+                out.extend(segment)
+            return out
+
+    def read_from(self, cursor: tuple[int, ...] | None) -> tuple[list[Any], tuple[int, ...]]:
+        """Incremental, non-draining read for live consumers.
+
+        ``cursor`` is the opaque position returned by the previous call
+        (``None`` to start from the beginning). Returns ``(new_records,
+        new_cursor)``. Unlike indexing into ``snapshot()`` — whose
+        cross-thread interleaving shifts as older segments keep growing —
+        the cursor tracks a per-segment offset, so every record is
+        observed exactly once and in per-thread order.
+        """
+        with self._lock:
+            if self.capacity is not None:
+                offset = cursor[0] if cursor else 0
+                records = self._records[offset:]
+                return records, (offset + len(records),)
+            offsets = list(cursor) if cursor else []
+            offsets.extend(0 for _ in range(len(self._segments) - len(offsets)))
+            out: list[Any] = []
+            for index, segment in enumerate(self._segments):
+                count = len(segment)
+                out.extend(segment[offsets[index] : count])
+                offsets[index] = count
+            return out, tuple(offsets)
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._records)
+            if self.capacity is not None:
+                return len(self._records)
+            return sum(len(segment) for segment in self._segments)
 
 
 class SimProcess:

@@ -32,25 +32,33 @@ class ThreadSpecificStorage:
         self._lock = threading.Lock()
 
     def get(self, slot: str, default: Any = None) -> Any:
-        """Return the calling thread's value for ``slot``."""
-        ident = threading.get_ident()
-        with self._lock:
-            return self._slots.get(ident, {}).get(slot, default)
+        """Return the calling thread's value for ``slot``.
+
+        Lock-free: each thread only ever writes its *own* entry, and the
+        individual dict operations are atomic under the GIL, so the hot
+        probe path (several TSS reads per monitored invocation, on every
+        thread at once) never serializes on a shared lock. The lock is
+        kept only for cross-thread snapshots (``threads``/``__len__``).
+        """
+        thread_slots = self._slots.get(threading.get_ident())
+        if thread_slots is None:
+            return default
+        return thread_slots.get(slot, default)
 
     def set(self, slot: str, value: Any) -> None:
         """Bind ``slot`` for the calling thread."""
         ident = threading.get_ident()
-        with self._lock:
-            self._slots.setdefault(ident, {})[slot] = value
+        thread_slots = self._slots.get(ident)
+        if thread_slots is None:
+            thread_slots = self._slots[ident] = {}
+        thread_slots[slot] = value
 
     def pop(self, slot: str, default: Any = None) -> Any:
         """Remove and return the calling thread's value for ``slot``."""
-        ident = threading.get_ident()
-        with self._lock:
-            thread_slots = self._slots.get(ident)
-            if thread_slots is None:
-                return default
-            return thread_slots.pop(slot, default)
+        thread_slots = self._slots.get(threading.get_ident())
+        if thread_slots is None:
+            return default
+        return thread_slots.pop(slot, default)
 
     def clear_thread(self) -> None:
         """Drop every slot bound to the calling thread.

@@ -1,0 +1,150 @@
+"""Integration: the multiplexed data plane is analyzer-invisible.
+
+The fast path (shared mux channels, fused CDR, batched probe logging)
+must change *throughput*, never *observations*: for a fixed workload the
+reconstructed DSCG — serialized canonically — is bit-identical whether
+the client ORB runs ``channel="mux"`` or the legacy
+``channel="per-thread"`` lock-step loop, and pipelined concurrent
+callers still produce complete, well-formed chains.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.analysis import reconstruct_from_records
+from repro.analysis.serialize import dscg_to_json
+from repro.core import (
+    MonitorConfig,
+    MonitoringRuntime,
+    MonitorMode,
+    SequentialUuidFactory,
+    TracingEvent,
+)
+from repro.idl import compile_idl
+from repro.orb import InterfaceRegistry, Orb
+from repro.platform import Host, Network, PlatformKind, SimProcess, VirtualClock
+
+IDL = """
+module DP {
+  interface Back { long add(in long a, in long b); };
+  interface Front { long compute(in long n); };
+};
+"""
+
+
+class _Deployment:
+    """Two-tier deployment (client -> front -> back) on one host."""
+
+    def __init__(self, channel: str):
+        self.clock = VirtualClock()
+        self.network = Network()
+        self.host = Host("dp-host", PlatformKind.HPUX_11, clock=self.clock)
+        self.registry = InterfaceRegistry()
+        self.compiled = compile_idl(IDL, instrument=True, registry=self.registry)
+        uuid_factory = SequentialUuidFactory()
+        self.processes = []
+        for name in ("client", "front", "back"):
+            process = SimProcess(name, self.host)
+            MonitoringRuntime(
+                process,
+                MonitorConfig(mode=MonitorMode.LATENCY, uuid_factory=uuid_factory),
+            )
+            self.processes.append(process)
+        client, front, back = self.processes
+        self.client_orb = Orb(client, self.network, registry=self.registry, channel=channel)
+        self.front_orb = Orb(front, self.network, registry=self.registry, channel=channel)
+        self.back_orb = Orb(back, self.network, registry=self.registry)
+        compiled, clock = self.compiled, self.clock
+
+        class BackImpl(compiled.Back):
+            def add(self, a, b):
+                clock.consume(50)
+                return a + b
+
+        back_ref = self.back_orb.activate(BackImpl())
+        back_stub = self.front_orb.resolve(back_ref)
+
+        class FrontImpl(compiled.Front):
+            def compute(self, n):
+                clock.consume(100)
+                return back_stub.add(n, n)
+
+        self.stub = self.client_orb.resolve(self.front_orb.activate(FrontImpl()))
+
+    def records(self):
+        out = []
+        for process in self.processes:
+            out.extend(process.log_buffer.snapshot())
+        out.sort(key=lambda r: (r.chain_uuid, r.event_seq))
+        return out
+
+    def shutdown(self):
+        for orb in (self.client_orb, self.front_orb, self.back_orb):
+            orb.shutdown()
+        for process in self.processes:
+            process.shutdown()
+
+
+def _run_fixed_workload(channel: str) -> str:
+    deployment = _Deployment(channel)
+    try:
+        for n in range(12):
+            assert deployment.stub.compute(n) == 2 * n
+        dscg = reconstruct_from_records(deployment.records())
+        return dscg_to_json(dscg)
+    finally:
+        deployment.shutdown()
+
+
+class TestAnalyzerInvisibility:
+    def test_mux_and_per_thread_dscg_bit_identical(self):
+        mux_json = _run_fixed_workload("mux")
+        legacy_json = _run_fixed_workload("per-thread")
+        assert mux_json == legacy_json
+
+    def test_mux_run_is_self_deterministic(self):
+        assert _run_fixed_workload("mux") == _run_fixed_workload("mux")
+
+
+class TestPipelinedChains:
+    def test_concurrent_callers_produce_complete_chains(self):
+        deployment = _Deployment("mux")
+        try:
+            results: dict[int, list] = {}
+            barrier = threading.Barrier(4)
+
+            def worker(worker_id):
+                barrier.wait()
+                values = [deployment.stub.compute(n) for n in range(8)]
+                results[worker_id] = values
+
+            threads = [
+                threading.Thread(target=worker, args=(k,)) for k in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert all(results[k] == [2 * n for n in range(8)] for k in range(4))
+            records = deployment.records()
+            # 4 workers x 8 calls x 2 hops x 4 probe events per hop.
+            assert len(records) == 4 * 8 * 2 * 4
+            by_chain: dict[str, list] = {}
+            for record in records:
+                by_chain.setdefault(record.chain_uuid, []).append(record)
+            # One chain per client thread (the FTL persists in TSS across
+            # sequential calls from the same thread — observation O1/O2),
+            # and pipelining must not bleed events across those chains.
+            assert len(by_chain) == 4
+            for chain_records in by_chain.values():
+                events = [r.event for r in chain_records]
+                assert events.count(TracingEvent.STUB_START) == 16
+                assert events.count(TracingEvent.SKEL_END) == 16
+            dscg = reconstruct_from_records(records)
+            assert not dscg.abnormal_events()
+            assert dscg.node_count() == 64
+            # All four client threads shared one channel per endpoint.
+            assert len(deployment.client_orb._channels) == 1
+        finally:
+            deployment.shutdown()

@@ -120,3 +120,60 @@ class TestLatencyInjection:
         client = network.connect("c", "s")
         client.send(b"x", sender_host=host)
         assert clock.wall_ns() == 0
+
+
+class _ForbiddenLock:
+    """A lock stand-in that fails the test if anything acquires it."""
+
+    def acquire(self, *args, **kwargs):  # pragma: no cover - failure path
+        raise AssertionError("network lock acquired on the send fast path")
+
+    release = acquire
+
+    def __enter__(self):  # pragma: no cover - failure path
+        raise AssertionError("network lock acquired on the send fast path")
+
+    def __exit__(self, *exc):  # pragma: no cover - failure path
+        return False
+
+
+class TestCopyOnWriteLatencyTable:
+    def test_zero_latency_send_never_touches_the_lock(self):
+        """The per-send fast path must not serialize on the network's
+        global lock when no latency is configured (the common case for
+        every probe-bearing invocation)."""
+        network = Network()
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        sides = []
+        network.listen("s", sides.append)
+        client = network.connect("c", "s")
+        network._lock = _ForbiddenLock()  # any acquire now fails loudly
+        for _ in range(3):
+            client.send(b"x", sender_host=host)
+        assert [sides[0].recv(timeout=1) for _ in range(3)] == [b"x"] * 3
+        assert clock.wall_ns() == 0
+
+    def test_apply_latency_reads_published_snapshot_lock_free(self):
+        network = Network()
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        network.set_latency("c", "s", 4_000)
+        network._lock = _ForbiddenLock()
+        network.apply_latency("c", "s", host)
+        assert clock.wall_ns() == 4_000
+
+    def test_set_latency_after_connect_takes_effect(self):
+        """Setters publish a fresh table; existing connections observe
+        the change on their next send (copy-on-write, not a stale copy)."""
+        network = Network()
+        clock = VirtualClock()
+        host = Host("h", PlatformKind.HPUX_11, clock=clock)
+        sides = []
+        network.listen("s", sides.append)
+        client = network.connect("c", "s")
+        client.send(b"x", sender_host=host)
+        assert clock.wall_ns() == 0
+        network.set_latency("c", "s", 7_000)
+        client.send(b"y", sender_host=host)
+        assert clock.wall_ns() == 7_000
