@@ -1,0 +1,238 @@
+"""Storage-backend ingest + scan throughput: segment store vs SQLite.
+
+Measures, for a synthetic probe-record run shaped like a real capture
+(interleaved chains, repeated interned strings, mostly-narrow timestamp
+deltas, a sprinkle of semantics payloads):
+
+- **ingest** — records/sec through ``bulk_ingest`` + ``insert_records``
+  split across several collection transactions (the collector drain
+  pattern);
+- **scan** — records/sec through ``chains_for_run`` consumed
+  group-by-group, the analyzer's read path;
+- **combined** — ``records / (t_ingest + t_scan)``, the figure the
+  storage PR is gated on: the segment store must beat SQLite by
+  ``--min-speedup`` (default 3.0) at the full scale of ≥100k records;
+- **compaction** — reported for the segment store but *not* part of the
+  gated path: it runs in a background thread in production, off the
+  ingest and first-scan critical path. Post-compaction scan throughput
+  is reported separately (``scan_sealed``).
+
+Both backends run file-backed in a temp directory, best-of-``--repeat``
+per phase, fresh stores per repeat.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ingest_scan.py \
+        [--quick] [--check] [--records N] [--min-speedup X] \
+        [--min-scan-speedup X] [--output BENCH_ingest_scan.json]
+
+``--quick`` (CI smoke) shrinks the run and gates only on the scan path
+beating SQLite (``--min-scan-speedup``, default 1.0): tiny runs
+under-amortize the segment writer's per-batch setup, so the combined 3x
+gate is only meaningful at full scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+
+def make_records(count: int, chains: int, seed: int = 42):
+    """A capture-shaped record stream: no RNG in the hot loop."""
+    from repro.core import CallKind, Domain, ProbeRecord, TracingEvent
+
+    events = tuple(TracingEvent)
+    record = ProbeRecord
+    interfaces = [f"Mod::Iface{i}" for i in range(40)]
+    operations = [f"op{i}" for i in range(25)]
+    components = [f"Comp{i}" for i in range(12)]
+    processes = [f"proc{i}" for i in range(4)]
+    hosts = ["hostA", "hostB"]
+    out = []
+    wall = 1_700_000_000_000_000_000  # ns since epoch: realistic magnitude
+    cpu = 5_000_000
+    for i in range(count):
+        wall += 900 + (i * 7919) % 40_000
+        cpu += 120 + (i * 104729) % 900
+        has_sem = i % 16 == 0
+        out.append(record(
+            chain_uuid=f"{(i * 31) % chains:032x}",
+            event_seq=i,
+            event=events[i & 3],
+            interface=interfaces[i % 40],
+            operation=operations[i % 25],
+            object_id=f"obj-{i % 64}",
+            component=components[i % 12],
+            process=processes[i % 4],
+            pid=4000 + i % 4,
+            host=hosts[i % 2],
+            thread_id=100 + i % 8,
+            processor_type="x86_64",
+            platform="linux",
+            call_kind=CallKind.ONEWAY if i % 11 == 0 else CallKind.SYNC,
+            collocated=i % 5 == 0,
+            domain=Domain.CORBA if i % 3 else Domain.COM,
+            wall_start=wall,
+            wall_end=wall + 1500 + (i % 700),
+            cpu_start=cpu,
+            cpu_end=cpu + 90 + (i % 50),
+            child_chain_uuid=f"{(i * 31 + 7) % chains:032x}" if i % 9 == 0 else None,
+            semantics={"args": [i % 100], "status": "ok"} if has_sem else None,
+        ))
+    return out
+
+
+def open_backend(kind: str, root: str):
+    if kind == "sqlite":
+        from repro.collector import MonitoringDatabase
+
+        return MonitoringDatabase(os.path.join(root, "bench.db"))
+    from repro.store import SegmentStore
+
+    return SegmentStore(os.path.join(root, "bench-store"), auto_compact=0)
+
+
+def run_backend(kind: str, records, batches: int, repeat: int) -> dict:
+    """Best-of-``repeat`` ingest and scan times for one backend."""
+    from repro.core import RunMetadata
+
+    count = len(records)
+    step = (count + batches - 1) // batches
+    best_ingest = best_scan = float("inf")
+    best_compact = best_scan_sealed = None
+    for _ in range(repeat):
+        root = tempfile.mkdtemp(prefix=f"bench-{kind}-")
+        try:
+            backend = open_backend(kind, root)
+            backend.create_run(RunMetadata(run_id="bench", monitor_mode="cpu"))
+
+            started = time.perf_counter()
+            for lo in range(0, count, step):
+                with backend.bulk_ingest():
+                    backend.insert_records("bench", records[lo:lo + step])
+            best_ingest = min(best_ingest, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            scanned = 0
+            for _chain, group in backend.chains_for_run("bench"):
+                scanned += len(group)
+            best_scan = min(best_scan, time.perf_counter() - started)
+            if scanned != count:
+                raise SystemExit(
+                    f"{kind}: scan returned {scanned} of {count} records"
+                )
+
+            if kind == "segment":
+                started = time.perf_counter()
+                backend.compact("bench")
+                elapsed = time.perf_counter() - started
+                best_compact = min(best_compact or elapsed, elapsed)
+                started = time.perf_counter()
+                scanned = sum(
+                    len(group) for _c, group in backend.chains_for_run("bench")
+                )
+                elapsed = time.perf_counter() - started
+                best_scan_sealed = min(best_scan_sealed or elapsed, elapsed)
+                if scanned != count:
+                    raise SystemExit(f"sealed scan returned {scanned}/{count}")
+            backend.close()
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    result = {
+        "ingest_s": round(best_ingest, 4),
+        "scan_s": round(best_scan, 4),
+        "combined_s": round(best_ingest + best_scan, 4),
+        "ingest_records_per_s": round(count / best_ingest),
+        "scan_records_per_s": round(count / best_scan),
+        "combined_records_per_s": round(count / (best_ingest + best_scan)),
+    }
+    if best_compact is not None:
+        result["compact_s"] = round(best_compact, 4)
+        result["scan_sealed_s"] = round(best_scan_sealed, 4)
+        result["scan_sealed_records_per_s"] = round(count / best_scan_sealed)
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=120_000)
+    parser.add_argument("--chains", type=int, default=0,
+                        help="chain count (default: records // 40)")
+    parser.add_argument("--batches", type=int, default=8,
+                        help="collection transactions the ingest is split into")
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke: 20k records, 1 repeat, scan-only gate")
+    parser.add_argument("--check", action="store_true",
+                        help="exit non-zero if the speedup gates fail")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="required combined speedup at full scale")
+    parser.add_argument("--min-scan-speedup", type=float, default=1.0,
+                        help="required scan speedup (the --quick gate)")
+    parser.add_argument("--output", default=None)
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.records = min(args.records, 20_000)
+        args.repeat = 1
+    chains = args.chains or max(8, args.records // 40)
+
+    records = make_records(args.records, chains)
+    results = {}
+    for kind in ("sqlite", "segment"):
+        results[kind] = run_backend(kind, records, args.batches, args.repeat)
+        print(f"{kind:8s} ingest {results[kind]['ingest_s']:.3f}s"
+              f" scan {results[kind]['scan_s']:.3f}s"
+              f" combined {results[kind]['combined_records_per_s']:,} rec/s")
+
+    speedups = {
+        phase: round(
+            results["sqlite"][f"{phase}_s"] / results["segment"][f"{phase}_s"], 2
+        )
+        for phase in ("ingest", "scan", "combined")
+    }
+    print(f"speedup: ingest {speedups['ingest']}x scan {speedups['scan']}x"
+          f" combined {speedups['combined']}x")
+
+    document = {
+        "benchmark": "ingest_scan",
+        "records": args.records,
+        "chains": chains,
+        "batches": args.batches,
+        "repeat": args.repeat,
+        "quick": args.quick,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "results": results,
+        "speedups": speedups,
+    }
+    if args.output:
+        with open(args.output, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+
+    if args.check:
+        if args.quick:
+            if speedups["scan"] < args.min_scan_speedup:
+                print(f"FAIL: scan speedup {speedups['scan']}x <"
+                      f" {args.min_scan_speedup}x", file=sys.stderr)
+                return 1
+        elif speedups["combined"] < args.min_speedup:
+            print(f"FAIL: combined speedup {speedups['combined']}x <"
+                  f" {args.min_speedup}x", file=sys.stderr)
+            return 1
+        print("CHECK OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,14 +9,19 @@ makes the same observation for multi-threaded CBSs: per-trace analysis
 need not serialize.
 
 Sharding model: the sorted chain-uuid space is split into contiguous
-ranges, one per worker. Each worker runs its own fused index scan
-(``chain_uuid BETWEEN lo AND hi ORDER BY chain_uuid, event_seq, id``)
-over a per-thread read connection (WAL journal on file-backed databases,
-so readers never contend; ``:memory:`` falls back to the serialized
-shared connection), rebuilds its chains, and optionally annotates them.
-The merge is deterministic: shards are consumed in range order, so the
-resulting :class:`Dscg` is byte-identical to a serial reconstruction —
-the equivalence the property tests assert.
+ranges, one per worker, each handed to the backend as a bounded
+``chains_for_run(first_chain, last_chain)`` scan. On SQLite that is a
+fused index scan (``chain_uuid BETWEEN lo AND hi ORDER BY chain_uuid,
+event_seq, id``) over a per-thread read connection (WAL journal on
+file-backed databases, so readers never contend; ``:memory:`` falls back
+to the serialized shared connection). On the segment store the chain
+groups of a sealed segment are byte-contiguous and sorted, so each shard
+decodes a disjoint ``mmap`` range — backends that benefit from
+preparation (the store compacts its spools) expose a
+``prepare_sharded_scan(run_id)`` hook that runs once before the pool
+starts. The merge is deterministic: shards are consumed in range order,
+so the resulting :class:`Dscg` is byte-identical to a serial
+reconstruction — the equivalence the property tests assert.
 
 Worker failures are never swallowed: the first shard exception propagates
 out of :func:`reconstruct_sharded` (chains are either all present or the
@@ -27,13 +32,15 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import ThreadPoolExecutor
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import repro.analysis.statemachine as statemachine
 from repro.analysis.cpu import annotate_chain_self_cpu
 from repro.analysis.dscg import ChainTree, Dscg
 from repro.analysis.latency import annotate_chain_latency
-from repro.collector.database import MonitoringDatabase
+
+if TYPE_CHECKING:
+    from repro.store.backend import StorageBackend
 
 #: Upper bound on the auto-selected pool: analyzer shards are CPU-heavy,
 #: so there is no point outnumbering the cores by much.
@@ -99,7 +106,7 @@ def shard_bounds(
 
 
 def _reconstruct_shard(
-    database: MonitoringDatabase,
+    database: "StorageBackend",
     run_id: str,
     bounds: tuple[str, str],
     annotate: bool,
@@ -119,7 +126,7 @@ def _reconstruct_shard(
 
 
 def reconstruct_sharded(
-    database: MonitoringDatabase,
+    database: "StorageBackend",
     run_id: str,
     workers: int | None = None,
     annotate: bool = False,
@@ -137,6 +144,11 @@ def reconstruct_sharded(
     ``oversubscribe=True`` to force the requested width anyway.
     """
     workers = effective_workers(workers, oversubscribe)
+    prepare = getattr(database, "prepare_sharded_scan", None)
+    if prepare is not None:
+        # Segment store: compact the run's spools so every shard becomes
+        # a disjoint byte-range decode of one sealed segment.
+        prepare(run_id)
     chain_uuids = database.unique_chain_uuids(run_id)
     bounds = shard_bounds(chain_uuids, workers)
     dscg = Dscg()

@@ -25,12 +25,14 @@ analyzer records the failure and restarts from the next log record
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-from repro.collector.database import MonitoringDatabase
 from repro.core.events import CallKind, TracingEvent
 from repro.core.records import ProbeRecord
 from repro.analysis.dscg import AbnormalEvent, CallNode, ChainTree, Dscg
+
+if TYPE_CHECKING:
+    from repro.store.backend import StorageBackend
 
 
 def _same_call(node: CallNode, record: ProbeRecord) -> bool:
@@ -181,16 +183,19 @@ def reconstruct_from_records(records: Iterable[ProbeRecord]) -> Dscg:
 
 
 def reconstruct(
-    database: MonitoringDatabase,
+    database: "StorageBackend",
     run_id: str,
     workers: int = 1,
     annotate: bool = False,
 ) -> Dscg:
     """Build the DSCG for one collected run.
 
-    The two standard queries of Section 3.1 are fused into one indexed
-    scan (:meth:`MonitoringDatabase.chains_for_run`) that streams each
-    chain's sorted records in turn — no per-chain query round-trip.
+    The two standard queries of Section 3.1 are fused into one grouped
+    scan (``chains_for_run`` on any :class:`~repro.store.StorageBackend`)
+    that streams each chain's sorted records in turn — no per-chain query
+    round-trip. Both backends honor the same ordering contract, so the
+    DSCG is bit-identical whether the run lives in SQLite or in the
+    segment store.
 
     ``workers > 1`` shards the sorted chain-uuid space across a worker
     pool (chains reconstruct independently; see

@@ -1,10 +1,11 @@
 """Command-line front-end: ``python -m repro <command>``.
 
-Commands operate on a monitoring database file (sqlite) produced by
-:class:`repro.collector.LogCollector`, or demonstrate the system with the
-bundled example applications:
+Commands operate on a monitoring store produced by
+:class:`repro.collector.LogCollector` — a SQLite database file or a
+segment-store directory, autodetected from the path — or demonstrate the
+system with the bundled example applications:
 
-- ``demo-pps``        run the PPS, collect into a database file
+- ``demo-pps``        run the PPS, collect into a store (``--store segment``)
 - ``demo-embedded``   run the synthetic embedded system, collect
 - ``summary``         DSCG summary of a collected run
 - ``loss``            canonical loss-accounting JSON (capture + collection)
@@ -17,6 +18,7 @@ bundled example applications:
 - ``harness``         generate a replay harness script
 - ``export-trace``    export a run as Chrome/Perfetto or OTLP trace JSON
 - ``metrics``         run a demo with self-metrics on; print Prometheus text
+- ``store-info``      segment/record/compaction report of a storage backend
 """
 
 from __future__ import annotations
@@ -37,11 +39,12 @@ from repro.analysis import (
 from repro.analysis.report import cpu_table, dscg_summary, latency_table, loss_summary
 from repro.analysis.serialize import dscg_to_json
 from repro.collector import MonitoringDatabase
+from repro.store import StorageBackend, open_store
 from repro.testing_harness import derive_plan, render_harness_script
 
 
-def _open_run(args) -> tuple[MonitoringDatabase, str]:
-    database = MonitoringDatabase(args.database)
+def _open_run(args) -> tuple[StorageBackend, str]:
+    database = open_store(args.database)
     runs = database.runs()
     if not runs:
         raise SystemExit(f"no runs in {args.database}")
@@ -60,7 +63,7 @@ _DSCG_CACHE: dict[tuple[str, str], "object"] = {}
 _DSCG_CACHE_LIMIT = 4
 
 
-def load_dscg(database: MonitoringDatabase, run_id: str, workers: int = 1):
+def load_dscg(database: StorageBackend, run_id: str, workers: int = 1):
     """Memoized ``reconstruct(database, run_id)`` for the CLI subcommands."""
     if database.path == ":memory:":
         # Distinct in-memory databases share the same path; never alias them.
@@ -82,6 +85,11 @@ def _load_dscg(args) -> "object":
     )
 
 
+def _demo_backend(args) -> StorageBackend:
+    """The collection sink a demo command writes to (``--store`` flag)."""
+    return open_store(args.database, backend=getattr(args, "store", None))
+
+
 def cmd_demo_pps(args) -> int:
     from repro.apps.pps import PpsSystem, four_process_deployment, monolithic_deployment
     from repro.collector import LogCollector
@@ -94,7 +102,7 @@ def cmd_demo_pps(args) -> int:
     try:
         pps.run(njobs=args.jobs, pages=args.pages, complexity=args.complexity)
         pps.quiesce()
-        collector = LogCollector(MonitoringDatabase(args.database))
+        collector = LogCollector(backend=_demo_backend(args))
         run_id = collector.collect(pps.processes.values(),
                                    description=f"PPS {deployment.name} (CLI)")
         print(f"collected run {run_id!r} into {args.database}")
@@ -111,7 +119,7 @@ def cmd_demo_embedded(args) -> int:
     try:
         system.run(total_calls=args.calls, roots=args.roots)
         system.quiesce()
-        collector = LogCollector(MonitoringDatabase(args.database))
+        collector = LogCollector(backend=_demo_backend(args))
         run_id = collector.collect(system.processes,
                                    description="embedded synthetic (CLI)")
         print(f"collected run {run_id!r} ({args.calls} calls) into {args.database}")
@@ -120,7 +128,7 @@ def cmd_demo_embedded(args) -> int:
         system.shutdown()
 
 
-def _collector_loss(database: MonitoringDatabase, run_id: str) -> dict | None:
+def _collector_loss(database: StorageBackend, run_id: str) -> dict | None:
     """The ``extra["loss"]`` dict the collector stored for this run, if any."""
     for meta in database.runs():
         if meta.run_id == run_id:
@@ -275,6 +283,33 @@ def cmd_metrics(args) -> int:
         telemetry.disable()
 
 
+def cmd_store_info(args) -> int:
+    """Per-run record/segment/compaction report of a storage backend."""
+    import json
+
+    from repro.store import SegmentStore
+
+    database = open_store(args.database)
+    if isinstance(database, SegmentStore):
+        info = database.store_info()
+    else:
+        info = {
+            "backend": "sqlite",
+            "path": database.path,
+            "runs": [
+                {
+                    "run_id": meta.run_id,
+                    "records": database.record_count(meta.run_id),
+                    "chains": len(database.unique_chain_uuids(meta.run_id)),
+                    "schema_version": (meta.extra or {}).get("schema_version"),
+                }
+                for meta in database.runs()
+            ],
+        }
+    _emit(args.output, json.dumps(info, indent=2, sort_keys=True))
+    return 0
+
+
 def _emit(output: str | None, text: str) -> None:
     if output:
         with open(output, "w") as handle:
@@ -290,6 +325,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_store_flag(command):
+        command.add_argument(
+            "--store", default=None, choices=["sqlite", "segment"],
+            help="storage backend (default: autodetect from the path;"
+                 " directories hold segment stores, files SQLite)",
+        )
+
     demo_pps = sub.add_parser("demo-pps", help="run the PPS and collect a database")
     demo_pps.add_argument("database")
     demo_pps.add_argument("--mode", default="cpu",
@@ -298,6 +340,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo_pps.add_argument("--pages", type=int, default=4)
     demo_pps.add_argument("--complexity", type=int, default=2)
     demo_pps.add_argument("--monolithic", action="store_true")
+    add_store_flag(demo_pps)
     demo_pps.set_defaults(func=cmd_demo_pps)
 
     demo_embedded = sub.add_parser("demo-embedded",
@@ -305,7 +348,15 @@ def build_parser() -> argparse.ArgumentParser:
     demo_embedded.add_argument("database")
     demo_embedded.add_argument("--calls", type=int, default=5_000)
     demo_embedded.add_argument("--roots", type=int, default=8)
+    add_store_flag(demo_embedded)
     demo_embedded.set_defaults(func=cmd_demo_embedded)
+
+    store_info = sub.add_parser(
+        "store-info", help="segment/record/compaction report of a storage backend"
+    )
+    store_info.add_argument("database")
+    store_info.add_argument("--output", default=None)
+    store_info.set_defaults(func=cmd_store_info)
 
     def add_run_command(name, func, help_text, extra=None):
         command = sub.add_parser(name, help=help_text)

@@ -12,14 +12,17 @@ from __future__ import annotations
 import itertools
 import time
 import uuid
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.collector.database import MonitoringDatabase
-from repro.core.records import RunMetadata
+from repro.core.records import SCHEMA_VERSION, RunMetadata
 from repro.errors import TransientCollectorError
 from repro.platform.process import SimProcess
 from repro.telemetry.metrics import NULL_COUNTER, NULL_HISTOGRAM
 from repro.telemetry.runtime import metrics_binder
+
+if TYPE_CHECKING:
+    from repro.store.backend import StorageBackend
 
 _run_counter = itertools.count(1)
 
@@ -99,16 +102,25 @@ class LogCollector:
     at the probe by a bounded buffer, records lost in delivery, or whole
     buffers left uncollected after exhausting retries — is accounted in
     the run's metadata (``extra["loss"]``) instead of silently vanishing.
+
+    Any :class:`~repro.store.StorageBackend` works as the sink — the
+    SQLite default, or the segment store via ``backend=`` (an explicit
+    alias of ``database=`` for call sites that select a backend).
     """
 
     def __init__(
         self,
-        database: MonitoringDatabase | None = None,
+        database: "StorageBackend | None" = None,
         retries: int = 3,
         backoff_s: float = 0.05,
+        backend: "StorageBackend | None" = None,
     ):
         if retries < 0:
             raise ValueError("retries must be >= 0")
+        if database is not None and backend is not None:
+            raise ValueError("pass either database= or backend=, not both")
+        if backend is not None:
+            database = backend
         self.database = database if database is not None else MonitoringDatabase()
         self.retries = retries
         self.backoff_s = backoff_s
@@ -204,7 +216,11 @@ class LogCollector:
                     run_id=run_id,
                     description=description,
                     monitor_mode=",".join(sorted(modes)),
-                    extra={"processes": [p.name for p in processes], "loss": loss},
+                    extra={
+                        "processes": [p.name for p in processes],
+                        "loss": loss,
+                        "schema_version": SCHEMA_VERSION,
+                    },
                 )
             )
             for _process, records in batches:
@@ -215,10 +231,10 @@ class LogCollector:
 
 def collect_run(
     processes: Iterable[SimProcess],
-    database: MonitoringDatabase | None = None,
+    database: "StorageBackend | None" = None,
     run_id: str | None = None,
     description: str = "",
-) -> tuple[MonitoringDatabase, str]:
+) -> "tuple[StorageBackend, str]":
     """One-shot helper: collect ``processes`` into a (new) database."""
     collector = LogCollector(database)
     run = collector.collect(processes, run_id=run_id, description=description)

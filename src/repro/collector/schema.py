@@ -3,9 +3,33 @@
 "The scattered logs are collected and eventually synthesized into a
 relational database" (Section 3). We use the standard-library sqlite3;
 an in-memory database by default, a file path for persistent runs.
+
+The ``records`` table is generated from the single source of truth for
+the 23-field record layout, :data:`repro.core.records.RECORD_SCHEMA`, so
+the SQL columns can never drift from the dataclass (or from the binary
+segment codec, which derives from the same table).
 """
 
 from __future__ import annotations
+
+from repro.core.records import RECORD_SCHEMA
+
+#: SQL column affinity and nullability for each schema field kind.
+_SQL_TYPES = {
+    "str": "TEXT NOT NULL",
+    "int": "INTEGER NOT NULL",
+    "event": "INTEGER NOT NULL",
+    "call_kind": "TEXT NOT NULL",
+    "bool": "INTEGER NOT NULL",
+    "domain": "TEXT NOT NULL",
+    "opt_int": "INTEGER",
+    "opt_str": "TEXT",
+    "json": "TEXT",
+}
+
+_RECORD_COLUMN_DDL = ",\n        ".join(
+    f"{field.name:16s} {_SQL_TYPES[field.kind]}" for field in RECORD_SCHEMA
+)
 
 SCHEMA_STATEMENTS = (
     """
@@ -16,32 +40,11 @@ SCHEMA_STATEMENTS = (
         extra         TEXT NOT NULL DEFAULT '{}'
     )
     """,
-    """
+    f"""
     CREATE TABLE IF NOT EXISTS records (
         id               INTEGER PRIMARY KEY,
         run_id           TEXT NOT NULL REFERENCES runs(run_id),
-        chain_uuid       TEXT NOT NULL,
-        event_seq        INTEGER NOT NULL,
-        event            INTEGER NOT NULL,
-        interface        TEXT NOT NULL,
-        operation        TEXT NOT NULL,
-        object_id        TEXT NOT NULL,
-        component        TEXT NOT NULL,
-        process          TEXT NOT NULL,
-        pid              INTEGER NOT NULL,
-        host             TEXT NOT NULL,
-        thread_id        INTEGER NOT NULL,
-        processor_type   TEXT NOT NULL,
-        platform         TEXT NOT NULL,
-        call_kind        TEXT NOT NULL,
-        collocated       INTEGER NOT NULL,
-        domain           TEXT NOT NULL,
-        wall_start       INTEGER,
-        wall_end         INTEGER,
-        cpu_start        INTEGER,
-        cpu_end          INTEGER,
-        child_chain_uuid TEXT,
-        semantics        TEXT
+        {_RECORD_COLUMN_DDL}
     )
     """,
     # Drives the analyzer's fused single-scan reconstruction
@@ -59,28 +62,4 @@ SCHEMA_STATEMENTS = (
     """,
 )
 
-RECORD_COLUMNS = (
-    "run_id",
-    "chain_uuid",
-    "event_seq",
-    "event",
-    "interface",
-    "operation",
-    "object_id",
-    "component",
-    "process",
-    "pid",
-    "host",
-    "thread_id",
-    "processor_type",
-    "platform",
-    "call_kind",
-    "collocated",
-    "domain",
-    "wall_start",
-    "wall_end",
-    "cpu_start",
-    "cpu_end",
-    "child_chain_uuid",
-    "semantics",
-)
+RECORD_COLUMNS = ("run_id",) + tuple(field.name for field in RECORD_SCHEMA)

@@ -19,6 +19,69 @@ from typing import Any
 
 from repro.core.events import CallKind, Domain, TracingEvent
 
+#: Version of the 23-field record layout (``run_id`` + the 22
+#: :class:`ProbeRecord` fields below). Stamped into run metadata by the
+#: collector and into every segment-file header so a reader can refuse
+#: data written under a different layout instead of mis-decoding it.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class RecordField:
+    """One field of the persisted record layout.
+
+    ``kind`` drives every codec that persists records — the SQLite
+    row converters and the binary segment codec are both derived from
+    this table, so the 23-field layout has exactly one source of truth:
+
+    - ``str``        required string
+    - ``int``        required integer
+    - ``event``      :class:`TracingEvent` (stored as its int value)
+    - ``call_kind``  :class:`CallKind` (stored as its str value)
+    - ``bool``       stored as 0/1
+    - ``domain``     :class:`Domain` (stored as its str value)
+    - ``opt_int``    integer or None
+    - ``opt_str``    string or None
+    - ``json``       JSON-serializable object or None
+
+    ``interned`` marks strings drawn from a small population (chain
+    uuids, operation names, host/thread identity): the segment codec
+    dictionary-encodes them instead of repeating the bytes per record.
+    """
+
+    name: str
+    kind: str
+    interned: bool = False
+
+
+#: The persisted :class:`ProbeRecord` layout, in dataclass field order.
+#: ``run_id`` (the 23rd field) is context every store carries separately:
+#: a SQLite column, a segment-store run directory.
+RECORD_SCHEMA: tuple[RecordField, ...] = (
+    RecordField("chain_uuid", "str", interned=True),
+    RecordField("event_seq", "int"),
+    RecordField("event", "event"),
+    RecordField("interface", "str", interned=True),
+    RecordField("operation", "str", interned=True),
+    RecordField("object_id", "str", interned=True),
+    RecordField("component", "str", interned=True),
+    RecordField("process", "str", interned=True),
+    RecordField("pid", "int"),
+    RecordField("host", "str", interned=True),
+    RecordField("thread_id", "int"),
+    RecordField("processor_type", "str", interned=True),
+    RecordField("platform", "str", interned=True),
+    RecordField("call_kind", "call_kind"),
+    RecordField("collocated", "bool"),
+    RecordField("domain", "domain"),
+    RecordField("wall_start", "opt_int"),
+    RecordField("wall_end", "opt_int"),
+    RecordField("cpu_start", "opt_int"),
+    RecordField("cpu_end", "opt_int"),
+    RecordField("child_chain_uuid", "opt_str", interned=True),
+    RecordField("semantics", "json"),
+)
+
 
 @dataclass(frozen=True, slots=True)
 class OperationInfo:
@@ -118,3 +181,12 @@ class RunMetadata:
     description: str = ""
     monitor_mode: str = ""
     extra: dict[str, Any] = field(default_factory=dict)
+
+
+# The schema table and the dataclass must never drift apart: every codec
+# below trusts RECORD_SCHEMA's order to be ProbeRecord's field order.
+if tuple(f.name for f in RECORD_SCHEMA) != ProbeRecord.__slots__:
+    raise AssertionError(
+        "RECORD_SCHEMA is out of sync with ProbeRecord: "
+        f"{[f.name for f in RECORD_SCHEMA]} != {list(ProbeRecord.__slots__)}"
+    )

@@ -105,6 +105,10 @@ class MonitorError(ReproError):
     """Raised for monitoring runtime misconfiguration."""
 
 
+class StoreError(ReproError):
+    """Raised by storage backends on unusable files or misuse."""
+
+
 class AnalysisError(ReproError):
     """Raised by the off-line analyzer on unusable monitoring data."""
 

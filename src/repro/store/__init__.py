@@ -1,0 +1,28 @@
+"""repro.store — the columnar segment store and the backend seam.
+
+An append-only, log-structured storage backend for probe records: the
+collector drain path spools binary frames (precompiled ``struct``
+codecs, delta-encoded timestamps, dictionary-interned strings),
+background compaction merges the spools into chain-sorted sealed
+segments, and analyzer scans decode straight out of ``mmap``ed files —
+no SQL on the hot path.
+
+The :class:`StorageBackend` protocol is the seam: the SQLite-backed
+:class:`repro.collector.MonitoringDatabase` and :class:`SegmentStore`
+are interchangeable under it, and :func:`open_store` picks one from a
+path (directory → segment store, file → SQLite).
+"""
+
+from repro.store.backend import StorageBackend, detect_backend, open_store
+from repro.store.segment import SegmentReader, SegmentWriter, segment_info
+from repro.store.store import SegmentStore
+
+__all__ = [
+    "StorageBackend",
+    "SegmentStore",
+    "SegmentReader",
+    "SegmentWriter",
+    "detect_backend",
+    "open_store",
+    "segment_info",
+]

@@ -1,0 +1,94 @@
+"""Binary probe-record frame codec for the segment store.
+
+One :class:`~repro.core.records.ProbeRecord` becomes one *frame*:
+
+- a fused fixed head packed by a single precompiled :class:`struct.Struct`
+  (the same precompiled-codec discipline as :mod:`repro.orb.fastcdr`):
+  dictionary ids for the eight interned strings, raw integers for
+  ``event_seq``/``pid``/``thread_id``, and three packed bytes for the
+  event number, call kind / collocation / domain / frame-width flags and
+  the field-presence bitmap;
+- a timestamp tail holding the four probe clock readings
+  **delta-encoded**: ``wall_start`` and ``cpu_start`` are stored relative
+  to the previous frame's values (per the encoder's delta policy),
+  ``wall_end``/``cpu_end`` relative to their own start reading. Deltas
+  are small, so the tail is four ``i32`` words for most frames and only
+  widens to ``i64`` (the ``_MISC_WIDE`` flag) when a delta overflows —
+  chiefly the raw re-anchor frames;
+- an optional JSON payload for captured application semantics.
+
+Interned strings are *dictionary-encoded*: each segment carries one
+string table, ids are assigned in first-appearance order, and new
+entries are spooled into dict-delta blocks ahead of the frames that
+reference them (so a truncated segment can still be decoded
+front-to-back without its footer).
+
+The field layout is derived from — and import-time-checked against —
+the single 23-field schema table :data:`repro.core.records.RECORD_SCHEMA`
+shared with the SQLite row codecs.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.core.events import CallKind, Domain, TracingEvent
+from repro.core.records import RECORD_SCHEMA
+
+#: Fields the frame head covers, in the order they are packed. The
+#: timestamp tail covers the four clock readings; ``semantics`` rides as
+#: the variable-length payload after the tail.
+_HEAD_FIELDS = (
+    "chain_uuid", "event_seq", "event",
+    # misc byte: call_kind, collocated, domain, (frame width flag)
+    "call_kind", "collocated", "domain",
+    # presence byte tracks which optional fields are materialized
+    "interface", "operation", "object_id", "component", "process",
+    "pid", "host", "thread_id", "processor_type", "platform",
+    "child_chain_uuid", "semantics",
+)
+_TAIL_FIELDS = ("wall_start", "wall_end", "cpu_start", "cpu_end")
+
+if set(_HEAD_FIELDS) | set(_TAIL_FIELDS) != {f.name for f in RECORD_SCHEMA}:
+    raise AssertionError(
+        "segment frame codec is out of sync with RECORD_SCHEMA: "
+        f"{sorted(set(_HEAD_FIELDS) | set(_TAIL_FIELDS))} != "
+        f"{sorted(f.name for f in RECORD_SCHEMA)}"
+    )
+
+# Head layout (little-endian):
+#   I  chain_uuid dict id          B  event (probe number 1..4)
+#   q  event_seq                   B  misc flag byte
+#                                  B  presence byte
+#   I  interface id    I operation id    I object_id id   I component id
+#   I  process id      q pid             I host id        q thread_id
+#   I  processor_type id              I  platform id
+#   I  child_chain_uuid id          I  semantics byte length
+# followed by the four-word timestamp tail (i32 narrow / i64 wide).
+FRAME_NARROW = struct.Struct("<IqBBBIIIIIqIqIIIIiiii")
+FRAME_WIDE = struct.Struct("<IqBBBIIIIIqIqIIIIqqqq")
+HEAD_SIZE = FRAME_NARROW.size - 16  # head bytes shared by both widths
+
+_MISC_ONEWAY = 1
+_MISC_COLLOCATED = 2
+_MISC_DOMAIN_SHIFT = 2  # two bits
+_MISC_WIDE = 16
+
+_PRES_WALL_START = 1
+_PRES_WALL_END = 2
+_PRES_CPU_START = 4
+_PRES_CPU_END = 8
+_PRES_CHILD = 16
+_PRES_SEMANTICS = 32
+
+_I32_MIN = -(1 << 31)
+_I32_MAX = (1 << 31) - 1
+
+#: Enum round-trips by position; tuple indexing beats Enum constructors
+#: (and dict lookups) on the million-record decode path.
+EVENT_BY_NUM = (None,) + tuple(TracingEvent)
+DOMAIN_BY_NUM = (Domain.CORBA, Domain.COM, Domain.J2EE, Domain.LOCAL)
+DOMAIN_NUM = {domain: num for num, domain in enumerate(DOMAIN_BY_NUM)}
+
+SYNC = CallKind.SYNC
+ONEWAY = CallKind.ONEWAY

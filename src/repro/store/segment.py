@@ -1,0 +1,675 @@
+"""Append-only segment files: the on-disk unit of the segment store.
+
+Layout (little-endian throughout)::
+
+    header   "RSG1" | u8 format | u8 kind | u16 schema_version | u64 arrival_base
+    block*   u8 tag | u32 payload_len | payload
+      tag 1  dict-delta: u32 first_id | u32 count | (u16 len | utf8)*
+      tag 2  records:    u32 count | frame*          (see repro.store.codec)
+    footer   u64 record_count | u8 has_ranks
+             u32 n_strings | (u16 len | utf8)*
+             u32 n_chains  | (u32 cid | u32 count | u64 start_off
+                              | u64 rank * count if has_ranks)*
+    trailer  u64 footer_off | "RSEGEND1"
+
+Two segment kinds share the format:
+
+- *spool* segments are what the collector drain path appends: records in
+  arrival order, chains interleaved, dict-delta blocks always written
+  before the frames that reference them so a truncated file decodes
+  front-to-back.
+- *sealed* segments are produced by compaction: frames grouped by chain
+  (uuid byte order), each group's first frame re-anchored so any
+  chain-aligned byte range decodes independently — this is what lets
+  analyzer shards read disjoint file ranges. The footer carries each
+  group's start offset and the records' original arrival ranks.
+
+A segment missing its trailer (a crash mid-drain) is *partial*: the
+reader salvages every complete frame front-to-back, rebuilds the string
+dictionary from the inline dict-delta blocks, and reports the bytes it
+had to drop — loss accounting survives partial segments instead of the
+whole file vanishing.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import struct
+from json import dumps as _dumps, loads as _loads
+
+from repro.core.records import SCHEMA_VERSION, ProbeRecord
+from repro.errors import StoreError
+from repro.store.codec import (
+    DOMAIN_BY_NUM,
+    DOMAIN_NUM,
+    EVENT_BY_NUM,
+    FRAME_NARROW,
+    FRAME_WIDE,
+    ONEWAY,
+    SYNC,
+)
+from repro.core.events import Domain
+
+MAGIC = b"RSG1"
+TRAILER_MAGIC = b"RSEGEND1"
+FORMAT_VERSION = 1
+
+KIND_SPOOL = 0
+KIND_SEALED = 1
+
+_HEADER = struct.Struct("<4sBBHQ")
+_BLOCK = struct.Struct("<BI")
+_TRAILER = struct.Struct("<Q8s")
+
+_TAG_DICT = 1
+_TAG_RECORDS = 2
+
+_FN_SIZE = FRAME_NARROW.size
+_FW_SIZE = FRAME_WIDE.size
+_MISC_OFF = 13  # byte offset of the misc flag byte inside a frame
+_SEMLEN_OFF = 67  # byte offset of the semantics length (last head field)
+
+#: Flush the records block once it holds this many payload bytes.
+_FLUSH_BYTES = 4 << 20
+
+_I32_MIN = -(1 << 31)
+_I32_MAX = (1 << 31) - 1
+
+#: Frame head only (both widths share it) — the population-stats scan
+#: unpacks this and skips the timestamp tail entirely.
+_STAT_HEAD = struct.Struct("<IqBBBIIIIIqIqII")
+
+
+class SegmentWriter:
+    """Streams probe records into one segment file.
+
+    The per-record encode loop is the collector's ingest fast path: it
+    is deliberately flat — inlined dictionary interning, one fused
+    ``struct.Struct`` pack per frame, delta state in locals.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        kind: int = KIND_SPOOL,
+        arrival_base: int = 0,
+        schema_version: int = SCHEMA_VERSION,
+    ):
+        self.path = path
+        self.kind = kind
+        self.arrival_base = arrival_base
+        self.schema_version = schema_version
+        self._file = open(path, "wb")
+        self._file.write(
+            _HEADER.pack(MAGIC, FORMAT_VERSION, kind, schema_version, arrival_base)
+        )
+        self._file_pos = _HEADER.size
+        self._ids: dict[str, int] = {}
+        self._strings: list[str] = []
+        self._pending_first_id = 0
+        self._pending: list[str] = []
+        self._rbuf = bytearray()
+        self._rcount = 0
+        self.record_count = 0
+        # cid -> [count, start_off, ranks]; insertion order == group order
+        # for sealed segments (one chain per group).
+        self._index: dict[int, list] = {}
+        # Delta anchors; None forces the next frame to carry raw readings.
+        self._prev_ws: int | None = None
+        self._prev_cs: int | None = None
+        self._sealed_kind = kind == KIND_SEALED
+
+    # ------------------------------------------------------------------
+
+    def start_group(self) -> None:
+        """Mark a chain-group boundary (sealed segments only).
+
+        Re-anchors the timestamp deltas so the group decodes from its
+        own start offset, and keeps a group's frames inside one records
+        block so they are byte-contiguous in the file.
+        """
+        self._prev_ws = None
+        self._prev_cs = None
+        if len(self._rbuf) >= _FLUSH_BYTES:
+            self._flush_records()
+        if self._pending and not self._rbuf:
+            self._flush_dict()
+
+    def append(self, records, ranks: list[int] | None = None) -> int:
+        """Encode and buffer ``records``; returns how many were written.
+
+        ``ranks`` (compaction only) attaches the records' original
+        arrival ranks to their chain's footer entry — all records of a
+        ranked append must belong to one chain.
+        """
+        ids = self._ids
+        ids_get = ids.get
+        pending = self._pending
+        pending_append = pending.append
+        strings = self._strings
+        strings_append = strings.append
+        index = self._index
+        rbuf = self._rbuf
+        fn_pack = FRAME_NARROW.pack
+        fw_pack = FRAME_WIDE.pack
+        domain_num = DOMAIN_NUM
+        dumps = _dumps
+        sealed = self._sealed_kind
+        file_pos = self._file_pos
+        prev_ws = self._prev_ws
+        prev_cs = self._prev_cs
+        count = 0
+        cid = -1
+
+        def intern(s):
+            i = ids_get(s)
+            if i is None:
+                i = ids[s] = len(strings)
+                strings_append(s)
+                pending_append(s)
+            return i
+
+        for r in records:
+            chain = r.chain_uuid
+            cid = ids_get(chain)
+            if cid is None:
+                cid = ids[chain] = len(strings)
+                strings_append(chain)
+                pending_append(chain)
+            ifc = intern(r.interface)
+            op = intern(r.operation)
+            obj = intern(r.object_id)
+            comp = intern(r.component)
+            proc = intern(r.process)
+            host = intern(r.host)
+            ptype = intern(r.processor_type)
+            plat = intern(r.platform)
+
+            ws = r.wall_start
+            we = r.wall_end
+            cs = r.cpu_start
+            ce = r.cpu_end
+            pres = 0
+            wsd = wed = csd = ced = 0
+            if ws is not None:
+                pres = 1
+                wsd = ws if prev_ws is None else ws - prev_ws
+                prev_ws = ws
+                if we is not None:
+                    pres = 3
+                    wed = we - ws
+            elif we is not None:
+                pres = 2
+                wed = we
+            if cs is not None:
+                pres |= 4
+                csd = cs if prev_cs is None else cs - prev_cs
+                prev_cs = cs
+                if ce is not None:
+                    pres |= 8
+                    ced = ce - cs
+            elif ce is not None:
+                pres |= 8
+                ced = ce
+
+            child = r.child_chain_uuid
+            if child is None:
+                childid = 0
+            else:
+                pres |= 16
+                childid = intern(child)
+
+            sem = r.semantics
+            if sem is None:
+                semb = b""
+                semlen = 0
+            else:
+                pres |= 32
+                semb = dumps(sem).encode()
+                semlen = len(semb)
+
+            misc = 0
+            if r.call_kind is ONEWAY:
+                misc = 1
+            if r.collocated:
+                misc |= 2
+            dom = r.domain
+            if dom is not Domain.CORBA:
+                misc |= domain_num[dom] << 2
+
+            if (
+                _I32_MIN <= wsd <= _I32_MAX
+                and _I32_MIN <= wed <= _I32_MAX
+                and _I32_MIN <= csd <= _I32_MAX
+                and _I32_MIN <= ced <= _I32_MAX
+            ):
+                frame = fn_pack(
+                    cid, r.event_seq, r.event, misc, pres, ifc, op, obj, comp,
+                    proc, r.pid, host, r.thread_id, ptype, plat, childid,
+                    semlen, wsd, wed, csd, ced,
+                )
+            else:
+                frame = fw_pack(
+                    cid, r.event_seq, r.event, misc | 16, pres, ifc, op, obj,
+                    comp, proc, r.pid, host, r.thread_id, ptype, plat, childid,
+                    semlen, wsd, wed, csd, ced,
+                )
+
+            try:
+                index[cid][0] += 1
+            except KeyError:
+                # First frame of this chain; for sealed segments this is
+                # the group start (one chain per group), and the +9
+                # accounts for the pending records-block header and its
+                # frame count word.
+                index[cid] = [1, file_pos + 9 + len(rbuf) if sealed else 0, None]
+            rbuf += frame
+            if semb:
+                rbuf += semb
+            count += 1
+
+        self._prev_ws = prev_ws
+        self._prev_cs = prev_cs
+        self._rcount += count
+        self.record_count += count
+        if ranks is not None and count:
+            if len(ranks) != count:
+                raise StoreError("ranks must align one-to-one with records")
+            entry = self._index[cid]
+            entry[2] = list(ranks) if entry[2] is None else entry[2] + list(ranks)
+        if not sealed and len(self._rbuf) >= _FLUSH_BYTES:
+            self._flush_dict()
+            self._flush_records()
+        return count
+
+    # ------------------------------------------------------------------
+
+    def _flush_dict(self) -> None:
+        if not self._pending:
+            return
+        payload = bytearray(struct.pack("<II", self._pending_first_id, len(self._pending)))
+        for s in self._pending:
+            raw = s.encode("utf-8", "surrogatepass")
+            payload += struct.pack("<H", len(raw))
+            payload += raw
+        self._file.write(_BLOCK.pack(_TAG_DICT, len(payload)))
+        self._file.write(payload)
+        self._file_pos += _BLOCK.size + len(payload)
+        self._pending_first_id += len(self._pending)
+        self._pending.clear()
+
+    def _flush_records(self) -> None:
+        if not self._rcount:
+            return
+        payload_len = 4 + len(self._rbuf)
+        self._file.write(_BLOCK.pack(_TAG_RECORDS, payload_len))
+        self._file.write(struct.pack("<I", self._rcount))
+        self._file.write(self._rbuf)
+        self._file_pos += _BLOCK.size + payload_len
+        self._rbuf.clear()
+        self._rcount = 0
+
+    def seal(self) -> None:
+        """Write the footer + trailer and close the file."""
+        if self._sealed_kind:
+            # Offsets were computed against the current block layout, so
+            # frames flush first; the footer dictionary is authoritative.
+            self._flush_records()
+            self._flush_dict()
+        else:
+            self._flush_dict()
+            self._flush_records()
+        footer_off = self._file_pos
+        has_ranks = any(entry[2] is not None for entry in self._index.values())
+        out = bytearray(struct.pack("<QB", self.record_count, 1 if has_ranks else 0))
+        out += struct.pack("<I", len(self._strings))
+        for s in self._strings:
+            raw = s.encode("utf-8", "surrogatepass")
+            out += struct.pack("<H", len(raw))
+            out += raw
+        out += struct.pack("<I", len(self._index))
+        for cid, (count, start_off, ranks) in self._index.items():
+            out += struct.pack("<IIQ", cid, count, start_off)
+            if has_ranks:
+                ranks = ranks if ranks is not None else range(count)
+                if len(ranks) != count:
+                    raise StoreError("segment footer ranks out of sync")
+                out += struct.pack(f"<{count}Q", *ranks)
+        self._file.write(out)
+        self._file.write(_TRAILER.pack(footer_off, TRAILER_MAGIC))
+        self._file.flush()
+        self._file.close()
+
+    def abort(self) -> None:
+        """Close and delete the (unsealed) file."""
+        self._file.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class SegmentReader:
+    """mmap-backed zero-copy reads of one (possibly partial) segment."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self.size_bytes = os.path.getsize(path)
+        with open(path, "rb") as handle:
+            if self.size_bytes == 0:
+                raise StoreError(f"empty segment file: {path}")
+            self._mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        if self.size_bytes < _HEADER.size:
+            raise StoreError(f"segment too short for a header: {path}")
+        magic, fmt, kind, schema_version, arrival_base = _HEADER.unpack_from(self._mm, 0)
+        if magic != MAGIC:
+            raise StoreError(f"not a segment file (bad magic): {path}")
+        if fmt != FORMAT_VERSION:
+            raise StoreError(f"unsupported segment format {fmt}: {path}")
+        if schema_version != SCHEMA_VERSION:
+            raise StoreError(
+                f"segment {path} uses record schema v{schema_version}, "
+                f"this build reads v{SCHEMA_VERSION}"
+            )
+        self.kind = kind
+        self.sealed = kind == KIND_SEALED
+        self.schema_version = schema_version
+        self.arrival_base = arrival_base
+        self.partial = False
+        self.dropped_bytes = 0
+        self.strings: list[str] = []
+        #: list of (cid, count, start_off, ranks-or-None) in group order.
+        self.chains: list[tuple[int, int, int, list | None]] = []
+        self.record_count = 0
+        #: frame byte ranges of the records blocks, in file order.
+        self._regions: list[tuple[int, int]] = []
+        if not self._load_with_footer():
+            self._salvage()
+
+    def close(self) -> None:
+        self._mm.close()
+
+    # ------------------------------------------------------------------
+    # Loading
+
+    def _load_with_footer(self) -> bool:
+        mm = self._mm
+        if self.size_bytes < _HEADER.size + _TRAILER.size:
+            return False
+        footer_off, magic = _TRAILER.unpack_from(mm, self.size_bytes - _TRAILER.size)
+        if magic != TRAILER_MAGIC or not _HEADER.size <= footer_off <= self.size_bytes:
+            return False
+        # Footer: counts, dictionary, chain index.
+        pos = footer_off
+        self.record_count, has_ranks = struct.unpack_from("<QB", mm, pos)
+        pos += 9
+        (n_strings,) = struct.unpack_from("<I", mm, pos)
+        pos += 4
+        strings = []
+        for _ in range(n_strings):
+            (slen,) = struct.unpack_from("<H", mm, pos)
+            pos += 2
+            strings.append(mm[pos:pos + slen].decode("utf-8", "surrogatepass"))
+            pos += slen
+        self.strings = strings
+        (n_chains,) = struct.unpack_from("<I", mm, pos)
+        pos += 4
+        chains = []
+        for _ in range(n_chains):
+            cid, count, start_off = struct.unpack_from("<IIQ", mm, pos)
+            pos += 16
+            ranks = None
+            if has_ranks:
+                ranks = list(struct.unpack_from(f"<{count}Q", mm, pos))
+                pos += 8 * count
+            chains.append((cid, count, start_off, ranks))
+        self.chains = chains
+        # Hop the block headers to map the frame regions.
+        pos = _HEADER.size
+        regions = []
+        while pos < footer_off:
+            tag, plen = _BLOCK.unpack_from(mm, pos)
+            if tag == _TAG_RECORDS:
+                regions.append((pos + _BLOCK.size + 4, pos + _BLOCK.size + plen))
+            elif tag != _TAG_DICT:
+                raise StoreError(f"unknown block tag {tag} in {self.path}")
+            pos += _BLOCK.size + plen
+        self._regions = regions
+        return True
+
+    def _salvage(self) -> None:
+        """Partial segment: decode what survives, account what doesn't."""
+        mm = self._mm
+        end = self.size_bytes
+        pos = _HEADER.size
+        strings: list[str] = []
+        regions: list[tuple[int, int]] = []
+        while pos + _BLOCK.size <= end:
+            tag, plen = _BLOCK.unpack_from(mm, pos)
+            payload_end = pos + _BLOCK.size + plen
+            if tag == _TAG_DICT:
+                if payload_end > end:
+                    break  # truncated mid-dictionary: nothing after is decodable
+                dpos = pos + _BLOCK.size
+                first_id, count = struct.unpack_from("<II", mm, dpos)
+                dpos += 8
+                if first_id != len(strings):
+                    break  # dictionary gap: stop before mis-decoding ids
+                for _ in range(count):
+                    (slen,) = struct.unpack_from("<H", mm, dpos)
+                    dpos += 2
+                    strings.append(mm[dpos:dpos + slen].decode("utf-8", "surrogatepass"))
+                    dpos += slen
+            elif tag == _TAG_RECORDS:
+                frame_start = pos + _BLOCK.size + 4
+                if frame_start > end:
+                    break
+                regions.append((frame_start, min(payload_end, end)))
+                if payload_end > end:
+                    pos = payload_end  # truncated: the region scan stops itself
+                    break
+            else:
+                break  # unrecognized bytes: treat the rest as lost
+            pos = payload_end
+        self.partial = True
+        self.strings = strings
+        self._regions = regions
+        # One lean pass to count what actually decodes; frames referring
+        # past the salvaged dictionary (or cut mid-frame) are dropped.
+        counts: dict[int, int] = {}
+        n_strings = len(strings)
+        record_count = 0
+        decoded_end = regions[-1][0] if regions else pos
+        for start, region_end in regions:
+            off = start
+            while off + _FN_SIZE <= region_end:
+                misc = mm[off + _MISC_OFF]
+                size = _FW_SIZE if misc & 16 else _FN_SIZE
+                if off + size > region_end:
+                    break
+                cid, _seq = struct.unpack_from("<Iq", mm, off)
+                (semlen,) = struct.unpack_from("<I", mm, off + _SEMLEN_OFF)
+                if off + size + semlen > region_end or cid >= n_strings:
+                    break
+                counts[cid] = counts.get(cid, 0) + 1
+                record_count += 1
+                off += size + semlen
+            decoded_end = off
+        self.dropped_bytes = max(0, end - decoded_end)
+        self.record_count = record_count
+        self.chains = [(cid, count, 0, None) for cid, count in counts.items()]
+        # Clamp the last region to the decodable prefix so the decode
+        # loops below never trip over the truncated tail.
+        if regions:
+            last_start, _ = regions[-1]
+            regions[-1] = (last_start, max(last_start, decoded_end))
+
+    # ------------------------------------------------------------------
+    # Decoding
+
+    def _decode_span(self, off: int, end: int, limit: int, sink) -> int:
+        """Decode up to ``limit`` frames from ``[off, end)`` into ``sink``.
+
+        ``sink(cid, record)`` is called per record. This is the scan fast
+        path: one fused unpack per frame, tuple-indexed enum lookups,
+        delta state in locals. Returns the number of records decoded.
+        """
+        mm = self._mm
+        strings = self.strings
+        fn_unpack = FRAME_NARROW.unpack_from
+        fw_unpack = FRAME_WIDE.unpack_from
+        fn_size = _FN_SIZE
+        fw_size = _FW_SIZE
+        loads = _loads
+        record = ProbeRecord
+        event_by_num = EVENT_BY_NUM
+        domain_by_num = DOMAIN_BY_NUM
+        sealed = self.sealed
+        prev_ws = prev_cs = None
+        last_cid = -1
+        done = 0
+        while off < end and done < limit:
+            if mm[off + _MISC_OFF] & 16:
+                (cid, seq, ev, misc, pres, ifc, op, obj, comp, proc, pid, host,
+                 tid, ptype, plat, childid, semlen, wsd, wed, csd, ced,
+                 ) = fw_unpack(mm, off)
+                off += fw_size
+            else:
+                (cid, seq, ev, misc, pres, ifc, op, obj, comp, proc, pid, host,
+                 tid, ptype, plat, childid, semlen, wsd, wed, csd, ced,
+                 ) = fn_unpack(mm, off)
+                off += fn_size
+            if sealed and cid != last_cid:
+                prev_ws = prev_cs = None
+                last_cid = cid
+            if pres & 1:
+                ws = wsd if prev_ws is None else prev_ws + wsd
+                prev_ws = ws
+                we = ws + wed if pres & 2 else None
+            else:
+                ws = None
+                we = wed if pres & 2 else None
+            if pres & 4:
+                cs = csd if prev_cs is None else prev_cs + csd
+                prev_cs = cs
+                ce = cs + ced if pres & 8 else None
+            else:
+                cs = None
+                ce = ced if pres & 8 else None
+            if semlen:
+                sem = loads(mm[off:off + semlen]) if pres & 32 else None
+                off += semlen
+            else:
+                sem = None
+            sink(cid, record(
+                strings[cid], seq, event_by_num[ev], strings[ifc], strings[op],
+                strings[obj], strings[comp], strings[proc], pid, strings[host],
+                tid, strings[ptype], strings[plat],
+                ONEWAY if misc & 1 else SYNC, True if misc & 2 else False,
+                domain_by_num[(misc >> 2) & 3], ws, we, cs, ce,
+                strings[childid] if pres & 16 else None, sem,
+            ))
+            done += 1
+        return done
+
+    def load_groups(self, groups) -> None:
+        """Append every record to ``groups[chain_uuid]`` in file order.
+
+        ``groups`` should be a ``defaultdict(list)`` keyed by chain uuid
+        string; callers merge several segments into one mapping.
+        """
+        strings = self.strings
+        sink = lambda cid, rec, _g=groups: _g[strings[cid]].append(rec)
+        for start, end in self._regions:
+            self._decode_span(start, end, 1 << 62, sink)
+
+    def load_ranked(self, out: list) -> None:
+        """Append ``(arrival_rank, record)`` pairs to ``out``.
+
+        Spool ranks are the arrival base plus the frame position; sealed
+        segments carry the original ranks per chain group in the footer.
+        """
+        if not self.sealed or self.partial:
+            # Spools, and salvaged sealed segments whose footer (and with
+            # it the group offsets/ranks) was lost: file order is the
+            # best arrival order available.
+            base = self.arrival_base
+            pairs = []
+            sink = lambda cid, rec, _p=pairs: _p.append(rec)
+            for start, end in self._regions:
+                self._decode_span(start, end, 1 << 62, sink)
+            out.extend((base + i, rec) for i, rec in enumerate(pairs))
+            return
+        next_rank = self.arrival_base
+        for cid, count, start_off, ranks in self.chains:
+            group: list[ProbeRecord] = []
+            sink = lambda _cid, rec, _g=group: _g.append(rec)
+            self._decode_span(start_off, self.size_bytes, count, sink)
+            if ranks is None:
+                # No recorded arrival order (sealed segment written
+                # directly, not by compaction): file order stands in.
+                ranks = range(next_rank, next_rank + count)
+            next_rank += count
+            out.extend(zip(ranks, group))
+
+    def decode_group(self, start_off: int, count: int) -> list[ProbeRecord]:
+        """Decode one sealed chain group from its byte range (zero-copy)."""
+        group: list[ProbeRecord] = []
+        sink = lambda _cid, rec, _g=group: _g.append(rec)
+        self._decode_span(start_off, self.size_bytes, count, sink)
+        return group
+
+    def stat_scan(self, stats: dict) -> None:
+        """Fold this segment into population statistics.
+
+        A lean pass: no ProbeRecords are built, only the head integers
+        are unpacked and the distinct sets collect strings/tuples, which
+        merge across segments in the store's ``population_stats``.
+        """
+        mm = self._mm
+        strings = self.strings
+        head_unpack = _STAT_HEAD.unpack_from
+        calls = stats["calls"]
+        methods = stats["methods"]
+        interfaces = stats["interfaces"]
+        components = stats["components"]
+        objects = stats["objects"]
+        processes = stats["processes"]
+        threads = stats["threads"]
+        chains = stats["chains"]
+        fn_size = _FN_SIZE
+        fw_size = _FW_SIZE
+        for start, end in self._regions:
+            off = start
+            while off < end:
+                size = fw_size if mm[off + _MISC_OFF] & 16 else fn_size
+                (cid, _seq, ev, _misc, _pres, ifc, op, obj, comp, proc, _pid,
+                 _host, tid, _ptype, _plat) = head_unpack(mm, off)
+                (semlen,) = struct.unpack_from("<I", mm, off + _SEMLEN_OFF)
+                if ev == 1:
+                    calls += 1
+                methods.add((strings[ifc], strings[op]))
+                interfaces.add(strings[ifc])
+                components.add(strings[comp])
+                objects.add(strings[obj])
+                process = strings[proc]
+                processes.add(process)
+                threads.add((process, tid))
+                chains.add(strings[cid])
+                off += size + semlen
+        stats["calls"] = calls
+
+
+def segment_info(reader: SegmentReader) -> dict:
+    """Summary dict for ``store-info`` output."""
+    return {
+        "path": os.path.basename(reader.path),
+        "kind": "sealed" if reader.sealed else "spool",
+        "records": reader.record_count,
+        "chains": len(reader.chains),
+        "bytes": reader.size_bytes,
+        "dictionary_strings": len(reader.strings),
+        "partial": reader.partial,
+        "dropped_bytes": reader.dropped_bytes,
+    }

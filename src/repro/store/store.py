@@ -1,0 +1,532 @@
+"""The columnar segment store: a log-structured storage backend.
+
+A store is a directory::
+
+    <root>/repro-store.json          marker + format/schema version
+    <root>/runs/<run_id>/meta.json   RunMetadata (+ schema_version)
+    <root>/runs/<run_id>/NNNNNN.spool.seg    drain increments
+    <root>/runs/<run_id>/NNNNNN.sealed.seg   compacted, chain-sorted
+
+The collector drain path appends *spool* segments (one per collection
+transaction); *background compaction* merges them into one *sealed*
+segment whose frames are grouped by chain and sorted — after which
+``chains_for_run`` is a grouped zero-copy scan over the ``mmap``ed file
+with no SQL and no sort step, and analyzer shards read disjoint byte
+ranges.
+
+Ordering contract (kept bit-identical to the SQLite backend so the two
+are interchangeable under ``reconstruct()``):
+
+- ``chains_for_run`` yields chains ascending by uuid (UTF-8 byte order,
+  matching SQLite's BINARY collation), each chain's records sorted by
+  ``event_seq`` with arrival order breaking ties;
+- ``all_records`` yields a run's records in arrival (insert) order,
+  which sealed segments preserve via per-record arrival ranks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+from heapq import merge as _heapq_merge
+from typing import Iterable, Iterator
+
+from repro.core.records import SCHEMA_VERSION, ProbeRecord, RunMetadata
+from repro.errors import StoreError
+from repro.store.segment import (
+    KIND_SEALED,
+    KIND_SPOOL,
+    SegmentReader,
+    SegmentWriter,
+    segment_info,
+)
+
+MARKER_FILE = "repro-store.json"
+_RUNS_DIR = "runs"
+
+
+def _uuid_key(uuid: str) -> bytes:
+    """Sort key matching SQLite's BINARY collation (UTF-8 byte order)."""
+    return uuid.encode("utf-8", "surrogatepass")
+
+
+class _Run:
+    """In-memory state for one run directory."""
+
+    __slots__ = ("run_id", "path", "lock", "readers", "writer", "next_seg")
+
+    def __init__(self, run_id: str, path: str):
+        self.run_id = run_id
+        self.path = path
+        self.lock = threading.RLock()
+        self.readers: list[SegmentReader] = []
+        self.writer: SegmentWriter | None = None
+        self.next_seg = 1
+
+
+class SegmentStore:
+    """Log-structured, append-only storage backend for probe records.
+
+    Drop-in for :class:`repro.collector.MonitoringDatabase` behind the
+    :class:`repro.store.StorageBackend` protocol. ``auto_compact``
+    (number of segments that triggers background compaction; 0 disables)
+    keeps read amplification bounded without blocking the drain path.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        auto_compact: int = 8,
+        compact_in_background: bool = True,
+    ):
+        self.path = path
+        self.auto_compact = auto_compact
+        self.compact_in_background = compact_in_background
+        self._lock = threading.RLock()
+        self._runs: dict[str, _Run] = {}
+        self._bulk_depth = 0
+        self._compaction_threads: list[threading.Thread] = []
+        self._closed = False
+        os.makedirs(os.path.join(path, _RUNS_DIR), exist_ok=True)
+        marker = os.path.join(path, MARKER_FILE)
+        if os.path.exists(marker):
+            with open(marker) as handle:
+                meta = json.load(handle)
+            if meta.get("schema_version") != SCHEMA_VERSION:
+                raise StoreError(
+                    f"store {path} has record schema "
+                    f"v{meta.get('schema_version')}, this build uses "
+                    f"v{SCHEMA_VERSION}"
+                )
+        else:
+            with open(marker, "w") as handle:
+                json.dump(
+                    {"format": "repro-segment-store", "version": 1,
+                     "schema_version": SCHEMA_VERSION},
+                    handle,
+                )
+        self._discover()
+
+    # ------------------------------------------------------------------
+    # Run/segment discovery
+
+    def _discover(self) -> None:
+        runs_dir = os.path.join(self.path, _RUNS_DIR)
+        for run_id in sorted(os.listdir(runs_dir)):
+            run_path = os.path.join(runs_dir, run_id)
+            if not os.path.isdir(run_path):
+                continue
+            run = _Run(run_id, run_path)
+            numbers = [0]
+            for name in sorted(os.listdir(run_path)):
+                if not name.endswith(".seg") or name.startswith(".tmp"):
+                    continue
+                run.readers.append(SegmentReader(os.path.join(run_path, name)))
+                try:
+                    numbers.append(int(name.split(".", 1)[0]))
+                except ValueError:
+                    pass
+            run.readers.sort(key=lambda r: r.arrival_base)
+            run.next_seg = max(numbers) + 1
+            self._runs[run_id] = run
+
+    def _run(self, run_id: str, create: bool = False) -> _Run:
+        with self._lock:
+            run = self._runs.get(run_id)
+            if run is None:
+                if not create:
+                    raise StoreError(f"unknown run {run_id!r} in store {self.path}")
+                if os.sep in run_id or run_id in (".", ".."):
+                    raise StoreError(f"run id {run_id!r} is not filesystem-safe")
+                run = _Run(run_id, os.path.join(self.path, _RUNS_DIR, run_id))
+                os.makedirs(run.path, exist_ok=True)
+                self._runs[run_id] = run
+            return run
+
+    def _segments(self, run: _Run) -> list[SegmentReader]:
+        """Snapshot of the run's sealed+spool readers, arrival order."""
+        with run.lock:
+            return list(run.readers)
+
+    # ------------------------------------------------------------------
+    # Ingest
+
+    def create_run(self, meta: RunMetadata) -> None:
+        run = self._run(meta.run_id, create=True)
+        with run.lock:
+            with open(os.path.join(run.path, "meta.json"), "w") as handle:
+                json.dump(
+                    {
+                        "run_id": meta.run_id,
+                        "description": meta.description,
+                        "monitor_mode": meta.monitor_mode,
+                        "extra": meta.extra,
+                        "schema_version": SCHEMA_VERSION,
+                    },
+                    handle,
+                )
+
+    def insert_records(self, run_id: str, records: Iterable[ProbeRecord]) -> int:
+        """Append records to the run's open spool segment.
+
+        Outside :meth:`bulk_ingest` every call seals its own segment
+        (the records become immediately visible); inside, one segment
+        spans the whole collection transaction.
+        """
+        run = self._run(run_id, create=True)
+        with run.lock:
+            writer = run.writer
+            if writer is None:
+                writer = run.writer = self._open_spool(run)
+            written = writer.append(records)
+            if self._bulk_depth == 0:
+                self._seal(run)
+        return written
+
+    @contextmanager
+    def bulk_ingest(self):
+        """One collection = one spool segment per run touched."""
+        with self._lock:
+            self._bulk_depth += 1
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._bulk_depth -= 1
+                done = self._bulk_depth == 0
+            if done:
+                for run in list(self._runs.values()):
+                    with run.lock:
+                        if run.writer is not None:
+                            self._seal(run)
+
+    def _open_spool(self, run: _Run) -> SegmentWriter:
+        # Caller holds run.lock.
+        base = sum(reader.record_count for reader in run.readers)
+        path = os.path.join(run.path, f"{run.next_seg:06d}.spool.seg")
+        run.next_seg += 1
+        return SegmentWriter(path, kind=KIND_SPOOL, arrival_base=base)
+
+    def _seal(self, run: _Run) -> None:
+        # Caller holds run.lock.
+        writer, run.writer = run.writer, None
+        if writer is None:
+            return
+        if writer.record_count == 0:
+            writer.abort()
+            return
+        writer.seal()
+        run.readers.append(SegmentReader(writer.path))
+        run.readers.sort(key=lambda r: r.arrival_base)
+        if self.auto_compact and len(run.readers) >= self.auto_compact:
+            self._schedule_compaction(run.run_id)
+
+    # ------------------------------------------------------------------
+    # Compaction
+
+    def _schedule_compaction(self, run_id: str) -> None:
+        if not self.compact_in_background:
+            self.compact(run_id)
+            return
+        with self._lock:
+            if self._closed:
+                return
+            self._compaction_threads = [
+                t for t in self._compaction_threads if t.is_alive()
+            ]
+            thread = threading.Thread(
+                target=self._compact_quietly, args=(run_id,),
+                name=f"repro-store-compact-{run_id}", daemon=True,
+            )
+            self._compaction_threads.append(thread)
+            thread.start()
+
+    def _compact_quietly(self, run_id: str) -> None:
+        try:
+            self.compact(run_id)
+        except Exception:
+            # Background compaction must never take down the host
+            # process; the spool segments stay readable as they are.
+            pass
+
+    def compact(self, run_id: str) -> bool:
+        """Merge the run's segments into one sorted sealed segment.
+
+        Returns True if a new sealed segment was produced. Readers that
+        started scanning before the swap keep their mmaps (POSIX unlink
+        semantics); new scans see the sealed segment only.
+        """
+        run = self._run(run_id)
+        with run.lock:
+            sources = list(run.readers)
+            if run.writer is not None or not sources:
+                return False  # mid-transaction or nothing to do
+            if len(sources) == 1 and sources[0].sealed and not sources[0].partial:
+                return False
+            seg_number = run.next_seg
+            run.next_seg += 1
+        # Merge outside the lock: sources are immutable once sealed.
+        groups: dict[str, list] = {}
+        for reader in sources:
+            ranked: list = []
+            reader.load_ranked(ranked)
+            for rank, record in ranked:
+                groups.setdefault(record.chain_uuid, []).append((rank, record))
+        tmp_path = os.path.join(run.path, f".tmp-{seg_number:06d}.sealed.seg")
+        writer = SegmentWriter(tmp_path, kind=KIND_SEALED)
+        try:
+            for uuid in sorted(groups, key=_uuid_key):
+                entries = groups[uuid]
+                entries.sort(key=lambda e: e[1].event_seq)  # stable: rank order kept
+                writer.start_group()
+                writer.append(
+                    [record for _rank, record in entries],
+                    ranks=[rank for rank, _record in entries],
+                )
+            writer.seal()
+        except BaseException:
+            writer.abort()
+            raise
+        final_path = os.path.join(run.path, f"{seg_number:06d}.sealed.seg")
+        with run.lock:
+            if run.readers != sources or run.writer is not None:
+                # A drain landed while we merged; merging again later is
+                # cheaper than reasoning about a partial swap.
+                os.unlink(tmp_path)
+                return False
+            os.rename(tmp_path, final_path)
+            run.readers = [SegmentReader(final_path)]
+            for reader in sources:
+                reader.close()
+                try:
+                    os.unlink(reader.path)
+                except OSError:
+                    pass
+        return True
+
+    def prepare_sharded_scan(self, run_id: str) -> None:
+        """Hook for the parallel analyzer: make shard scans disjoint
+        byte-range reads by compacting synchronously first."""
+        self.compact(run_id)
+
+    def compaction_state(self, run_id: str) -> dict:
+        run = self._run(run_id)
+        with run.lock:
+            readers = list(run.readers)
+            pending = any(t.is_alive() for t in self._compaction_threads)
+        spool = sum(1 for r in readers if not r.sealed)
+        return {
+            "segments": len(readers),
+            "spool_segments": spool,
+            "sealed_segments": len(readers) - spool,
+            "compacted": spool == 0 and len(readers) <= 1,
+            "compaction_running": pending,
+        }
+
+    # ------------------------------------------------------------------
+    # The two standard analyzer queries
+
+    def unique_chain_uuids(self, run_id: str) -> list[str]:
+        """Every Function UUID ever created during the run (query 1) —
+        straight out of the segment footers, no body scan."""
+        uuids: set[str] = set()
+        for reader in self._segments(self._run(run_id)):
+            strings = reader.strings
+            uuids.update(strings[cid] for cid, _c, _o, _r in reader.chains)
+        return sorted(uuids, key=_uuid_key)
+
+    def events_for_chain(self, run_id: str, chain_uuid: str) -> list[ProbeRecord]:
+        """All events of one chain, ascending by event number (query 2)."""
+        for uuid, records in self.chains_for_run(
+            run_id, first_chain=chain_uuid, last_chain=chain_uuid
+        ):
+            return records
+        return []
+
+    def chains_for_run(
+        self,
+        run_id: str,
+        first_chain: str | None = None,
+        last_chain: str | None = None,
+    ) -> Iterator[tuple[str, list[ProbeRecord]]]:
+        """Stream ``(chain_uuid, sorted records)`` groups.
+
+        On a compacted run this is the zero-copy fast path: one sealed
+        segment, chain groups already sorted and byte-contiguous, so each
+        group is decoded straight out of the ``mmap`` at its footer
+        offset — a bounded scan reads only its shard's byte range.
+        Uncompacted runs take the merged path: every segment is decoded
+        once and the groups are merged in memory (arrival order is
+        preserved segment-by-segment, so the ``event_seq``-stable sort
+        reproduces SQLite's ``event_seq, id`` order exactly).
+        """
+        readers = self._segments(self._run(run_id))
+        if not readers:
+            return
+        lo = _uuid_key(first_chain) if first_chain is not None else None
+        hi = _uuid_key(last_chain) if last_chain is not None else None
+
+        if len(readers) == 1 and readers[0].sealed and not readers[0].partial:
+            reader = readers[0]
+            strings = reader.strings
+            for cid, count, start_off, _ranks in reader.chains:
+                uuid = strings[cid]
+                key = _uuid_key(uuid)
+                if lo is not None and key < lo:
+                    continue
+                if hi is not None and key > hi:
+                    # Groups are stored sorted; nothing further matches.
+                    break
+                yield uuid, reader.decode_group(start_off, count)
+            return
+
+        from collections import defaultdict
+
+        groups: dict[str, list[ProbeRecord]] = defaultdict(list)
+        for reader in readers:
+            reader.load_groups(groups)
+        for uuid in sorted(groups, key=_uuid_key):
+            key = _uuid_key(uuid)
+            if lo is not None and key < lo:
+                continue
+            if hi is not None and key > hi:
+                break
+            records = groups[uuid]
+            records.sort(key=_event_seq_key)  # stable → arrival breaks ties
+            yield uuid, records
+
+    # ------------------------------------------------------------------
+    # Supporting queries
+
+    def record_count(self, run_id: str) -> int:
+        return sum(r.record_count for r in self._segments(self._run(run_id)))
+
+    def all_records(self, run_id: str) -> Iterator[ProbeRecord]:
+        """Stream a run's records in arrival (insert) order."""
+        readers = self._segments(self._run(run_id))
+        streams = []
+        for reader in readers:
+            ranked: list = []
+            reader.load_ranked(ranked)
+            ranked.sort(key=_rank_key)
+            streams.append(ranked)
+        if len(streams) == 1:
+            for _rank, record in streams[0]:
+                yield record
+            return
+        for _rank, record in _heapq_merge(*streams, key=_rank_key):
+            yield record
+
+    def population_stats(self, run_id: str) -> dict[str, int]:
+        """Unique methods/interfaces/components/processes — Figure-5 stats.
+
+        Mirrors the SQLite backend's semantics exactly, including the
+        string-concatenation identity of ``interface || '::' ||
+        operation`` and ``process || '/' || thread_id``.
+        """
+        state = {
+            "calls": 0,
+            "methods": set(), "interfaces": set(), "components": set(),
+            "objects": set(), "processes": set(), "threads": set(),
+            "chains": set(),
+        }
+        for reader in self._segments(self._run(run_id)):
+            reader.stat_scan(state)
+        return {
+            "calls": state["calls"],
+            "unique_methods": len({f"{i}::{o}" for i, o in state["methods"]}),
+            "unique_interfaces": len(state["interfaces"]),
+            "unique_components": len(state["components"]),
+            "unique_objects": len(state["objects"]),
+            "processes": len(state["processes"]),
+            "threads": len({f"{p}/{t}" for p, t in state["threads"]}),
+            "chains": len(state["chains"]),
+        }
+
+    def runs(self) -> list[RunMetadata]:
+        metas = []
+        with self._lock:
+            runs = list(self._runs.values())
+        for run in runs:
+            meta_path = os.path.join(run.path, "meta.json")
+            if not os.path.exists(meta_path):
+                continue
+            with open(meta_path) as handle:
+                data = json.load(handle)
+            metas.append(
+                RunMetadata(
+                    run_id=data["run_id"],
+                    description=data.get("description", ""),
+                    monitor_mode=data.get("monitor_mode", ""),
+                    extra=data.get("extra", {}),
+                )
+            )
+        metas.sort(key=lambda m: _uuid_key(m.run_id))
+        return metas
+
+    # ------------------------------------------------------------------
+
+    def store_info(self) -> dict:
+        """Runs, record counts, segment and dictionary sizes, compaction
+        state — the ``repro store-info`` payload."""
+        with self._lock:
+            runs = list(self._runs.values())
+        info_runs = []
+        for run in sorted(runs, key=lambda r: _uuid_key(r.run_id)):
+            readers = self._segments(run)
+            segments = [segment_info(reader) for reader in readers]
+            info_runs.append({
+                "run_id": run.run_id,
+                "records": sum(r.record_count for r in readers),
+                "chains": len({
+                    reader.strings[cid]
+                    for reader in readers
+                    for cid, _c, _o, _r in reader.chains
+                }),
+                "segments": segments,
+                "bytes": sum(r.size_bytes for r in readers),
+                "dictionary_strings": sum(len(r.strings) for r in readers),
+                "partial_segments": sum(1 for r in readers if r.partial),
+                "compaction": self.compaction_state(run.run_id),
+            })
+        return {
+            "backend": "segment",
+            "path": self.path,
+            "schema_version": SCHEMA_VERSION,
+            "runs": info_runs,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads = list(self._compaction_threads)
+        for thread in threads:
+            thread.join(timeout=30.0)
+        with self._lock:
+            for run in self._runs.values():
+                with run.lock:
+                    if run.writer is not None:
+                        self._seal_for_close(run)
+                    for reader in run.readers:
+                        reader.close()
+                    run.readers = []
+
+    def _seal_for_close(self, run: _Run) -> None:
+        # Close with an open transaction: seal so the data is durable.
+        writer, run.writer = run.writer, None
+        if writer.record_count:
+            writer.seal()
+        else:
+            writer.abort()
+
+
+def _event_seq_key(record: ProbeRecord) -> int:
+    return record.event_seq
+
+
+def _rank_key(pair) -> int:
+    return pair[0]

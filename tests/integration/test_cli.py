@@ -136,3 +136,44 @@ class TestCli:
             assert metric in out, metric
         # The command must leave global telemetry switched off again.
         assert not telemetry.is_enabled()
+
+
+class TestSegmentStoreCli:
+    @pytest.fixture(scope="class")
+    def segment_store(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("cli-store") / "store"
+        assert main(["demo-embedded", str(path), "--store", "segment",
+                     "--calls", "300", "--roots", "3"]) == 0
+        return str(path)
+
+    def test_analysis_commands_on_segment_store(self, segment_store, capsys):
+        # The run-analysis commands autodetect the backend from the path.
+        assert main(["summary", segment_store]) == 0
+        out = capsys.readouterr().out
+        assert "DSCG:" in out
+        assert main(["latency", segment_store, "--limit", "3"]) == 0
+        assert "function" in capsys.readouterr().out
+
+    def test_workers_flag_on_segment_store(self, segment_store, capsys):
+        assert main(["summary", segment_store, "--workers", "2"]) == 0
+        assert "DSCG:" in capsys.readouterr().out
+
+    def test_store_info_segment(self, segment_store, tmp_path):
+        out_file = tmp_path / "info.json"
+        assert main(["store-info", segment_store,
+                     "--output", str(out_file)]) == 0
+        info = json.loads(out_file.read_text())
+        assert info["backend"] == "segment"
+        assert info["schema_version"] >= 1
+        (run,) = info["runs"]
+        assert run["records"] > 0
+        assert run["segments"]
+
+    def test_store_info_sqlite(self, pps_db, tmp_path):
+        out_file = tmp_path / "info.json"
+        assert main(["store-info", pps_db, "--output", str(out_file)]) == 0
+        info = json.loads(out_file.read_text())
+        assert info["backend"] == "sqlite"
+        (run,) = info["runs"]
+        assert run["records"] > 0
+        assert run["schema_version"] >= 1

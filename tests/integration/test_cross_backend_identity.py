@@ -1,0 +1,229 @@
+"""Cross-backend identity: SQLite and the segment store are interchangeable.
+
+The acceptance contract of the storage seam: for the same captured
+records, ``reconstruct()`` — nodes, chains, annotations, serialized
+JSON, loss accounting — must be bit-identical whichever backend held the
+run, including under record loss and for the sharded parallel analyzer.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis import (
+    CpuAnalysis,
+    build_ccsg,
+    dscg_to_json,
+    loss_report,
+    reconstruct,
+    reconstruct_sharded,
+    render_ccsg_xml,
+)
+from repro.collector import LogCollector, MonitoringDatabase
+from repro.core import RunMetadata
+from repro.store import SegmentStore
+
+
+def _embedded_processes():
+    from repro.apps.embedded import EmbeddedConfig, EmbeddedSystem
+
+    system = EmbeddedSystem(EmbeddedConfig())
+    system.run(total_calls=600, roots=6)
+    system.quiesce()
+    return system
+
+
+@pytest.fixture(scope="module")
+def backends(tmp_path_factory):
+    """One embedded-system capture collected into both backends."""
+    system = _embedded_processes()
+    try:
+        sqlite = MonitoringDatabase()
+        segment = SegmentStore(
+            str(tmp_path_factory.mktemp("xbackend") / "store"), auto_compact=0
+        )
+        # snapshot first (drain=False) so the second collector sees the
+        # very same buffers; run ids pinned so the runs are comparable.
+        LogCollector(sqlite).collect(
+            system.processes, run_id="xb", description="x", drain=False
+        )
+        LogCollector(backend=segment).collect(
+            system.processes, run_id="xb", description="x"
+        )
+    finally:
+        system.shutdown()
+    yield sqlite, segment
+    sqlite.close()
+    segment.close()
+
+
+class TestCrossBackendIdentity:
+    def test_raw_queries_identical(self, backends):
+        sqlite, segment = backends
+        assert segment.record_count("xb") == sqlite.record_count("xb") > 0
+        assert segment.unique_chain_uuids("xb") == sqlite.unique_chain_uuids("xb")
+        assert list(segment.chains_for_run("xb")) == list(sqlite.chains_for_run("xb"))
+        assert list(segment.all_records("xb")) == list(sqlite.all_records("xb"))
+        assert segment.population_stats("xb") == sqlite.population_stats("xb")
+
+    def test_run_metadata_identical(self, backends):
+        sqlite, segment = backends
+        (meta_a,) = sqlite.runs()
+        (meta_b,) = segment.runs()
+        assert meta_a == meta_b
+        assert meta_a.extra["loss"] == meta_b.extra["loss"]
+        assert meta_a.extra["schema_version"] == meta_b.extra["schema_version"]
+
+    def test_reconstruct_identical(self, backends):
+        sqlite, segment = backends
+        dscg_a = reconstruct(sqlite, "xb", annotate=True)
+        dscg_b = reconstruct(segment, "xb", annotate=True)
+        assert dscg_a.stats() == dscg_b.stats()
+        assert dscg_to_json(dscg_a) == dscg_to_json(dscg_b)
+        assert loss_report(dscg_a).to_dict() == loss_report(dscg_b).to_dict()
+        xml_a = render_ccsg_xml(build_ccsg(dscg_a, CpuAnalysis(dscg_a)), description="xb")
+        xml_b = render_ccsg_xml(build_ccsg(dscg_b, CpuAnalysis(dscg_b)), description="xb")
+        assert xml_a == xml_b
+
+    def test_sharded_segment_equals_serial_sqlite(self, backends):
+        sqlite, segment = backends
+        serial = dscg_to_json(reconstruct(sqlite, "xb", annotate=True))
+        for workers in (2, 4):
+            sharded = dscg_to_json(
+                reconstruct_sharded(
+                    segment, "xb", workers=workers, annotate=True,
+                    oversubscribe=True,
+                )
+            )
+            assert sharded == serial
+        # The shard hook compacted the store: the fast path must agree too.
+        assert segment.compaction_state("xb")["compacted"]
+        assert dscg_to_json(reconstruct(segment, "xb", annotate=True)) == serial
+
+
+class TestCrossBackendChaos:
+    """Chaos-matrix scenarios: faulted captures store identically."""
+
+    @pytest.mark.parametrize("fault", ["drop", "duplicate", "reorder"])
+    def test_faulted_corba_capture_identical(self, tmp_path, fault):
+        from repro.core import (
+            MonitorConfig,
+            MonitoringRuntime,
+            MonitorMode,
+            SequentialUuidFactory,
+        )
+        from repro.faults import FaultInjector, FaultKind, FaultPlan
+        from repro.idl import compile_idl
+        from repro.orb import InterfaceRegistry, Orb, ThreadPerConnection
+        from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
+        from tests.chaos.test_chaos_matrix import FAULT_DOMAINS, IDL, _quiesce
+
+        plan = FaultPlan(seed=17, record_loss_rate=0.05, **FAULT_DOMAINS[fault])
+        injector = FaultInjector(plan)
+        clock = VirtualClock()
+        host = Host("xb-host", PlatformKind.HPUX_11, clock=clock)
+        uuid_factory = SequentialUuidFactory("ee")
+        registry = InterfaceRegistry()
+        compiled = compile_idl(IDL, instrument=True, registry=registry)
+
+        class SvcImpl(compiled.Svc):
+            def ping(self, x):
+                clock.consume(300)
+                return x * 2
+
+            def notify(self, x):
+                clock.consume(200)
+
+        server = SimProcess("server", host)
+        client = SimProcess("client", host)
+        for process in (server, client):
+            MonitoringRuntime(
+                process,
+                MonitorConfig(mode=MonitorMode.LATENCY, uuid_factory=uuid_factory),
+            )
+        server_orb = Orb(server, injector.network(), policy=ThreadPerConnection(),
+                         registry=registry, request_timeout=0.1)
+        client_orb = Orb(client, injector.network(), registry=registry,
+                         request_timeout=0.1)
+        stub = client_orb.resolve(server_orb.activate(SvcImpl()))
+        processes = [client, server]
+        try:
+            for i in range(8):
+                try:
+                    stub.ping(i)
+                except BaseException:
+                    pass
+                finally:
+                    if client.monitor is not None:
+                        client.monitor.unbind_ftl()
+            _quiesce(processes)
+            for process in processes:
+                injector.lossy_delivery(process)
+
+            # One collection (record-loss draws advance per delivery, so
+            # collecting twice would capture two different record sets);
+            # the segment store gets a byte-identical mirror of it.
+            sqlite = MonitoringDatabase()
+            LogCollector(sqlite, retries=2, backoff_s=0.0).collect(
+                processes, run_id="chaos", description=fault
+            )
+        finally:
+            for process in processes:
+                process.shutdown()
+
+        segment = SegmentStore(str(tmp_path / fault), auto_compact=0)
+        (meta,) = sqlite.runs()
+        segment.create_run(meta)
+        with segment.bulk_ingest():
+            segment.insert_records("chaos", sqlite.all_records("chaos"))
+
+        dscg_a = reconstruct(sqlite, "chaos", annotate=True)
+        dscg_b = reconstruct(segment, "chaos", annotate=True)
+        assert dscg_to_json(dscg_a) == dscg_to_json(dscg_b)
+        assert loss_report(dscg_a).to_dict() == loss_report(dscg_b).to_dict()
+        xml_a = render_ccsg_xml(build_ccsg(dscg_a, CpuAnalysis(dscg_a)),
+                                description="chaos")
+        xml_b = render_ccsg_xml(build_ccsg(dscg_b, CpuAnalysis(dscg_b)),
+                                description="chaos")
+        assert xml_a == xml_b
+        assert list(segment.all_records("chaos")) == list(sqlite.all_records("chaos"))
+        assert segment.population_stats("chaos") == sqlite.population_stats("chaos")
+        sqlite.close()
+        segment.close()
+
+
+class TestCrossBackendUnderLoss:
+    """Chaos-style scenario: deterministically damaged record streams."""
+
+    @pytest.mark.parametrize("seed", [11, 23])
+    def test_lossy_capture_identical(self, tmp_path, seed):
+        system = _embedded_processes()
+        try:
+            records = []
+            for process in system.processes:
+                records.extend(process.log_buffer.drain())
+        finally:
+            system.shutdown()
+        rng = random.Random(seed)
+        damaged = [r for r in records if rng.random() > 0.15]
+        assert len(damaged) < len(records)
+
+        meta = RunMetadata(run_id="lossy", description="", monitor_mode="cpu")
+        sqlite = MonitoringDatabase()
+        segment = SegmentStore(str(tmp_path / "store"), auto_compact=0)
+        for backend in (sqlite, segment):
+            backend.create_run(meta)
+            with backend.bulk_ingest():
+                backend.insert_records("lossy", damaged)
+
+        dscg_a = reconstruct(sqlite, "lossy", annotate=True)
+        dscg_b = reconstruct(segment, "lossy", annotate=True)
+        report_a = loss_report(dscg_a).to_dict()
+        report_b = loss_report(dscg_b).to_dict()
+        assert report_a == report_b
+        assert json.loads(dscg_to_json(dscg_a)) == json.loads(dscg_to_json(dscg_b))
+        segment.compact("lossy")
+        assert dscg_to_json(reconstruct(segment, "lossy", annotate=True)) == dscg_to_json(dscg_b)
+        sqlite.close()
+        segment.close()

@@ -127,6 +127,32 @@ class TestDatabase:
         seqs = [r.event_seq for r in db.all_records("r1")]
         assert seqs == list(range(count))
 
+    def test_fetch_batch_size_does_not_change_iteration_order(self):
+        # The streaming batch size is a pure throughput knob: every
+        # size must produce the identical record sequence, including
+        # sizes that split chains mid-group.
+        records = [
+            make_record(chain=f"{i % 5:032x}", seq=i, semantics={"i": i})
+            for i in range(83)
+        ]
+        reference = MonitoringDatabase(fetch_batch=1024)
+        reference.create_run(RunMetadata(run_id="r1"))
+        reference.insert_records("r1", records)
+        expected_all = list(reference.all_records("r1"))
+        expected_chains = list(reference.chains_for_run("r1"))
+        for batch in (1, 2, 7, 83, 10_000):
+            db = MonitoringDatabase(fetch_batch=batch)
+            db.create_run(RunMetadata(run_id="r1"))
+            db.insert_records("r1", records)
+            assert list(db.all_records("r1")) == expected_all, batch
+            assert list(db.chains_for_run("r1")) == expected_chains, batch
+
+    def test_fetch_batch_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            MonitoringDatabase(fetch_batch=0)
+
     def test_chains_for_run_groups_sorted(self):
         db = MonitoringDatabase()
         db.create_run(RunMetadata(run_id="r1"))

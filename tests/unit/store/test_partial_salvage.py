@@ -1,0 +1,113 @@
+"""Partial-segment salvage: truncated spools keep their decodable prefix.
+
+A crash mid-drain leaves a spool segment without its footer and trailer.
+The reader must fall back to a front-to-back block walk, rebuild the
+string dictionary from the inline dict-delta blocks, decode every
+complete frame, and account the bytes it had to drop — the loss shows up
+in ``store-info`` instead of the whole file vanishing.
+"""
+
+import os
+
+import pytest
+
+from repro.core import RunMetadata
+from repro.store import SegmentStore
+from repro.store.segment import KIND_SPOOL, SegmentReader, SegmentWriter
+
+from tests.unit.store.test_segment_codec import make_record
+
+
+def full_records():
+    return [
+        make_record(
+            chain=f"{i % 5:032x}", seq=i,
+            wall_start=10**12 + 11 * i, wall_end=10**12 + 11 * i + 3,
+            cpu_start=100 + i, cpu_end=103 + i,
+            semantics={"i": i} if i % 3 == 0 else None,
+        )
+        for i in range(300)
+    ]
+
+
+@pytest.fixture
+def sealed_spool(tmp_path):
+    path = str(tmp_path / "full.spool.seg")
+    writer = SegmentWriter(path, kind=KIND_SPOOL)
+    writer.append(full_records())
+    writer.seal()
+    return path
+
+
+def truncate_to(source, cut, tmp_path):
+    data = open(source, "rb").read()[:cut]
+    path = str(tmp_path / f"cut-{cut}.spool.seg")
+    with open(path, "wb") as handle:
+        handle.write(data)
+    return path
+
+
+class TestSalvage:
+    @pytest.mark.parametrize("fraction", [0.999, 0.75, 0.5, 0.1])
+    def test_prefix_survives(self, sealed_spool, tmp_path, fraction):
+        size = os.path.getsize(sealed_spool)
+        reader = SegmentReader(
+            truncate_to(sealed_spool, int(size * fraction), tmp_path)
+        )
+        assert reader.partial
+        ranked = []
+        reader.load_ranked(ranked)
+        salvaged = [r for _rank, r in sorted(ranked, key=lambda p: p[0])]
+        assert salvaged == full_records()[: len(salvaged)]
+        assert reader.record_count == len(salvaged)
+        assert reader.dropped_bytes > 0
+        reader.close()
+
+    def test_cut_mid_frame_drops_only_the_tail(self, sealed_spool, tmp_path):
+        size = os.path.getsize(sealed_spool)
+        # Walk back a handful of bytes from the footer: lands mid-frame
+        # or mid-footer, never exactly on a frame boundary for all of
+        # them — every cut must still salvage a consistent prefix.
+        for back in (1, 17, 40, 90):
+            reader = SegmentReader(truncate_to(sealed_spool, size - back, tmp_path))
+            assert reader.partial
+            assert 0 < reader.record_count <= 300
+            assert reader.dropped_bytes >= 0
+            reader.close()
+
+    def test_header_only_file_salvages_empty(self, sealed_spool, tmp_path):
+        reader = SegmentReader(truncate_to(sealed_spool, 20, tmp_path))
+        assert reader.partial
+        assert reader.record_count == 0
+        assert reader.chains == []
+        reader.close()
+
+    def test_store_reads_through_partial_segment(self, tmp_path):
+        store = SegmentStore(str(tmp_path / "s"), auto_compact=0)
+        store.create_run(RunMetadata(run_id="r1"))
+        records = full_records()
+        store.insert_records("r1", records[:200])
+        store.insert_records("r1", records[200:])
+        store.close()
+
+        # Truncate the second drain increment's segment, as a crash
+        # between the writes and the footer flush would.
+        run_dir = os.path.join(str(tmp_path / "s"), "runs", "r1")
+        segments = sorted(n for n in os.listdir(run_dir) if n.endswith(".seg"))
+        victim = os.path.join(run_dir, segments[-1])
+        data = open(victim, "rb").read()
+        with open(victim, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+
+        reopened = SegmentStore(str(tmp_path / "s"), auto_compact=0)
+        count = reopened.record_count("r1")
+        assert 200 <= count < 300
+        salvaged = list(reopened.all_records("r1"))
+        assert salvaged == records[:count]
+        info = reopened.store_info()
+        assert info["runs"][0]["partial_segments"] == 1
+        # Compaction folds the salvage into a clean sealed segment.
+        assert reopened.compact("r1") is True
+        assert list(reopened.all_records("r1")) == records[:count]
+        assert reopened.store_info()["runs"][0]["partial_segments"] == 0
+        reopened.close()

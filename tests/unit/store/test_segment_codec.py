@@ -1,0 +1,199 @@
+"""Frame-codec round trips: one segment file, every field shape."""
+
+import os
+
+import pytest
+
+from repro.core import CallKind, Domain, ProbeRecord, TracingEvent
+from repro.core.records import RECORD_SCHEMA, SCHEMA_VERSION
+from repro.errors import StoreError
+from repro.store.segment import (
+    KIND_SEALED,
+    KIND_SPOOL,
+    SegmentReader,
+    SegmentWriter,
+)
+
+
+def make_record(chain="aa" * 16, seq=0, **overrides):
+    fields = dict(
+        chain_uuid=chain,
+        event_seq=seq,
+        event=TracingEvent.STUB_START,
+        interface="M::I",
+        operation="op",
+        object_id="p.obj-1",
+        component="Comp",
+        process="p",
+        pid=1,
+        host="h",
+        thread_id=111,
+        processor_type="PA-RISC",
+        platform="HPUX 11",
+        call_kind=CallKind.SYNC,
+        collocated=False,
+        domain=Domain.CORBA,
+        wall_start=10,
+        wall_end=12,
+        cpu_start=None,
+        cpu_end=None,
+        child_chain_uuid=None,
+        semantics={"args": ["1"]},
+    )
+    fields.update(overrides)
+    return ProbeRecord(**fields)
+
+
+def roundtrip(tmp_path, records, kind=KIND_SPOOL):
+    path = str(tmp_path / "t.seg")
+    writer = SegmentWriter(path, kind=kind)
+    if kind == KIND_SEALED:
+        by_chain = {}
+        for record in records:
+            by_chain.setdefault(record.chain_uuid, []).append(record)
+        for chain in sorted(by_chain):
+            writer.start_group()
+            writer.append(by_chain[chain])
+    else:
+        writer.append(records)
+    writer.seal()
+    reader = SegmentReader(path)
+    out = []
+    reader.load_ranked(out)
+    reader.close()
+    os.unlink(path)
+    return [record for _rank, record in sorted(out, key=lambda p: p[0])]
+
+
+class TestFrameRoundtrip:
+    def test_basic_record(self, tmp_path):
+        record = make_record()
+        assert roundtrip(tmp_path, [record]) == [record]
+
+    def test_all_optional_fields_absent(self, tmp_path):
+        record = make_record(
+            wall_start=None, wall_end=None, cpu_start=None, cpu_end=None,
+            child_chain_uuid=None, semantics=None,
+        )
+        assert roundtrip(tmp_path, [record]) == [record]
+
+    def test_every_presence_combination(self, tmp_path):
+        records = []
+        for mask in range(64):
+            records.append(make_record(
+                seq=mask,
+                wall_start=1000 + mask if mask & 1 else None,
+                wall_end=2000 + mask if mask & 3 == 3 else None,
+                cpu_start=300 + mask if mask & 4 else None,
+                cpu_end=400 + mask if mask & 12 == 12 else None,
+                child_chain_uuid=f"child-{mask}" if mask & 16 else None,
+                semantics={"m": mask} if mask & 32 else None,
+            ))
+        assert roundtrip(tmp_path, records) == records
+
+    def test_enum_fields_roundtrip(self, tmp_path):
+        records = [
+            make_record(seq=i, event=event, call_kind=kind,
+                        collocated=coll, domain=domain)
+            for i, (event, kind, coll, domain) in enumerate(
+                (e, k, c, d)
+                for e in TracingEvent
+                for k in CallKind
+                for c in (False, True)
+                for d in Domain
+            )
+        ]
+        assert roundtrip(tmp_path, records) == records
+
+    def test_wide_timestamp_deltas(self, tmp_path):
+        # Jumps far beyond i32 force the wide frame; mixing them with
+        # narrow frames exercises the per-frame width flag.
+        records = [
+            make_record(seq=0, wall_start=10**15, wall_end=10**15 + 5,
+                        cpu_start=7, cpu_end=9),
+            make_record(seq=1, wall_start=10**15 + 100, wall_end=10**15 + 200,
+                        cpu_start=8, cpu_end=11),
+            make_record(seq=2, wall_start=5 * 10**15, wall_end=5 * 10**15 + 1,
+                        cpu_start=10**14, cpu_end=10**14 + 3),
+            make_record(seq=3, wall_start=5 * 10**15 + 50, cpu_start=10**14 + 9),
+        ]
+        assert roundtrip(tmp_path, records) == records
+
+    def test_negative_time_deltas(self, tmp_path):
+        # Arrival order does not imply clock order across processes.
+        records = [
+            make_record(seq=0, wall_start=10**9, cpu_start=10**6),
+            make_record(seq=1, wall_start=10**9 - 5000, cpu_start=10**6 - 40),
+        ]
+        assert roundtrip(tmp_path, records) == records
+
+    def test_unicode_and_long_strings(self, tmp_path):
+        record = make_record(
+            interface="Módulo::Überface", operation="ỏp" * 200,
+            component="组件", process="proc-\N{SNOWMAN}",
+            semantics={"note": "naïve \N{ROLLING ON THE FLOOR LAUGHING}"},
+        )
+        assert roundtrip(tmp_path, [record]) == [record]
+
+    def test_sealed_groups_roundtrip(self, tmp_path):
+        records = [
+            make_record(chain=chain, seq=seq,
+                        wall_start=10**12 + seq, cpu_start=500 + seq)
+            for chain in ("aa" * 16, "bb" * 16, "cc" * 16)
+            for seq in range(5)
+        ]
+        assert roundtrip(tmp_path, records, kind=KIND_SEALED) == records
+
+    def test_sealed_group_offsets_decode_independently(self, tmp_path):
+        path = str(tmp_path / "g.seg")
+        writer = SegmentWriter(path, kind=KIND_SEALED)
+        expected = {}
+        for chain in ("aa" * 16, "bb" * 16, "cc" * 16):
+            group = [make_record(chain=chain, seq=s, wall_start=10**12 + s)
+                     for s in range(4)]
+            expected[chain] = group
+            writer.start_group()
+            writer.append(group)
+        writer.seal()
+        reader = SegmentReader(path)
+        # Decode the *last* group first: offsets must be self-contained.
+        for cid, count, start_off, _ranks in reversed(reader.chains):
+            chain = reader.strings[cid]
+            assert reader.decode_group(start_off, count) == expected[chain]
+        reader.close()
+
+    def test_many_records_cross_flush_boundary(self, tmp_path):
+        # Big semantics payloads push the buffer past the flush
+        # threshold, so the segment carries several records blocks.
+        records = [
+            make_record(seq=i, semantics={"pad": "x" * 4096, "i": i})
+            for i in range(2048)
+        ]
+        assert roundtrip(tmp_path, records) == records
+
+
+class TestSegmentValidation:
+    def test_rejects_non_segment_file(self, tmp_path):
+        path = tmp_path / "garbage.seg"
+        path.write_bytes(b"not a segment at all, definitely")
+        with pytest.raises(StoreError, match="bad magic"):
+            SegmentReader(str(path))
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.seg"
+        path.write_bytes(b"")
+        with pytest.raises(StoreError, match="empty"):
+            SegmentReader(str(path))
+
+    def test_rejects_other_schema_version(self, tmp_path):
+        path = str(tmp_path / "v.seg")
+        writer = SegmentWriter(path, schema_version=SCHEMA_VERSION + 1)
+        writer.append([make_record()])
+        writer.seal()
+        with pytest.raises(StoreError, match="schema"):
+            SegmentReader(str(path))
+
+    def test_schema_table_covers_probe_record(self):
+        from repro.core.records import ProbeRecord
+
+        assert tuple(f.name for f in RECORD_SCHEMA) == ProbeRecord.__slots__

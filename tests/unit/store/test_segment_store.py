@@ -1,0 +1,230 @@
+"""SegmentStore backend: parity with SQLite, compaction, durability."""
+
+import os
+
+import pytest
+
+from repro.collector import MonitoringDatabase
+from repro.core import RunMetadata
+from repro.errors import StoreError
+from repro.store import SegmentStore, detect_backend, open_store
+
+from tests.unit.store.test_segment_codec import make_record
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = SegmentStore(str(tmp_path / "store"), auto_compact=0)
+    yield store
+    store.close()
+
+
+def seeded_records():
+    """Interleaved chains across several apparent processes."""
+    records = []
+    for i in range(120):
+        chain = f"{i % 7:032x}"
+        records.append(make_record(
+            chain=chain, seq=i, process=f"p{i % 3}", pid=100 + i % 3,
+            thread_id=7 + i % 4,
+            wall_start=10**12 + 17 * i, wall_end=10**12 + 17 * i + 5,
+            cpu_start=900 + 3 * i, cpu_end=900 + 3 * i + 2,
+            child_chain_uuid=f"{(i + 1) % 7:032x}" if i % 5 == 0 else None,
+            semantics={"i": i} if i % 4 == 0 else None,
+        ))
+    return records
+
+
+def mirrored(store, records, batches=4):
+    """Ingest the same records into the store and a SQLite reference."""
+    reference = MonitoringDatabase()
+    meta = RunMetadata(run_id="r1", description="parity", monitor_mode="cpu")
+    store.create_run(meta)
+    reference.create_run(meta)
+    step = max(1, len(records) // batches)
+    for lo in range(0, len(records), step):
+        batch = records[lo:lo + step]
+        with store.bulk_ingest():
+            store.insert_records("r1", batch)
+        with reference.bulk_ingest():
+            reference.insert_records("r1", batch)
+    return reference
+
+
+def assert_parity(store, reference, run_id="r1"):
+    assert store.record_count(run_id) == reference.record_count(run_id)
+    assert store.unique_chain_uuids(run_id) == reference.unique_chain_uuids(run_id)
+    assert list(store.chains_for_run(run_id)) == list(reference.chains_for_run(run_id))
+    assert list(store.all_records(run_id)) == list(reference.all_records(run_id))
+    assert store.population_stats(run_id) == reference.population_stats(run_id)
+
+
+class TestSegmentStoreParity:
+    def test_queries_match_sqlite(self, store):
+        reference = mirrored(store, seeded_records())
+        assert_parity(store, reference)
+
+    def test_queries_match_sqlite_after_compaction(self, store):
+        reference = mirrored(store, seeded_records())
+        assert store.compact("r1") is True
+        assert_parity(store, reference)
+
+    def test_bounded_scan_matches_sqlite(self, store):
+        reference = mirrored(store, seeded_records())
+        for backend_state in ("spooled", "compacted"):
+            bounds = ("0" * 31 + "2", "0" * 31 + "5")
+            assert (
+                list(store.chains_for_run("r1", *bounds))
+                == list(reference.chains_for_run("r1", *bounds))
+            )
+            assert (
+                store.events_for_chain("r1", "0" * 31 + "3")
+                == reference.events_for_chain("r1", "0" * 31 + "3")
+            )
+            store.compact("r1")
+
+    def test_insert_order_survives_compaction(self, store):
+        # all_records must replay arrival order even after the sealed
+        # segment regrouped everything by chain.
+        records = seeded_records()
+        mirrored(store, records)
+        store.compact("r1")
+        assert [r.event_seq for r in store.all_records("r1")] == [
+            r.event_seq for r in records
+        ]
+
+
+class TestSegmentStoreLifecycle:
+    def test_reopen_from_disk(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = SegmentStore(path, auto_compact=0)
+        meta = RunMetadata(run_id="r1", description="d", monitor_mode="cpu",
+                           extra={"k": 1})
+        store.create_run(meta)
+        records = seeded_records()
+        store.insert_records("r1", records)
+        store.close()
+
+        reopened = SegmentStore(path)
+        assert reopened.runs() == [meta]
+        assert list(reopened.all_records("r1")) == records
+        reopened.close()
+
+    def test_close_seals_open_transaction(self, tmp_path):
+        path = str(tmp_path / "store")
+        store = SegmentStore(path, auto_compact=0)
+        store.create_run(RunMetadata(run_id="r1"))
+        ctx = store.bulk_ingest()
+        ctx.__enter__()
+        store.insert_records("r1", [make_record()])
+        store.close()  # never __exit__ed: close must not lose the spool
+        reopened = SegmentStore(path)
+        assert reopened.record_count("r1") == 1
+        reopened.close()
+
+    def test_runs_isolated(self, store):
+        store.create_run(RunMetadata(run_id="r1"))
+        store.create_run(RunMetadata(run_id="r2"))
+        store.insert_records("r1", [make_record()])
+        assert store.record_count("r1") == 1
+        assert store.record_count("r2") == 0
+        assert store.unique_chain_uuids("r2") == []
+
+    def test_unknown_run_raises(self, store):
+        with pytest.raises(StoreError, match="unknown run"):
+            store.record_count("nope")
+
+    def test_unsafe_run_id_rejected(self, store):
+        with pytest.raises(StoreError, match="filesystem-safe"):
+            store.insert_records("../escape", [make_record()])
+
+    def test_empty_transaction_leaves_no_segment(self, store):
+        store.create_run(RunMetadata(run_id="r1"))
+        with store.bulk_ingest():
+            store.insert_records("r1", [])
+        run_dir = os.path.join(store.path, "runs", "r1")
+        assert [n for n in os.listdir(run_dir) if n.endswith(".seg")] == []
+
+    def test_auto_compact_threshold(self, tmp_path):
+        store = SegmentStore(str(tmp_path / "s"), auto_compact=3,
+                             compact_in_background=False)
+        store.create_run(RunMetadata(run_id="r1"))
+        for i in range(3):
+            store.insert_records("r1", [make_record(seq=i)])
+        state = store.compaction_state("r1")
+        assert state["sealed_segments"] == 1
+        assert state["spool_segments"] == 0
+        assert store.record_count("r1") == 3
+        store.close()
+
+    def test_compact_noop_when_already_sealed(self, store):
+        store.create_run(RunMetadata(run_id="r1"))
+        store.insert_records("r1", [make_record()])
+        assert store.compact("r1") is True
+        assert store.compact("r1") is False
+
+    def test_store_info_shape(self, store):
+        store.create_run(RunMetadata(run_id="r1"))
+        store.insert_records("r1", seeded_records())
+        info = store.store_info()
+        assert info["backend"] == "segment"
+        (run,) = info["runs"]
+        assert run["records"] == 120
+        assert run["chains"] == 7
+        assert run["segments"][0]["kind"] == "spool"
+
+    def test_prepare_sharded_scan_compacts(self, store):
+        store.create_run(RunMetadata(run_id="r1"))
+        for i in range(4):
+            store.insert_records("r1", [make_record(seq=i)])
+        store.prepare_sharded_scan("r1")
+        assert store.compaction_state("r1")["compacted"]
+
+
+class TestBackendSelection:
+    def test_detects_directory_as_segment(self, tmp_path):
+        store = SegmentStore(str(tmp_path / "seg"))
+        store.close()
+        assert detect_backend(str(tmp_path / "seg")) == "segment"
+
+    def test_detects_file_as_sqlite(self, tmp_path):
+        db = MonitoringDatabase(str(tmp_path / "m.db"))
+        db.close()
+        assert detect_backend(str(tmp_path / "m.db")) == "sqlite"
+        assert detect_backend(":memory:") == "sqlite"
+
+    def test_open_store_roundtrip(self, tmp_path):
+        segment = open_store(str(tmp_path / "seg"), backend="segment")
+        assert isinstance(segment, SegmentStore)
+        segment.close()
+        assert isinstance(open_store(str(tmp_path / "seg")), SegmentStore)
+        sqlite = open_store(str(tmp_path / "m.db"))
+        assert isinstance(sqlite, MonitoringDatabase)
+        sqlite.close()
+
+    def test_open_store_rejects_unknown_backend(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown storage backend"):
+            open_store(str(tmp_path / "x"), backend="parquet")
+
+    def test_marker_schema_version_checked(self, tmp_path):
+        import json
+
+        path = tmp_path / "seg"
+        store = SegmentStore(str(path))
+        store.close()
+        marker = path / "repro-store.json"
+        meta = json.loads(marker.read_text())
+        meta["schema_version"] = 999
+        marker.write_text(json.dumps(meta))
+        with pytest.raises(StoreError, match="schema"):
+            SegmentStore(str(path))
+
+    def test_backends_satisfy_protocol(self, tmp_path):
+        from repro.store import StorageBackend
+
+        store = SegmentStore(str(tmp_path / "seg"))
+        db = MonitoringDatabase()
+        assert isinstance(store, StorageBackend)
+        assert isinstance(db, StorageBackend)
+        store.close()
+        db.close()
