@@ -309,6 +309,11 @@ class SegmentWriter:
         self._file_pos += _BLOCK.size + payload_len
         self._rbuf.clear()
         self._rcount = 0
+        # The reader resets its delta state per records block, so each
+        # block must be self-anchored: the first frame of the next block
+        # carries raw readings, not deltas against the flushed block.
+        self._prev_ws = None
+        self._prev_cs = None
 
     def seal(self) -> None:
         """Write the footer + trailer and close the file."""
@@ -400,6 +405,16 @@ class SegmentReader:
         footer_off, magic = _TRAILER.unpack_from(mm, self.size_bytes - _TRAILER.size)
         if magic != TRAILER_MAGIC or not _HEADER.size <= footer_off <= self.size_bytes:
             return False
+        try:
+            return self._parse_footer(footer_off)
+        except (struct.error, ValueError, MemoryError, OverflowError, StoreError):
+            # A valid trailer over a corrupt footer body (bad counts,
+            # lengths past the mmap, unknown block tags): salvage the
+            # record blocks instead of losing the whole segment.
+            return False
+
+    def _parse_footer(self, footer_off: int) -> bool:
+        mm = self._mm
         # Footer: counts, dictionary, chain index.
         pos = footer_off
         self.record_count, has_ranks = struct.unpack_from("<QB", mm, pos)

@@ -27,6 +27,7 @@ are interchangeable under ``reconstruct()``):
 from __future__ import annotations
 
 import json
+import logging
 import os
 import threading
 from contextlib import contextmanager
@@ -46,6 +47,8 @@ from repro.store.segment import (
 MARKER_FILE = "repro-store.json"
 _RUNS_DIR = "runs"
 
+logger = logging.getLogger(__name__)
+
 
 def _uuid_key(uuid: str) -> bytes:
     """Sort key matching SQLite's BINARY collation (UTF-8 byte order)."""
@@ -55,7 +58,10 @@ def _uuid_key(uuid: str) -> bytes:
 class _Run:
     """In-memory state for one run directory."""
 
-    __slots__ = ("run_id", "path", "lock", "readers", "writer", "next_seg")
+    __slots__ = (
+        "run_id", "path", "lock", "readers", "writer", "next_seg",
+        "compact_error",
+    )
 
     def __init__(self, run_id: str, path: str):
         self.run_id = run_id
@@ -64,6 +70,8 @@ class _Run:
         self.readers: list[SegmentReader] = []
         self.writer: SegmentWriter | None = None
         self.next_seg = 1
+        #: last background-compaction failure, cleared on the next success.
+        self.compact_error: str | None = None
 
 
 class SegmentStore:
@@ -176,12 +184,17 @@ class SegmentStore:
         spans the whole collection transaction.
         """
         run = self._run(run_id, create=True)
+        # Snapshot the bulk depth under the store lock (bulk_ingest
+        # mutates it there) *before* taking run.lock — the reverse
+        # nesting would invite a lock-order inversion with close().
+        with self._lock:
+            in_bulk = self._bulk_depth > 0
         with run.lock:
             writer = run.writer
             if writer is None:
                 writer = run.writer = self._open_spool(run)
             written = writer.append(records)
-            if self._bulk_depth == 0:
+            if not in_bulk:
                 self._seal(run)
         return written
 
@@ -246,10 +259,18 @@ class SegmentStore:
     def _compact_quietly(self, run_id: str) -> None:
         try:
             self.compact(run_id)
-        except Exception:
+        except Exception as exc:
             # Background compaction must never take down the host
             # process; the spool segments stay readable as they are.
-            pass
+            # But a failure must not be invisible either — repeated ones
+            # quietly lose the sharded-scan fast path.
+            logger.exception("background compaction of run %r failed", run_id)
+            try:
+                run = self._run(run_id)
+            except StoreError:
+                return
+            with run.lock:
+                run.compact_error = f"{type(exc).__name__}: {exc}"
 
     def compact(self, run_id: str) -> bool:
         """Merge the run's segments into one sorted sealed segment.
@@ -298,8 +319,13 @@ class SegmentStore:
                 return False
             os.rename(tmp_path, final_path)
             run.readers = [SegmentReader(final_path)]
+            run.compact_error = None
             for reader in sources:
-                reader.close()
+                # Unlink only — do NOT close: scans that snapshotted the
+                # old readers may still be decoding from their mmaps. The
+                # unlinked file stays readable until the last reference
+                # drops (POSIX semantics), and the mmap is released when
+                # the final scan lets go of the reader object.
                 try:
                     os.unlink(reader.path)
                 except OSError:
@@ -316,6 +342,7 @@ class SegmentStore:
         with run.lock:
             readers = list(run.readers)
             pending = any(t.is_alive() for t in self._compaction_threads)
+            last_error = run.compact_error
         spool = sum(1 for r in readers if not r.sealed)
         return {
             "segments": len(readers),
@@ -323,6 +350,7 @@ class SegmentStore:
             "sealed_segments": len(readers) - spool,
             "compacted": spool == 0 and len(readers) <= 1,
             "compaction_running": pending,
+            "last_error": last_error,
         }
 
     # ------------------------------------------------------------------
@@ -507,13 +535,17 @@ class SegmentStore:
         for thread in threads:
             thread.join(timeout=30.0)
         with self._lock:
-            for run in self._runs.values():
-                with run.lock:
-                    if run.writer is not None:
-                        self._seal_for_close(run)
-                    for reader in run.readers:
-                        reader.close()
-                    run.readers = []
+            runs = list(self._runs.values())
+        # Take run locks without holding the store lock: sealing paths
+        # nest run.lock -> self._lock, so nesting the other way here
+        # would deadlock against a concurrent drain.
+        for run in runs:
+            with run.lock:
+                if run.writer is not None:
+                    self._seal_for_close(run)
+                for reader in run.readers:
+                    reader.close()
+                run.readers = []
 
     def _seal_for_close(self, run: _Run) -> None:
         # Close with an open transaction: seal so the data is durable.

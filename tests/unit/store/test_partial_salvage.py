@@ -82,6 +82,27 @@ class TestSalvage:
         assert reader.chains == []
         reader.close()
 
+    def test_corrupt_footer_body_falls_back_to_salvage(self, sealed_spool, tmp_path):
+        # A valid trailer over a corrupt footer (here: an absurd string
+        # count) must salvage the intact record blocks instead of blowing
+        # up SegmentReader.__init__ and losing the whole segment.
+        import struct
+
+        data = bytearray(open(sealed_spool, "rb").read())
+        (footer_off,) = struct.unpack_from("<Q", data, len(data) - 16)
+        struct.pack_into("<I", data, footer_off + 9, 0xFFFFFFFF)  # n_strings
+        path = str(tmp_path / "bad-footer.spool.seg")
+        with open(path, "wb") as handle:
+            handle.write(data)
+        reader = SegmentReader(path)
+        assert reader.partial
+        ranked = []
+        reader.load_ranked(ranked)
+        salvaged = [r for _rank, r in sorted(ranked, key=lambda p: p[0])]
+        assert salvaged == full_records()
+        assert reader.dropped_bytes > 0
+        reader.close()
+
     def test_store_reads_through_partial_segment(self, tmp_path):
         store = SegmentStore(str(tmp_path / "s"), auto_compact=0)
         store.create_run(RunMetadata(run_id="r1"))

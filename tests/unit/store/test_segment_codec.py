@@ -171,6 +171,33 @@ class TestFrameRoundtrip:
         ]
         assert roundtrip(tmp_path, records) == records
 
+    def test_multi_block_spool_self_anchors_each_block(self, tmp_path, monkeypatch):
+        # The reader resets its timestamp-delta state per records block,
+        # so a spool whose appends straddle flush boundaries must anchor
+        # every block on a raw reading — a delta leaking across a block
+        # boundary corrupts every timestamp after it.
+        import repro.store.segment as segment
+
+        monkeypatch.setattr(segment, "_FLUSH_BYTES", 256)
+        records = [
+            make_record(
+                seq=i, wall_start=10**12 + 17 * i, wall_end=10**12 + 17 * i + 5,
+                cpu_start=900 + 3 * i, cpu_end=903 + 3 * i,
+            )
+            for i in range(50)
+        ]
+        path = str(tmp_path / "multi.spool.seg")
+        writer = SegmentWriter(path, kind=KIND_SPOOL)
+        for lo in range(0, len(records), 5):
+            writer.append(records[lo:lo + 5])
+        writer.seal()
+        reader = SegmentReader(path)
+        assert len(reader._regions) > 1  # the regression needs >1 block
+        out = []
+        reader.load_ranked(out)
+        reader.close()
+        assert [record for _rank, record in out] == records
+
 
 class TestSegmentValidation:
     def test_rejects_non_segment_file(self, tmp_path):

@@ -83,6 +83,34 @@ class TestSegmentStoreParity:
             )
             store.compact("r1")
 
+    def test_bulk_ingest_spanning_flush_blocks(self, store, monkeypatch):
+        # One collection transaction bigger than the flush threshold
+        # spills into several records blocks within one spool segment;
+        # timestamps must survive the block boundaries.
+        import repro.store.segment as segment
+
+        monkeypatch.setattr(segment, "_FLUSH_BYTES", 512)
+        records = seeded_records()
+        store.create_run(RunMetadata(run_id="r1"))
+        with store.bulk_ingest():
+            for lo in range(0, len(records), 10):
+                store.insert_records("r1", records[lo:lo + 10])
+        assert store.compaction_state("r1")["segments"] == 1
+        assert list(store.all_records("r1")) == records
+
+    def test_scan_survives_compaction_swap(self, store):
+        # A scan holding the old sealed segment's mmap must keep decoding
+        # after compaction unlinks and replaces that segment.
+        records = seeded_records()
+        mirrored(store, records)
+        assert store.compact("r1") is True
+        expected = list(store.chains_for_run("r1"))
+        scan = store.chains_for_run("r1")
+        first = next(scan)  # fast path: lazily decoding the sealed mmap
+        store.insert_records("r1", [make_record(chain="ff" * 16, seq=999)])
+        assert store.compact("r1") is True  # swaps the scanned segment out
+        assert [first] + list(scan) == expected
+
     def test_insert_order_survives_compaction(self, store):
         # all_records must replay arrival order even after the sealed
         # segment regrouped everything by chain.
@@ -156,6 +184,28 @@ class TestSegmentStoreLifecycle:
         assert state["spool_segments"] == 0
         assert store.record_count("r1") == 3
         store.close()
+
+    def test_background_compaction_failure_is_surfaced(
+        self, store, caplog, monkeypatch
+    ):
+        import logging
+
+        store.create_run(RunMetadata(run_id="r1"))
+        store.insert_records("r1", [make_record()])
+
+        def boom(run_id):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(store, "compact", boom)
+        with caplog.at_level(logging.ERROR, logger="repro.store.store"):
+            store._compact_quietly("r1")
+        assert "background compaction" in caplog.text
+        assert "disk full" in caplog.text
+        assert store.compaction_state("r1")["last_error"] == "OSError: disk full"
+        # The next successful compaction clears the sticky error.
+        monkeypatch.undo()
+        assert store.compact("r1") is True
+        assert store.compaction_state("r1")["last_error"] is None
 
     def test_compact_noop_when_already_sealed(self, store):
         store.create_run(RunMetadata(run_id="r1"))
