@@ -21,8 +21,9 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, NamedTuple
 
+from repro.analysis.quantiles import P2Quantile
 from repro.core.events import CallKind, TracingEvent
 from repro.core.records import ProbeRecord
 from repro.platform.process import SimProcess
@@ -57,20 +58,49 @@ class Alert:
     latency_ns: int | None = None
 
 
+class LatencyStats(NamedTuple):
+    """Per-function completed-call statistics (all latencies in ns)."""
+
+    count: int
+    mean_ns: float
+    max_ns: int
+    p50_ns: float
+    p95_ns: float
+    p99_ns: float
+
+
 @dataclass
 class _LiveStats:
     count: int = 0
     total_ns: int = 0
     max_ns: int = 0
+    # Streaming P² quantile markers: O(1) memory per function however
+    # long the run, no sample buffer to bound or rotate.
+    p50: P2Quantile = field(default_factory=lambda: P2Quantile(0.50))
+    p95: P2Quantile = field(default_factory=lambda: P2Quantile(0.95))
+    p99: P2Quantile = field(default_factory=lambda: P2Quantile(0.99))
 
     def add(self, latency_ns: int) -> None:
         self.count += 1
         self.total_ns += latency_ns
         self.max_ns = max(self.max_ns, latency_ns)
+        self.p50.observe(latency_ns)
+        self.p95.observe(latency_ns)
+        self.p99.observe(latency_ns)
 
     @property
     def mean_ns(self) -> float:
         return self.total_ns / self.count if self.count else 0.0
+
+    def snapshot(self) -> LatencyStats:
+        return LatencyStats(
+            count=self.count,
+            mean_ns=self.mean_ns,
+            max_ns=self.max_ns,
+            p50_ns=self.p50.value(),
+            p95_ns=self.p95.value(),
+            p99_ns=self.p99.value(),
+        )
 
 
 class OnlineMonitor:
@@ -85,9 +115,17 @@ class OnlineMonitor:
         latency_slo_ns: int | None = None,
         on_alert: Callable[[Alert], None] | None = None,
         registry: MetricsRegistry | None = None,
+        max_pending: int | None = 100_000,
     ):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
         self.latency_slo_ns = latency_slo_ns
         self.on_alert = on_alert
+        #: Bound on buffered out-of-order records across all chains; a
+        #: chain whose gap record was lost in flight must not grow the
+        #: monitor without limit. Overflow drops the incoming record.
+        self.max_pending = max_pending
+        self.pending_dropped = 0
         # Live telemetry pipeline (Section 6, "on-line perspective"):
         # with a registry attached, every ingest keeps scrape-ready
         # gauges/histograms current; without one these are no-ops.
@@ -117,6 +155,14 @@ class OnlineMonitor:
                 "repro_online_abnormal_events_total",
                 "Records that violated the Figure-4 state machine.",
             )
+            self._m_pending = registry.gauge(
+                "repro_online_pending_records",
+                "Out-of-order records buffered awaiting their gap record.",
+            )
+            self._m_pending_dropped = registry.counter(
+                "repro_online_pending_dropped_total",
+                "Out-of-order records dropped because the buffer was full.",
+            )
         else:
             self._m_inflight = NULL_GAUGE
             self._m_live_chains = NULL_GAUGE
@@ -124,6 +170,8 @@ class OnlineMonitor:
             self._m_latency = NULL_HISTOGRAM
             self._m_slo_breaches = NULL_COUNTER
             self._m_abnormal = NULL_COUNTER
+            self._m_pending = NULL_GAUGE
+            self._m_pending_dropped = NULL_COUNTER
         self._stacks: dict[str, list[OpenInvocation]] = defaultdict(list)
         self._stats: dict[str, _LiveStats] = defaultdict(_LiveStats)
         self._alerts: list[Alert] = []
@@ -135,6 +183,9 @@ class OnlineMonitor:
         # FTL's event number lets us re-serialize each chain on the fly.
         self._expected_seq: dict[str, int] = defaultdict(int)
         self._pending: dict[str, dict[int, ProbeRecord]] = defaultdict(dict)
+        self._pending_total = 0
+        #: One overflow alert per saturation episode, not one per drop.
+        self._overflow_alerted = False
 
     # ------------------------------------------------------------------
 
@@ -157,7 +208,30 @@ class OnlineMonitor:
             self._abnormal_event(record)
             return
         if record.event_seq > expected:
-            self._pending[chain][record.event_seq] = record
+            bucket = self._pending[chain]
+            if record.event_seq not in bucket:
+                if (
+                    self.max_pending is not None
+                    and self._pending_total >= self.max_pending
+                ):
+                    self.pending_dropped += 1
+                    self._m_pending_dropped.inc()
+                    if not self._overflow_alerted:
+                        self._overflow_alerted = True
+                        self._raise_alert(
+                            Alert(
+                                kind="overflow",
+                                function=record.function,
+                                chain_uuid=chain,
+                                detail=f"pending-record buffer full"
+                                f" ({self.max_pending}); dropping"
+                                f" out-of-order records",
+                            )
+                        )
+                    return
+                self._pending_total += 1
+                self._m_pending.inc()
+            bucket[record.event_seq] = record
             return
         self._ingest_locked(record)
         self._expected_seq[chain] = expected + 1
@@ -166,8 +240,16 @@ class OnlineMonitor:
             next_record = pending.pop(self._expected_seq[chain], None)
             if next_record is None:
                 break
+            self._pending_total -= 1
+            self._m_pending.dec()
             self._ingest_locked(next_record)
             self._expected_seq[chain] += 1
+        if (
+            self._overflow_alerted
+            and self.max_pending is not None
+            and self._pending_total < self.max_pending
+        ):
+            self._overflow_alerted = False
 
     def poll(self, processes: list[SimProcess]) -> int:
         """Pull any new records from process buffers (non-draining).
@@ -298,10 +380,19 @@ class OnlineMonitor:
         with self._lock:
             return list(self._alerts)
 
-    def latency_stats(self) -> dict[str, tuple[int, float, int]]:
-        """function -> (count, mean ns, max ns) for completed calls."""
+    def pending_records(self) -> int:
+        """Out-of-order records currently buffered awaiting their gap."""
+        with self._lock:
+            return self._pending_total
+
+    def latency_stats(self) -> dict[str, LatencyStats]:
+        """function -> :class:`LatencyStats` for completed calls.
+
+        Percentiles are streaming P² estimates: exact up to five
+        observations, marker-interpolated beyond — no retained samples.
+        """
         with self._lock:
             return {
-                function: (stats.count, stats.mean_ns, stats.max_ns)
+                function: stats.snapshot()
                 for function, stats in self._stats.items()
             }

@@ -1,0 +1,108 @@
+"""Streaming quantile estimation (the P² algorithm).
+
+The online monitor and the streaming detector both need tail latency
+(p95/p99) without retaining every sample: a run at production scale
+completes millions of calls, and per-function sample lists would grow
+without bound. The P² algorithm (Jain & Chlamtac, CACM 1985) tracks one
+quantile with five markers — O(1) memory, O(1) update — by moving the
+middle markers along a piecewise-parabolic interpolation of the
+empirical CDF.
+
+The estimator is fully deterministic: given the same observation
+sequence it produces bit-identical marker state, which the streaming
+incident reports rely on for their byte-for-byte determinism gate.
+"""
+
+from __future__ import annotations
+
+
+class P2Quantile:
+    """One streaming quantile estimate over a sequence of observations.
+
+    The first five observations are held exactly (the estimate is the
+    nearest-rank percentile of what has been seen); from the sixth
+    onward the classic five-marker update runs.
+    """
+
+    __slots__ = ("p", "_count", "_heights", "_positions", "_desired", "_increments")
+
+    def __init__(self, p: float):
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {p}")
+        self.p = p
+        self._count = 0
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0]
+        self._increments = [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0]
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def observe(self, value: float) -> None:
+        self._count += 1
+        heights = self._heights
+        if self._count <= 5:
+            heights.append(float(value))
+            heights.sort()
+            return
+
+        # Locate the cell containing the observation; clamp the extremes.
+        if value < heights[0]:
+            heights[0] = float(value)
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = float(value)
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+
+        positions = self._positions
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        for index in range(5):
+            self._desired[index] += self._increments[index]
+
+        # Adjust the three middle markers toward their desired positions.
+        for index in range(1, 4):
+            delta = self._desired[index] - positions[index]
+            if (delta >= 1.0 and positions[index + 1] - positions[index] > 1.0) or (
+                delta <= -1.0 and positions[index - 1] - positions[index] < -1.0
+            ):
+                step = 1.0 if delta >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        below = positions[index] - positions[index - 1]
+        above = positions[index + 1] - positions[index]
+        span = positions[index + 1] - positions[index - 1]
+        return heights[index] + (step / span) * (
+            (below + step) * (heights[index + 1] - heights[index]) / above
+            + (above - step) * (heights[index] - heights[index - 1]) / below
+        )
+
+    def _linear(self, index: int, step: float) -> float:
+        heights, positions = self._heights, self._positions
+        neighbor = index + int(step)
+        return heights[index] + step * (heights[neighbor] - heights[index]) / (
+            positions[neighbor] - positions[index]
+        )
+
+    def value(self) -> float:
+        """The current quantile estimate (0.0 before any observation)."""
+        if self._count == 0:
+            return 0.0
+        if self._count <= 5:
+            # Nearest-rank on the exactly-held prefix.
+            rank = max(0, min(self._count - 1, int(self.p * self._count)))
+            return self._heights[rank]
+        return self._heights[2]

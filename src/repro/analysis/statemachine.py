@@ -58,23 +58,43 @@ def _node_from_record(record: ProbeRecord, oneway_side: str) -> CallNode:
     )
 
 
-def reconstruct_chain(chain_uuid: str, records: Sequence[ProbeRecord]) -> ChainTree:
-    """Unfold one chain's sorted event records into a tree Ti."""
-    tree = ChainTree(chain_uuid=chain_uuid)
-    stack: list[CallNode] = []
+class ChainBuilder:
+    """Incremental Figure-4 pushdown automaton for one causal chain.
 
-    def abnormal(reason: str, record: ProbeRecord) -> None:
-        tree.abnormal.append(
+    Both reconstruction paths run through this class: the batch analyzer
+    (:func:`reconstruct_chain`) applies a pre-sorted record list, and the
+    streaming reconstructor (:mod:`repro.analysis.streaming`) applies
+    records one at a time as they arrive. A single transition
+    implementation is what makes the streaming engine's final chain set
+    bit-identical to the batch analyzer's on the same record sequence.
+
+    :meth:`apply` returns the :class:`CallNode` whose measured frame the
+    record *closed* (sync/stub-side return at ``stub_end``, skeleton-only
+    frame at ``skel_end``), or ``None`` — the hook live detectors use to
+    observe completions without re-walking the tree.
+    """
+
+    __slots__ = ("tree", "stack", "finished")
+
+    def __init__(self, chain_uuid: str):
+        self.tree = ChainTree(chain_uuid=chain_uuid)
+        self.stack: list[CallNode] = []
+        self.finished = False
+
+    def _abnormal(self, reason: str, record: ProbeRecord) -> None:
+        self.tree.abnormal.append(
             AbnormalEvent(
-                chain_uuid=chain_uuid,
+                chain_uuid=self.tree.chain_uuid,
                 event_seq=record.event_seq,
                 reason=reason,
                 record=record,
             )
         )
 
-    for record in records:
+    def apply(self, record: ProbeRecord) -> CallNode | None:
+        """Advance the machine with one record; return the closed frame."""
         event = record.event
+        stack = self.stack
         top = stack[-1] if stack else None
 
         if event is TracingEvent.STUB_START:
@@ -84,10 +104,11 @@ def reconstruct_chain(chain_uuid: str, records: Sequence[ProbeRecord]) -> ChainT
             if top is not None:
                 top.add_child(node)
             else:
-                tree.roots.append(node)
+                self.tree.roots.append(node)
             stack.append(node)
+            return None
 
-        elif event is TracingEvent.SKEL_START:
+        if event is TracingEvent.SKEL_START:
             if (
                 top is not None
                 and _same_call(top, record)
@@ -104,16 +125,17 @@ def reconstruct_chain(chain_uuid: str, records: Sequence[ProbeRecord]) -> ChainT
                 node.records[event] = record
                 if record.call_kind is not CallKind.ONEWAY:
                     node.partial = True
-                tree.roots.append(node)
+                self.tree.roots.append(node)
                 stack.append(node)
             else:
-                abnormal(
+                self._abnormal(
                     f"skel_start for {record.interface}::{record.operation} does not"
                     f" match open frame {top.function if top else '<none>'}",
                     record,
                 )
+            return None
 
-        elif event is TracingEvent.SKEL_END:
+        if event is TracingEvent.SKEL_END:
             if (
                 top is not None
                 and _same_call(top, record)
@@ -124,15 +146,16 @@ def reconstruct_chain(chain_uuid: str, records: Sequence[ProbeRecord]) -> ChainT
                 # A skeleton-side frame with no stub side closes here:
                 # oneway skeleton-side return, or an unmonitored client.
                 if TracingEvent.STUB_START not in top.records:
-                    stack.pop()
+                    return stack.pop()
             else:
-                abnormal(
+                self._abnormal(
                     f"skel_end for {record.interface}::{record.operation} without"
                     " a matching open skel_start",
                     record,
                 )
+            return None
 
-        elif event is TracingEvent.STUB_END:
+        if event is TracingEvent.STUB_END:
             if (
                 top is not None
                 and _same_call(top, record)
@@ -147,26 +170,40 @@ def reconstruct_chain(chain_uuid: str, records: Sequence[ProbeRecord]) -> ChainT
                     # Sync call whose server side produced no records
                     # (unmonitored peer process).
                     top.partial = True
-                stack.pop()
-            else:
-                abnormal(
-                    f"stub_end for {record.interface}::{record.operation} does not"
-                    f" close open frame {top.function if top else '<none>'}",
-                    record,
-                )
-
-    for leftover in stack:
-        # Salvage, not discard: the frame keeps its place in the tree but
-        # is flagged partial so latency math and reports can exclude it.
-        leftover.partial = True
-        tree.abnormal.append(
-            AbnormalEvent(
-                chain_uuid=chain_uuid,
-                event_seq=-1,
-                reason=f"call {leftover.function} never completed (missing end events)",
+                return stack.pop()
+            self._abnormal(
+                f"stub_end for {record.interface}::{record.operation} does not"
+                f" close open frame {top.function if top else '<none>'}",
+                record,
             )
-        )
-    return tree
+        return None
+
+    def finish(self) -> ChainTree:
+        """Salvage any still-open frames and return the chain tree."""
+        if not self.finished:
+            self.finished = True
+            for leftover in self.stack:
+                # Salvage, not discard: the frame keeps its place in the
+                # tree but is flagged partial so latency math and reports
+                # can exclude it.
+                leftover.partial = True
+                self.tree.abnormal.append(
+                    AbnormalEvent(
+                        chain_uuid=self.tree.chain_uuid,
+                        event_seq=-1,
+                        reason=f"call {leftover.function} never completed"
+                        " (missing end events)",
+                    )
+                )
+        return self.tree
+
+
+def reconstruct_chain(chain_uuid: str, records: Sequence[ProbeRecord]) -> ChainTree:
+    """Unfold one chain's sorted event records into a tree Ti."""
+    builder = ChainBuilder(chain_uuid)
+    for record in records:
+        builder.apply(record)
+    return builder.finish()
 
 
 def reconstruct_from_records(records: Iterable[ProbeRecord]) -> Dscg:

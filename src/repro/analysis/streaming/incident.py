@@ -1,0 +1,188 @@
+"""Structured incident reports.
+
+An :class:`IncidentReport` is the detector's unit of output: one
+sustained latency anomaly on one (interface, operation), with the
+causal ranking attached. Reports are plain data — JSON-serializable,
+carrying no pids, thread ids or host-clock readings that vary between
+replays — so that the same seed and record stream always produce the
+same bytes (the CI determinism gate diffs two full replays).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CauseScore:
+    """One ranked causal candidate inside an incident window.
+
+    ``score = w_anomaly * anomaly + w_resource * resource_share +
+    w_temporal * temporal_correlation`` — the spike-detector/ranker
+    composition of RCA-style monitors, computed over the live DSCG
+    instead of flat process metrics.
+    """
+
+    component: str
+    function: str
+    score: float
+    anomaly: float
+    resource_share: float
+    temporal_correlation: float
+    observations: int
+    anomalous_observations: int
+    self_ns_total: int
+
+    def to_dict(self) -> dict:
+        return {
+            "component": self.component,
+            "function": self.function,
+            "score": round(self.score, 6),
+            "anomaly": round(self.anomaly, 6),
+            "resource_share": round(self.resource_share, 6),
+            "temporal_correlation": round(self.temporal_correlation, 6),
+            "observations": self.observations,
+            "anomalous_observations": self.anomalous_observations,
+            "self_ns_total": self.self_ns_total,
+        }
+
+
+@dataclass
+class IncidentReport:
+    """One detected incident with its causal ranking."""
+
+    function: str
+    opened_at_completion: int
+    opened_at_record: int
+    closed_at_completion: int
+    closed_at_record: int
+    trigger_z: float
+    trigger_latency_ns: int
+    baseline_median_ns: float
+    baseline_mad_ns: float
+    peak_z: float
+    observations: int
+    anomalous_observations: int
+    closed_by: str  # "cooldown" | "finalize"
+    implicated_chains: list[str] = field(default_factory=list)
+    causes: list[CauseScore] = field(default_factory=list)
+
+    @property
+    def incident_id(self) -> str:
+        """Deterministic id: a digest of what the incident is about."""
+        basis = "|".join(
+            (
+                self.function,
+                str(self.opened_at_record),
+                ",".join(self.implicated_chains),
+            )
+        )
+        return "inc-" + hashlib.sha1(basis.encode()).hexdigest()[:12]
+
+    @property
+    def root_cause(self) -> CauseScore | None:
+        return self.causes[0] if self.causes else None
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "incident_id": self.incident_id,
+            "function": self.function,
+            "window": {
+                "opened_at_completion": self.opened_at_completion,
+                "opened_at_record": self.opened_at_record,
+                "closed_at_completion": self.closed_at_completion,
+                "closed_at_record": self.closed_at_record,
+                "closed_by": self.closed_by,
+            },
+            "trigger": {
+                "z": round(self.trigger_z, 6),
+                "latency_ns": self.trigger_latency_ns,
+                "baseline_median_ns": round(self.baseline_median_ns, 3),
+                "baseline_mad_ns": round(self.baseline_mad_ns, 3),
+            },
+            "peak_z": round(self.peak_z, 6),
+            "observations": self.observations,
+            "anomalous_observations": self.anomalous_observations,
+            "implicated_chains": list(self.implicated_chains),
+            "causes": [cause.to_dict() for cause in self.causes],
+        }
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def one_line(self) -> str:
+        """Terse human-readable summary for ``--watch`` output."""
+        cause = self.root_cause
+        culprit = f"{cause.component} ({cause.function})" if cause else "<unranked>"
+        return (
+            f"incident {self.incident_id}: {self.function}"
+            f" z={self.trigger_z:.1f}"
+            f" latency={self.trigger_latency_ns / 1e6:.3f}ms"
+            f" (baseline {self.baseline_median_ns / 1e6:.3f}ms)"
+            f" -> root cause {culprit}"
+        )
+
+
+def incident_from_dict(data: dict) -> IncidentReport:
+    """Rebuild a report from its :meth:`IncidentReport.to_dict` form."""
+    window = data["window"]
+    trigger = data["trigger"]
+    return IncidentReport(
+        function=data["function"],
+        opened_at_completion=window["opened_at_completion"],
+        opened_at_record=window["opened_at_record"],
+        closed_at_completion=window["closed_at_completion"],
+        closed_at_record=window["closed_at_record"],
+        trigger_z=trigger["z"],
+        trigger_latency_ns=trigger["latency_ns"],
+        baseline_median_ns=trigger["baseline_median_ns"],
+        baseline_mad_ns=trigger["baseline_mad_ns"],
+        peak_z=data["peak_z"],
+        observations=data["observations"],
+        anomalous_observations=data["anomalous_observations"],
+        closed_by=window["closed_by"],
+        implicated_chains=list(data["implicated_chains"]),
+        causes=[
+            CauseScore(
+                component=cause["component"],
+                function=cause["function"],
+                score=cause["score"],
+                anomaly=cause["anomaly"],
+                resource_share=cause["resource_share"],
+                temporal_correlation=cause["temporal_correlation"],
+                observations=cause["observations"],
+                anomalous_observations=cause["anomalous_observations"],
+                self_ns_total=cause["self_ns_total"],
+            )
+            for cause in data.get("causes", ())
+        ],
+    )
+
+
+def incidents_from_json(text: str) -> list[IncidentReport]:
+    """Load reports from an :func:`incidents_to_json` document (or a list)."""
+    document = json.loads(text)
+    entries = document["incidents"] if isinstance(document, dict) else document
+    return [incident_from_dict(entry) for entry in entries]
+
+
+def incidents_to_json(
+    incidents: list[IncidentReport],
+    run_id: str = "",
+    extra: dict | None = None,
+    indent: int = 2,
+) -> str:
+    """Canonical multi-incident JSON document (sorted keys, stable order)."""
+    document = {
+        "format": "repro-incidents",
+        "version": 1,
+        "run_id": run_id,
+        "incident_count": len(incidents),
+        "incidents": [incident.to_dict() for incident in incidents],
+    }
+    if extra:
+        document.update(extra)
+    return json.dumps(document, indent=indent, sort_keys=True)

@@ -1,0 +1,218 @@
+"""Incremental DSCG reconstruction over a live record stream.
+
+The batch analyzer sorts each chain's records by event number and runs
+them through the Figure-4 machine at quiescence. The streaming
+reconstructor does the same work record-by-record as probes emit them:
+each chain owns a :class:`~repro.analysis.statemachine.ChainBuilder`
+(the *same* transition implementation the batch path uses) plus a
+re-serialization buffer that holds out-of-order arrivals until their
+event number comes up.
+
+Equivalence contract: after :meth:`StreamingReconstructor.finalize`, the
+resulting :class:`~repro.analysis.dscg.Dscg` is bit-identical to
+``reconstruct(store, run)`` over the same records whenever event numbers
+are unique per chain (any fault-free run, and every fault domain that
+loses or delays records rather than duplicating event numbers). Records
+that *collide* on an event number — the mingled-chain hazard — are
+applied immediately and take the same abnormal transition the batch
+analyzer records, though the relative order of abnormal entries may
+differ.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.analysis.dscg import CallNode, Dscg
+from repro.analysis.statemachine import ChainBuilder
+from repro.core.records import ProbeRecord
+from repro.platform.process import SimProcess
+
+#: Completion hook: (closed node, closing record, global record index).
+CompletionHook = Callable[[CallNode, ProbeRecord, int], None]
+
+
+class _ChainStream:
+    """Live reconstruction state for one causal chain."""
+
+    __slots__ = ("builder", "expected_seq", "pending")
+
+    def __init__(self, chain_uuid: str):
+        self.builder = ChainBuilder(chain_uuid)
+        self.expected_seq = 0
+        self.pending: dict[int, ProbeRecord] = {}
+
+
+class StreamingReconstructor:
+    """Maintains live DSCG chains from an incremental record stream.
+
+    Thread-safe. Feed records with :meth:`ingest`/:meth:`ingest_many`,
+    or attach to live processes and call :meth:`poll` (non-draining
+    cursor reads, so the quiescence-time collector still sees every
+    record). ``on_complete`` fires inline whenever a call frame closes —
+    the hook the spike detector hangs off.
+
+    ``max_pending`` bounds the re-serialization buffer across all
+    chains: a stalled chain (its gap record lost in flight) cannot grow
+    memory without limit. Overflow drops the incoming out-of-order
+    record and counts it in :attr:`pending_dropped`.
+    """
+
+    def __init__(
+        self,
+        on_complete: CompletionHook | None = None,
+        max_pending: int | None = 100_000,
+    ):
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be >= 1 (or None for unbounded)")
+        self.on_complete = on_complete
+        self.max_pending = max_pending
+        self.records_ingested = 0
+        self.pending_dropped = 0
+        self._chains: dict[str, _ChainStream] = {}
+        self._pending_total = 0
+        self._completed_nodes = 0
+        self._finalized: Dscg | None = None
+        self._lock = threading.Lock()
+        self._cursors: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Ingest
+
+    def ingest(self, record: ProbeRecord) -> None:
+        with self._lock:
+            self._enqueue_locked(record)
+
+    def ingest_many(self, records: Iterable[ProbeRecord]) -> int:
+        count = 0
+        with self._lock:
+            for record in records:
+                self._enqueue_locked(record)
+                count += 1
+        return count
+
+    def poll(self, processes: Iterable[SimProcess]) -> int:
+        """Pull new records from process buffers without draining them."""
+        new = 0
+        with self._lock:
+            for process in processes:
+                buffer = process.log_buffer
+                read_from = getattr(buffer, "read_from", None)
+                if read_from is not None:
+                    records, cursor = read_from(self._cursors.get(process.pid))
+                    self._cursors[process.pid] = cursor
+                else:
+                    snapshot = buffer.snapshot()
+                    offset = self._cursors.get(process.pid, 0)
+                    records = snapshot[offset:]
+                    self._cursors[process.pid] = len(snapshot)
+                for record in records:
+                    self._enqueue_locked(record)
+                    new += 1
+        return new
+
+    def _enqueue_locked(self, record: ProbeRecord) -> None:
+        if self._finalized is not None:
+            raise RuntimeError("cannot ingest into a finalized reconstructor")
+        self.records_ingested += 1
+        stream = self._chains.get(record.chain_uuid)
+        if stream is None:
+            stream = self._chains[record.chain_uuid] = _ChainStream(record.chain_uuid)
+        seq = record.event_seq
+        if seq == stream.expected_seq:
+            self._apply_locked(stream, record)
+            stream.expected_seq += 1
+            pending = stream.pending
+            while pending:
+                next_record = pending.pop(stream.expected_seq, None)
+                if next_record is None:
+                    break
+                self._pending_total -= 1
+                self._apply_locked(stream, next_record)
+                stream.expected_seq += 1
+        elif seq > stream.expected_seq and seq not in stream.pending:
+            if (
+                self.max_pending is not None
+                and self._pending_total >= self.max_pending
+            ):
+                self.pending_dropped += 1
+                return
+            stream.pending[seq] = record
+            self._pending_total += 1
+        else:
+            # Event-number collision (a duplicate, or mingled chains):
+            # apply immediately — the machine takes the same abnormal
+            # transition the batch analyzer's sorted pass would.
+            self._apply_locked(stream, record)
+
+    def _apply_locked(self, stream: _ChainStream, record: ProbeRecord) -> None:
+        completed = stream.builder.apply(record)
+        if completed is not None:
+            self._completed_nodes += 1
+            if self.on_complete is not None:
+                self.on_complete(completed, record, self.records_ingested)
+
+    # ------------------------------------------------------------------
+    # Live views
+
+    def live_chain_count(self) -> int:
+        """Chains with at least one frame still open."""
+        with self._lock:
+            return sum(1 for s in self._chains.values() if s.builder.stack)
+
+    def open_frames(self) -> list[CallNode]:
+        """Every invocation currently in flight, outermost first per chain."""
+        with self._lock:
+            frames: list[CallNode] = []
+            for chain_uuid in sorted(self._chains):
+                frames.extend(self._chains[chain_uuid].builder.stack)
+            return frames
+
+    def completed_nodes(self) -> int:
+        with self._lock:
+            return self._completed_nodes
+
+    def pending_records(self) -> int:
+        """Out-of-order records currently buffered awaiting their gap."""
+        with self._lock:
+            return self._pending_total
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "records_ingested": self.records_ingested,
+                "chains": len(self._chains),
+                "completed_nodes": self._completed_nodes,
+                "pending_records": self._pending_total,
+                "pending_dropped": self.pending_dropped,
+            }
+
+    # ------------------------------------------------------------------
+    # Finalization
+
+    def finalize(self) -> Dscg:
+        """Close the stream and return the reconstructed DSCG.
+
+        Any records still waiting on a lost gap record are flushed
+        through the machine in ascending event-number order — exactly
+        the order the batch analyzer would have applied them — then
+        every chain salvages its open frames, chains are grouped
+        ascending by chain uuid (the ``chains_for_run`` ordering
+        contract) and oneway forks are linked. Idempotent.
+        """
+        with self._lock:
+            if self._finalized is not None:
+                return self._finalized
+            dscg = Dscg()
+            for chain_uuid in sorted(self._chains):
+                stream = self._chains[chain_uuid]
+                if stream.pending:
+                    for seq in sorted(stream.pending):
+                        self._apply_locked(stream, stream.pending[seq])
+                    self._pending_total -= len(stream.pending)
+                    stream.pending.clear()
+                dscg.add_chain(stream.builder.finish())
+            dscg.link_chains()
+            self._finalized = dscg
+            return dscg

@@ -17,6 +17,7 @@ system with the bundled example applications:
 - ``svg``             hyperbolic-layout SVG of the DSCG
 - ``harness``         generate a replay harness script
 - ``export-trace``    export a run as Chrome/Perfetto or OTLP trace JSON
+- ``incidents``       streaming spike detection + causal root-cause ranking
 - ``metrics``         run a demo with self-metrics on; print Prometheus text
 - ``store-info``      segment/record/compaction report of a storage backend
 """
@@ -240,14 +241,62 @@ def cmd_harness(args) -> int:
 def cmd_export_trace(args) -> int:
     from repro.telemetry import render_chrome_trace, render_otlp
 
+    incidents = None
+    if args.incidents:
+        from repro.analysis.streaming import incidents_from_json
+
+        with open(args.incidents) as handle:
+            incidents = incidents_from_json(handle.read())
     database, run_id, dscg = _load_dscg(args)
     indent = 2 if args.pretty else None
     if args.format == "chrome":
-        text = render_chrome_trace(dscg, run_id=run_id, indent=indent)
+        text = render_chrome_trace(
+            dscg, run_id=run_id, indent=indent, incidents=incidents
+        )
     else:
-        text = render_otlp(dscg, run_id=run_id, indent=indent)
+        text = render_otlp(dscg, run_id=run_id, indent=indent, incidents=incidents)
     _emit(args.output, text)
     return 0
+
+
+def cmd_incidents(args) -> int:
+    """Streaming spike detection over a collected run (or the demo).
+
+    Exits 1 when incidents fired — scriptable as a regression gate:
+    ``repro incidents run.db && echo clean``.
+    """
+    from repro.analysis.streaming import (
+        DetectionConfig,
+        detect_run,
+        incidents_to_json,
+        seeded_incident_report,
+    )
+
+    config = DetectionConfig(
+        window=args.window,
+        min_samples=args.min_samples,
+        z_threshold=args.z_threshold,
+        persistence=args.persistence,
+        cooldown=args.cooldown,
+    )
+    watch = None
+    if args.watch:
+        watch = lambda report: print(report.one_line(), flush=True)  # noqa: E731
+    if args.demo_faults is not None:
+        document, incidents = seeded_incident_report(
+            args.demo_faults, calls=args.calls, config=config, watch=watch
+        )
+    else:
+        if not args.database:
+            raise SystemExit("incidents: provide a database or --demo-faults SEED")
+        database, run_id = _open_run(args)
+        detector = detect_run(database, run_id, config=config, on_incident=watch)
+        document = incidents_to_json(
+            detector.incidents, run_id=run_id, extra={"config": config.to_dict()}
+        )
+        incidents = detector.incidents
+    _emit(args.output, document)
+    return 1 if incidents else 0
 
 
 def cmd_metrics(args) -> int:
@@ -423,11 +472,42 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--output", default=None)
         command.add_argument("--pretty", action="store_true",
                              help="indent the JSON output")
+        command.add_argument("--incidents", default=None, metavar="FILE",
+                             help="incident-report JSON (from `repro incidents"
+                                  " --output`); annotates implicated chains")
 
     add_run_command(
         "export-trace", cmd_export_trace,
         "export a collected run as standard trace JSON", export_trace_args,
     )
+
+    incidents = sub.add_parser(
+        "incidents",
+        help="streaming spike detection and causal root-cause ranking",
+    )
+    incidents.add_argument("database", nargs="?", default=None,
+                           help="monitoring store to replay (omit with"
+                                " --demo-faults)")
+    incidents.add_argument("--run", default=None, help="run id (default: latest)")
+    incidents.add_argument("--demo-faults", type=int, default=None, metavar="SEED",
+                           help="run the seeded three-tier delay scenario"
+                                " instead of reading a store")
+    incidents.add_argument("--calls", type=int, default=48,
+                           help="demo scenario call count")
+    incidents.add_argument("--watch", action="store_true",
+                           help="print incidents live as they fire")
+    incidents.add_argument("--window", type=int, default=64,
+                           help="rolling baseline window (completions)")
+    incidents.add_argument("--min-samples", type=int, default=8,
+                           help="baseline warm-up before alarming")
+    incidents.add_argument("--z-threshold", type=float, default=4.0,
+                           help="robust z-score spike threshold")
+    incidents.add_argument("--persistence", type=int, default=3,
+                           help="consecutive anomalies to open an incident")
+    incidents.add_argument("--cooldown", type=int, default=8,
+                           help="consecutive normals to close an incident")
+    incidents.add_argument("--output", default=None)
+    incidents.set_defaults(func=cmd_incidents)
 
     metrics = sub.add_parser(
         "metrics",

@@ -79,8 +79,40 @@ class _TidMap:
         return sorted(self._tids.items(), key=lambda kv: kv[1])
 
 
-def chrome_trace_document(dscg: Dscg, run_id: str = "") -> dict:
-    """Build the trace-event document (a JSON-serializable dict)."""
+def _implicated_chains(incidents) -> dict[str, list[str]]:
+    """chain uuid -> sorted incident ids that implicate it."""
+    implicated: dict[str, list[str]] = {}
+    for report in incidents or ():
+        for chain_uuid in report.implicated_chains:
+            implicated.setdefault(chain_uuid, []).append(report.incident_id)
+    return {chain: sorted(ids) for chain, ids in implicated.items()}
+
+
+def _incident_summaries(incidents) -> list[dict]:
+    summaries = []
+    for report in incidents or ():
+        cause = report.root_cause
+        summaries.append(
+            {
+                "incident_id": report.incident_id,
+                "function": report.function,
+                "root_cause_component": cause.component if cause else None,
+                "root_cause_function": cause.function if cause else None,
+            }
+        )
+    return summaries
+
+
+def chrome_trace_document(dscg: Dscg, run_id: str = "", incidents=None) -> dict:
+    """Build the trace-event document (a JSON-serializable dict).
+
+    ``incidents`` (a list of streaming
+    :class:`~repro.analysis.streaming.incident.IncidentReport`) annotates
+    every slice on an implicated chain with its incident ids, so the
+    Perfetto query ``args.incident_ids`` jumps straight to the affected
+    traces; the summaries land in ``otherData.incidents``.
+    """
+    implicated = _implicated_chains(incidents)
     events: list[dict] = []
     tids = _TidMap()
     processes: dict[int, str] = {}
@@ -112,6 +144,9 @@ def chrome_trace_document(dscg: Dscg, run_id: str = "") -> dict:
                     "domain": node.domain.value,
                     "event_seq": start.event_seq,
                 }
+                incident_ids = implicated.get(node.chain_uuid)
+                if incident_ids:
+                    args["incident_ids"] = incident_ids
                 if side == primary:
                     args["primary"] = True
                     args["probe_overhead_ns"] = causality_overhead(node)
@@ -189,19 +224,27 @@ def chrome_trace_document(dscg: Dscg, run_id: str = "") -> dict:
             }
         )
 
+    other_data = {
+        "format": "repro-chrome-trace",
+        "run_id": run_id,
+        "chains": len(dscg.chains),
+        "slices": sum(1 for e in events if e["ph"] == "X"),
+        "skipped_timeless_nodes": skipped_timeless,
+    }
+    if incidents:
+        other_data["incidents"] = _incident_summaries(incidents)
     return {
         "traceEvents": metadata + events,
         "displayTimeUnit": "ms",
-        "otherData": {
-            "format": "repro-chrome-trace",
-            "run_id": run_id,
-            "chains": len(dscg.chains),
-            "slices": sum(1 for e in events if e["ph"] == "X"),
-            "skipped_timeless_nodes": skipped_timeless,
-        },
+        "otherData": other_data,
     }
 
 
-def render_chrome_trace(dscg: Dscg, run_id: str = "", indent: int | None = None) -> str:
+def render_chrome_trace(
+    dscg: Dscg, run_id: str = "", indent: int | None = None, incidents=None
+) -> str:
     """Chrome trace JSON text, ready for Perfetto's *Open trace file*."""
-    return json.dumps(chrome_trace_document(dscg, run_id=run_id), indent=indent)
+    return json.dumps(
+        chrome_trace_document(dscg, run_id=run_id, incidents=incidents),
+        indent=indent,
+    )

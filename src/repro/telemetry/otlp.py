@@ -29,7 +29,12 @@ import json
 from repro.analysis.dscg import CallNode, Dscg
 from repro.analysis.latency import causality_overhead, end_to_end_latency
 from repro.core.events import TracingEvent
-from repro.telemetry.chrome_trace import _primary_side, _window
+from repro.telemetry.chrome_trace import (
+    _implicated_chains,
+    _incident_summaries,
+    _primary_side,
+    _window,
+)
 
 _SPAN_KIND_INTERNAL = 1
 _SPAN_KIND_SERVER = 2
@@ -55,8 +60,14 @@ def _attr(key: str, value) -> dict:
     return {"key": key, "value": {"stringValue": str(value)}}
 
 
-def otlp_document(dscg: Dscg, run_id: str = "") -> dict:
-    """Build the OTLP/JSON-shaped document (a JSON-serializable dict)."""
+def otlp_document(dscg: Dscg, run_id: str = "", incidents=None) -> dict:
+    """Build the OTLP/JSON-shaped document (a JSON-serializable dict).
+
+    ``incidents`` annotates every span on an implicated chain with a
+    ``repro.incident_ids`` attribute (comma-joined incident ids) and
+    summarizes the incidents in ``otherData.incidents``.
+    """
+    implicated = _implicated_chains(incidents)
     #: process name -> (resource attrs, spans)
     by_process: dict[str, dict] = {}
     skipped_timeless = 0
@@ -129,6 +140,11 @@ def otlp_document(dscg: Dscg, run_id: str = "") -> dict:
                     _attr("repro.collocated", node.collocated),
                     _attr("repro.event_seq", start.event_seq),
                 ]
+                incident_ids = implicated.get(node.chain_uuid)
+                if incident_ids:
+                    attributes.append(
+                        _attr("repro.incident_ids", ",".join(incident_ids))
+                    )
                 if side == primary:
                     attributes.append(
                         _attr("repro.probe_overhead_ns", causality_overhead(node))
@@ -200,17 +216,24 @@ def otlp_document(dscg: Dscg, run_id: str = "") -> dict:
         }
         for _, entry in sorted(by_process.items())
     ]
+    other_data = {
+        "format": "repro-otlp-trace",
+        "run_id": run_id,
+        "chains": len(dscg.chains),
+        "skipped_timeless_nodes": skipped_timeless,
+    }
+    if incidents:
+        other_data["incidents"] = _incident_summaries(incidents)
     return {
         "resourceSpans": resource_spans,
-        "otherData": {
-            "format": "repro-otlp-trace",
-            "run_id": run_id,
-            "chains": len(dscg.chains),
-            "skipped_timeless_nodes": skipped_timeless,
-        },
+        "otherData": other_data,
     }
 
 
-def render_otlp(dscg: Dscg, run_id: str = "", indent: int | None = None) -> str:
+def render_otlp(
+    dscg: Dscg, run_id: str = "", indent: int | None = None, incidents=None
+) -> str:
     """OTLP/JSON text of the DSCG's spans."""
-    return json.dumps(otlp_document(dscg, run_id=run_id), indent=indent)
+    return json.dumps(
+        otlp_document(dscg, run_id=run_id, incidents=incidents), indent=indent
+    )

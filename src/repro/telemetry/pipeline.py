@@ -46,12 +46,20 @@ class LiveMetricsPipeline:
         )
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        #: Exception that killed the background sampler, if any. A dead
+        #: daemon thread is otherwise invisible: metrics silently stop
+        #: updating while the pipeline looks started.
+        self.sampler_error: BaseException | None = None
 
     # ------------------------------------------------------------------
 
     def poll(self) -> int:
         """Pull any new records from every process buffer; returns count."""
         return self.monitor.poll(self.processes)
+
+    def alerts(self):
+        """Alerts raised so far (SLO breaches, abnormal transitions)."""
+        return self.monitor.alerts()
 
     def render(self) -> str:
         """Prometheus exposition text of the registry's current state."""
@@ -60,15 +68,24 @@ class LiveMetricsPipeline:
     # ------------------------------------------------------------------
     # Background sampling
 
+    @property
+    def running(self) -> bool:
+        """Whether the sampler thread is alive and polling."""
+        return self._thread is not None and self._thread.is_alive()
+
     def start(self, interval_s: float = 0.05) -> None:
         """Poll from a daemon thread every ``interval_s`` seconds."""
         if self._thread is not None:
             return
         self._stop.clear()
+        self.sampler_error = None
 
         def sample() -> None:
-            while not self._stop.wait(interval_s):
-                self.poll()
+            try:
+                while not self._stop.wait(interval_s):
+                    self.poll()
+            except BaseException as exc:
+                self.sampler_error = exc
 
         self._thread = threading.Thread(
             target=sample, name="telemetry-pipeline", daemon=True
@@ -76,10 +93,18 @@ class LiveMetricsPipeline:
         self._thread.start()
 
     def stop(self) -> None:
-        """Stop the sampler thread and run one final catch-up poll."""
+        """Stop the sampler, run one final catch-up poll, surface errors.
+
+        If the sampler thread died between polls, the exception that
+        killed it is re-raised here (after the catch-up poll) instead of
+        vanishing with the daemon thread.
+        """
         if self._thread is None:
             return
         self._stop.set()
         self._thread.join(timeout=2.0)
         self._thread = None
         self.poll()
+        if self.sampler_error is not None:
+            error, self.sampler_error = self.sampler_error, None
+            raise RuntimeError("telemetry sampler thread died") from error

@@ -33,10 +33,25 @@ class TestLiveState:
         monitor.ingest_many(
             records_for([Call("I::F", cpu_ns=100), Call("I::F", cpu_ns=300)])
         )
-        count, mean_ns, max_ns = monitor.latency_stats()["I::F"]
-        assert count == 2
-        assert mean_ns == 200
-        assert max_ns == 300
+        stats = monitor.latency_stats()["I::F"]
+        assert stats.count == 2
+        assert stats.mean_ns == 200
+        assert stats.max_ns == 300
+
+    def test_latency_stats_streaming_percentiles(self):
+        monitor = OnlineMonitor()
+        # 100 calls: 1ns, 2ns, ... 100ns of consumed CPU -> latencies
+        # spread over two orders of magnitude.
+        monitor.ingest_many(
+            records_for([Call("I::F", cpu_ns=i) for i in range(1, 101)])
+        )
+        stats = monitor.latency_stats()["I::F"]
+        assert stats.count == 100
+        # P² estimates: within a few ranks of the exact percentiles.
+        assert stats.p50_ns <= stats.p95_ns <= stats.p99_ns <= stats.max_ns
+        assert abs(stats.p50_ns - 50) <= 10
+        assert stats.p95_ns >= 85
+        assert stats.p99_ns >= 90
 
     def test_poll_is_incremental(self):
         sim = simulate([Call("I::F", cpu_ns=5)], mode=MonitorMode.LATENCY)
@@ -85,3 +100,38 @@ class TestAlerts:
         monitor.ingest_many(shuffled)
         assert monitor.alerts() == []
         assert monitor.completed_calls() == 2
+
+
+class TestBoundedPending:
+    def test_overflow_drops_counts_and_alerts_once(self):
+        records = records_for(
+            [Call("I::F", cpu_ns=5, children=(Call("I::G", cpu_ns=2),))]
+        )
+        monitor = OnlineMonitor(max_pending=2)
+        # Withhold seq 0: everything else is out-of-order and must buffer.
+        for record in records[1:]:
+            monitor.ingest(record)
+        assert monitor.pending_records() == 2
+        assert monitor.pending_dropped == len(records) - 3
+        overflow = [a for a in monitor.alerts() if a.kind == "overflow"]
+        assert len(overflow) == 1  # one alert per saturation episode
+        # Delivering the gap record drains the survivors.
+        monitor.ingest(records[0])
+        assert monitor.pending_records() == 0
+
+    def test_duplicate_pending_record_not_double_counted(self):
+        records = records_for([Call("I::F", cpu_ns=5)])
+        monitor = OnlineMonitor(max_pending=4)
+        monitor.ingest(records[2])
+        monitor.ingest(records[2])  # same seq again: overwrites, no growth
+        assert monitor.pending_records() == 1
+
+    def test_unbounded_when_disabled(self):
+        records = records_for(
+            [Call("I::F", cpu_ns=5, children=(Call("I::G", cpu_ns=2),))]
+        )
+        monitor = OnlineMonitor(max_pending=None)
+        for record in records[1:]:
+            monitor.ingest(record)
+        assert monitor.pending_records() == len(records) - 1
+        assert monitor.pending_dropped == 0
