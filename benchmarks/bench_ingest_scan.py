@@ -161,6 +161,250 @@ def run_backend(kind: str, records, batches: int, repeat: int) -> dict:
     return result
 
 
+def _pick_chain_prefix(records, target: float = 0.01) -> tuple[str, float]:
+    """Shortest all-zero uuid prefix whose selectivity is ≤ ``target``.
+
+    Chain uuids here are zero-padded hex, so longer runs of leading
+    zeros select exponentially fewer chains; probe lengths until the
+    matched-record fraction first drops under the target (chosen
+    empirically from the data, like a user zooming into one chain
+    family).
+    """
+    total = len(records)
+    for length in range(24, 33):
+        prefix = "0" * length
+        matched = sum(1 for r in records if r.chain_uuid.startswith(prefix))
+        if 0 < matched <= total * target:
+            return prefix, matched / total
+    # Degenerate shapes (very few chains): fall back to one full uuid.
+    uuid = records[0].chain_uuid
+    matched = sum(1 for r in records if r.chain_uuid == uuid)
+    return uuid, matched / total
+
+
+def _timed_predicated_scan(store, predicate):
+    from repro.store import ScanStats
+
+    stats = ScanStats()
+    started = time.perf_counter()
+    matched = sum(
+        len(group)
+        for _c, group in store.chains_for_run("bench", predicate=predicate,
+                                              stats=stats)
+    )
+    return time.perf_counter() - started, matched, stats
+
+
+def run_selective(records, batches: int, repeat: int) -> dict:
+    """Predicate-pushdown speedups over the sealed segment store.
+
+    Three predicate shapes, each timed against the unpredicated sealed
+    scan of the same store: a ~1%-selectivity chain-uuid prefix, a
+    single-operation filter, and a ~1% time window. ``speedup`` is
+    unpredicated-scan-time / predicated-scan-time; ``frames_decoded``
+    shows how much decode work pruning actually skipped.
+    """
+    from repro.core import RunMetadata
+    from repro.store import ScanPredicate, ScanStats, SegmentStore
+
+    count = len(records)
+    prefix, prefix_sel = _pick_chain_prefix(records)
+    operation = records[0].operation
+    op_matched = sum(1 for r in records if r.operation == operation)
+    anchors_lo = records[int(count * 0.495)].wall_start
+    anchors_hi = records[int(count * 0.505)].wall_start
+    shapes = {
+        "chain_prefix": ScanPredicate(chain_prefix=prefix),
+        "single_operation": ScanPredicate(operations=frozenset({operation})),
+        "time_window": ScanPredicate(ts_min=anchors_lo, ts_max=anchors_hi),
+    }
+
+    best: dict[str, dict] = {}
+    best_full = float("inf")
+    for _ in range(repeat):
+        root = tempfile.mkdtemp(prefix="bench-selective-")
+        try:
+            store = SegmentStore(os.path.join(root, "store"), auto_compact=0)
+            store.create_run(RunMetadata(run_id="bench", monitor_mode="cpu"))
+            step = (count + batches - 1) // batches
+            for lo in range(0, count, step):
+                with store.bulk_ingest():
+                    store.insert_records("bench", records[lo:lo + step])
+            store.compact("bench")
+
+            full_stats = ScanStats()
+            started = time.perf_counter()
+            scanned = sum(
+                len(g) for _c, g in store.chains_for_run(
+                    "bench", stats=full_stats
+                )
+            )
+            full_s = time.perf_counter() - started
+            if scanned != count:
+                raise SystemExit(f"selective: full scan {scanned}/{count}")
+            best_full = min(best_full, full_s)
+
+            for name, predicate in shapes.items():
+                elapsed, matched, stats = _timed_predicated_scan(store, predicate)
+                if stats.frames_decoded > full_stats.frames_decoded:
+                    raise SystemExit(
+                        f"selective/{name}: predicated scan decoded"
+                        f" {stats.frames_decoded} frames >"
+                        f" {full_stats.frames_decoded} unpredicated"
+                    )
+                entry = best.get(name)
+                if entry is None or elapsed < entry["scan_s"]:
+                    best[name] = {
+                        "scan_s": elapsed,
+                        "records_matched": matched,
+                        "selectivity": round(matched / count, 4),
+                        "frames_decoded": stats.frames_decoded,
+                        "segments_pruned": stats.segments_pruned,
+                        "groups_pruned": stats.groups_pruned,
+                    }
+            store.close()
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    result = {
+        "full_scan_s": round(best_full, 4),
+        "full_frames_decoded": count,
+        "chain_prefix_value": prefix,
+        "chain_prefix_selectivity": round(prefix_sel, 4),
+        "single_operation_selectivity": round(op_matched / count, 4),
+        "shapes": {},
+    }
+    for name, entry in best.items():
+        entry["speedup"] = round(best_full / entry["scan_s"], 2)
+        entry["scan_s"] = round(entry["scan_s"], 4)
+        result["shapes"][name] = entry
+    return result
+
+
+def run_catalog(records, n_runs: int, repeat: int) -> dict:
+    """Cross-run catalog query vs the naive per-run scan-and-filter loop.
+
+    The same records split across ``n_runs`` runs; the query is "latency
+    stats of one operation over every run". The naive baseline is what a
+    user without the catalog writes: scan every run unpredicated and
+    filter in Python.
+    """
+    from repro.core import RunMetadata
+    from repro.store import RunCatalog, ScanPredicate, SegmentStore
+
+    operation = records[0].operation
+    predicate = ScanPredicate(operations=frozenset({operation}))
+    per_run = (len(records) + n_runs - 1) // n_runs
+    best_naive = best_catalog = best_catalog_warm = float("inf")
+    workers = min(4, n_runs)
+    for _ in range(repeat):
+        root = tempfile.mkdtemp(prefix="bench-catalog-")
+        try:
+            store = SegmentStore(os.path.join(root, "store"), auto_compact=0)
+            for n in range(n_runs):
+                run_id = f"run-{n:03d}"
+                store.create_run(RunMetadata(run_id=run_id, monitor_mode="cpu"))
+                with store.bulk_ingest():
+                    store.insert_records(
+                        run_id, records[n * per_run:(n + 1) * per_run]
+                    )
+            store.compact_all()
+            catalog = RunCatalog(store)
+
+            started = time.perf_counter()
+            naive = []
+            for run_id in catalog.run_ids():
+                for _c, group in store.chains_for_run(run_id):
+                    naive.extend(
+                        r.wall_end - r.wall_start
+                        for r in group
+                        if r.operation == operation
+                        and r.wall_start is not None and r.wall_end is not None
+                    )
+            naive.sort()
+            best_naive = min(best_naive, time.perf_counter() - started)
+
+            started = time.perf_counter()
+            result = catalog.query(predicate, workers=workers)
+            best_catalog = min(best_catalog, time.perf_counter() - started)
+            expected = sum(row["records"] for row in result.runs)
+            if expected != sum(1 for r in records if r.operation == operation):
+                raise SystemExit("catalog: cross-run count mismatch")
+
+            # Second query hits the warmed per-run summaries / mmaps.
+            started = time.perf_counter()
+            catalog.query(predicate, workers=workers)
+            best_catalog_warm = min(
+                best_catalog_warm, time.perf_counter() - started
+            )
+            store.close()
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return {
+        "runs": n_runs,
+        "workers": workers,
+        "naive_s": round(best_naive, 4),
+        "catalog_s": round(best_catalog, 4),
+        "catalog_warm_s": round(best_catalog_warm, 4),
+        "speedup": round(best_naive / best_catalog, 2),
+    }
+
+
+def run_compaction_lag(records, n_runs: int, max_compactors: int) -> dict:
+    """Sealed-segment lag under sustained multi-run ingest.
+
+    Records stream round-robin into ``n_runs`` runs with background
+    compaction on (``auto_compact`` low, ``max_compactors`` parallel
+    workers over disjoint runs). ``max_spool_lag`` is the worst
+    uncompacted-segment backlog any run accumulated; bounded lag means
+    the compactor pool kept up with ingest.
+    """
+    from repro.core import RunMetadata
+    from repro.store import SegmentStore
+
+    root = tempfile.mkdtemp(prefix="bench-compact-")
+    try:
+        store = SegmentStore(
+            os.path.join(root, "store"), auto_compact=4,
+            compact_in_background=True, max_compactors=max_compactors,
+        )
+        run_ids = [f"run-{n:03d}" for n in range(n_runs)]
+        for run_id in run_ids:
+            store.create_run(RunMetadata(run_id=run_id, monitor_mode="cpu"))
+        step = 2_000
+        max_lag = 0
+        started = time.perf_counter()
+        for lo in range(0, len(records), step):
+            run_id = run_ids[(lo // step) % n_runs]
+            store.insert_records(run_id, records[lo:lo + step])
+            max_lag = max(
+                max_lag,
+                max(store.compaction_state(r)["spool_segments"]
+                    for r in run_ids),
+            )
+        ingest_s = time.perf_counter() - started
+        deadline = time.time() + 60
+        while any(
+            store.compaction_state(r)["compaction_running"] for r in run_ids
+        ) and time.time() < deadline:
+            time.sleep(0.01)
+        settled = [store.compaction_state(r)["segments"] for r in run_ids]
+        errors = [store.compaction_state(r)["last_error"] for r in run_ids]
+        if any(errors):
+            raise SystemExit(f"compaction errors: {errors}")
+        store.close()
+        return {
+            "runs": n_runs,
+            "max_compactors": max_compactors,
+            "ingest_s": round(ingest_s, 4),
+            "max_spool_lag": max_lag,
+            "settled_segments": max(settled),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--records", type=int, default=120_000)
@@ -177,6 +421,10 @@ def main(argv=None) -> int:
                         help="required combined speedup at full scale")
     parser.add_argument("--min-scan-speedup", type=float, default=1.0,
                         help="required scan speedup (the --quick gate)")
+    parser.add_argument("--min-selective-speedup", type=float, default=5.0,
+                        help="required ≤1%%-selectivity predicated-scan"
+                             " speedup over the full sealed scan (full"
+                             " scale only)")
     parser.add_argument("--output", default=None)
     args = parser.parse_args(argv)
 
@@ -202,6 +450,24 @@ def main(argv=None) -> int:
     print(f"speedup: ingest {speedups['ingest']}x scan {speedups['scan']}x"
           f" combined {speedups['combined']}x")
 
+    selective = run_selective(records, args.batches, args.repeat)
+    for name, shape in selective["shapes"].items():
+        print(f"selective/{name:17s} {shape['selectivity']*100:5.2f}% of records,"
+              f" {shape['speedup']}x over full scan"
+              f" ({shape['frames_decoded']:,} frames decoded)")
+
+    n_runs = 4 if args.quick else 8
+    catalog = run_catalog(records, n_runs, args.repeat)
+    print(f"catalog: {catalog['runs']} runs, query {catalog['catalog_s']:.3f}s"
+          f" vs naive {catalog['naive_s']:.3f}s ({catalog['speedup']}x,"
+          f" warm {catalog['catalog_warm_s']:.3f}s)")
+
+    compaction = run_compaction_lag(records, n_runs, max_compactors=2)
+    print(f"compaction lag: max {compaction['max_spool_lag']} spool segments"
+          f" across {compaction['runs']} runs"
+          f" ({compaction['max_compactors']} compactors), settled at"
+          f" {compaction['settled_segments']}")
+
     document = {
         "benchmark": "ingest_scan",
         "records": args.records,
@@ -213,6 +479,9 @@ def main(argv=None) -> int:
         "machine": platform.machine(),
         "results": results,
         "speedups": speedups,
+        "selective": selective,
+        "catalog": catalog,
+        "compaction_lag": compaction,
     }
     if args.output:
         with open(args.output, "w") as handle:
@@ -221,15 +490,37 @@ def main(argv=None) -> int:
         print(f"wrote {args.output}")
 
     if args.check:
+        # The pushdown invariant gates at every scale: a predicated scan
+        # must never decode more frames than the unpredicated one.
+        # (run_selective already hard-fails on violation; re-assert on
+        # the recorded numbers so the gate is visible in the output.)
+        for name, shape in selective["shapes"].items():
+            if shape["frames_decoded"] > selective["full_frames_decoded"]:
+                print(f"FAIL: selective/{name} decoded"
+                      f" {shape['frames_decoded']} frames >"
+                      f" {selective['full_frames_decoded']} unpredicated",
+                      file=sys.stderr)
+                return 1
         if args.quick:
             if speedups["scan"] < args.min_scan_speedup:
                 print(f"FAIL: scan speedup {speedups['scan']}x <"
                       f" {args.min_scan_speedup}x", file=sys.stderr)
                 return 1
-        elif speedups["combined"] < args.min_speedup:
-            print(f"FAIL: combined speedup {speedups['combined']}x <"
-                  f" {args.min_speedup}x", file=sys.stderr)
-            return 1
+        else:
+            if speedups["combined"] < args.min_speedup:
+                print(f"FAIL: combined speedup {speedups['combined']}x <"
+                      f" {args.min_speedup}x", file=sys.stderr)
+                return 1
+            # At ≤1% selectivity the chain-prefix shape must show real
+            # pruning wins, not just post-decode filtering.
+            shape = selective["shapes"]["chain_prefix"]
+            if (shape["selectivity"] <= 0.01
+                    and shape["speedup"] < args.min_selective_speedup):
+                print(f"FAIL: chain-prefix selective speedup"
+                      f" {shape['speedup']}x < {args.min_selective_speedup}x"
+                      f" at {shape['selectivity']*100:.2f}% selectivity",
+                      file=sys.stderr)
+                return 1
         print("CHECK OK")
     return 0
 

@@ -41,6 +41,7 @@ from repro.analysis.latency import annotate_chain_latency
 
 if TYPE_CHECKING:
     from repro.store.backend import StorageBackend
+    from repro.store.query import ScanPredicate
 
 #: Upper bound on the auto-selected pool: analyzer shards are CPU-heavy,
 #: so there is no point outnumbering the cores by much.
@@ -110,12 +111,13 @@ def _reconstruct_shard(
     run_id: str,
     bounds: tuple[str, str],
     annotate: bool,
+    predicate: "ScanPredicate | None" = None,
 ) -> list[ChainTree]:
     """Worker body: rebuild (and annotate) one contiguous uuid range."""
     first, last = bounds
     trees: list[ChainTree] = []
     for chain_uuid, records in database.chains_for_run(
-        run_id, first_chain=first, last_chain=last
+        run_id, first_chain=first, last_chain=last, predicate=predicate
     ):
         tree = statemachine.reconstruct_chain(chain_uuid, records)
         if annotate:
@@ -131,11 +133,15 @@ def reconstruct_sharded(
     workers: int | None = None,
     annotate: bool = False,
     oversubscribe: bool = False,
+    predicate: "ScanPredicate | None" = None,
 ) -> Dscg:
     """Parallel drop-in for :func:`repro.analysis.reconstruct`.
 
     Produces a DSCG identical (including chain iteration order and
-    serialized JSON) to the serial single-scan reconstruction.
+    serialized JSON) to the serial single-scan reconstruction. A
+    ``predicate`` is pushed into every shard's bounded scan; chains whose
+    records are all filtered out simply do not appear, so the sharded
+    predicated result matches the serial predicated one.
 
     The pool is sized ``min(workers, cpu_count)``: reconstruction is
     CPU-bound, so threads beyond the core count only add GIL contention
@@ -156,7 +162,7 @@ def reconstruct_sharded(
         # Nothing to shard — run the scan inline, skipping pool overhead.
         if bounds:
             dscg.add_chains(
-                _reconstruct_shard(database, run_id, bounds[0], annotate)
+                _reconstruct_shard(database, run_id, bounds[0], annotate, predicate)
             )
         dscg.link_chains()
         return dscg
@@ -164,7 +170,9 @@ def reconstruct_sharded(
         max_workers=len(bounds), thread_name_prefix="repro-analyzer"
     ) as pool:
         futures = [
-            pool.submit(_reconstruct_shard, database, run_id, shard, annotate)
+            pool.submit(
+                _reconstruct_shard, database, run_id, shard, annotate, predicate
+            )
             for shard in bounds
         ]
         # Consume in shard order (not completion order): the merged chain

@@ -33,6 +33,7 @@ from repro.analysis.dscg import AbnormalEvent, CallNode, ChainTree, Dscg
 
 if TYPE_CHECKING:
     from repro.store.backend import StorageBackend
+    from repro.store.query import ScanPredicate
 
 
 def _same_call(node: CallNode, record: ProbeRecord) -> bool:
@@ -224,6 +225,7 @@ def reconstruct(
     run_id: str,
     workers: int = 1,
     annotate: bool = False,
+    predicate: "ScanPredicate | None" = None,
 ) -> Dscg:
     """Build the DSCG for one collected run.
 
@@ -239,18 +241,31 @@ def reconstruct(
     :mod:`repro.analysis.parallel`); ``workers=0`` picks a pool size from
     the host CPU count. ``annotate=True`` additionally stamps each node's
     chain-local ``latency_ns``/``self_cpu_ns`` inside the same pass.
+
+    ``predicate`` pushes a :class:`~repro.store.ScanPredicate` down into
+    the backend scan, reconstructing only matching records (entire
+    segments and chain groups are pruned before decode on the segment
+    store). A chain-structure predicate — e.g. a time window that cuts
+    calls in half — can of course surface as abnormal events; that is
+    the record stream the caller asked to analyze.
     """
     if workers == 0 or workers > 1:
         from repro.analysis.parallel import reconstruct_sharded
 
         return reconstruct_sharded(
-            database, run_id, workers=workers or None, annotate=annotate
+            database,
+            run_id,
+            workers=workers or None,
+            annotate=annotate,
+            predicate=predicate,
         )
     from repro.analysis.cpu import annotate_chain_self_cpu
     from repro.analysis.latency import annotate_chain_latency
 
     dscg = Dscg()
-    for chain_uuid, records in database.chains_for_run(run_id):
+    for chain_uuid, records in database.chains_for_run(
+        run_id, predicate=predicate
+    ):
         tree = reconstruct_chain(chain_uuid, records)
         if annotate:
             annotate_chain_latency(tree)

@@ -332,15 +332,58 @@ def cmd_metrics(args) -> int:
         telemetry.disable()
 
 
+def _build_predicate(args):
+    """A :class:`ScanPredicate` from the shared ``query`` flags (or None)."""
+    from repro.store import ScanPredicate
+
+    predicate = ScanPredicate(
+        ts_min=args.since,
+        ts_max=args.until,
+        interfaces=frozenset(args.interface) if args.interface else None,
+        operations=frozenset(args.operation) if args.operation else None,
+        chain_prefix=args.chain_prefix,
+    )
+    return None if predicate.is_empty else predicate
+
+
+def cmd_query(args) -> int:
+    """Predicated store query: one run, or cross-run via the catalog."""
+    import json
+
+    from repro.store import RunCatalog, ScanStats, SegmentStore, run_query
+
+    predicate = _build_predicate(args)
+    if args.last is not None:
+        # Cross-run catalog mode: fan the predicated scan over the newest
+        # N runs, merging per-operation latency deterministically.
+        database = open_store(args.database)
+        if not isinstance(database, SegmentStore):
+            raise SystemExit("query --last needs a segment store (the run"
+                             " catalog lives in its directory layout)")
+        result = RunCatalog(database).query(
+            predicate, last_n=args.last, workers=args.workers
+        ).to_dict()
+    else:
+        database, run_id = _open_run(args)
+        stats = ScanStats()
+        result = run_query(database, run_id, predicate, stats=stats)
+    _emit(args.output, json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_store_info(args) -> int:
     """Per-run record/segment/compaction report of a storage backend."""
     import json
 
-    from repro.store import SegmentStore
+    from repro.store import RunCatalog, SegmentStore
 
     database = open_store(args.database)
     if isinstance(database, SegmentStore):
         info = database.store_info()
+        if args.catalog:
+            info["catalog"] = RunCatalog(database).catalog_info()
+    elif args.catalog:
+        raise SystemExit("store-info --catalog needs a segment store")
     else:
         info = {
             "backend": "sqlite",
@@ -404,8 +447,37 @@ def build_parser() -> argparse.ArgumentParser:
         "store-info", help="segment/record/compaction report of a storage backend"
     )
     store_info.add_argument("database")
+    store_info.add_argument("--catalog", action="store_true",
+                            help="include the run-catalog report (per-run"
+                                 " summaries, downsampled flags; segment"
+                                 " stores only)")
     store_info.add_argument("--output", default=None)
     store_info.set_defaults(func=cmd_store_info)
+
+    query = sub.add_parser(
+        "query",
+        help="predicate-pushdown store query (per-operation latency stats)",
+    )
+    query.add_argument("database")
+    query.add_argument("--run", default=None, help="run id (default: latest)")
+    query.add_argument("--since", type=int, default=None, metavar="NS",
+                       help="inclusive wall-clock lower bound (ns; record"
+                            " anchor is wall_start, else wall_end)")
+    query.add_argument("--until", type=int, default=None, metavar="NS",
+                       help="inclusive wall-clock upper bound (ns)")
+    query.add_argument("--interface", action="append", default=None,
+                       help="keep only this interface (repeatable)")
+    query.add_argument("--operation", action="append", default=None,
+                       help="keep only this operation (repeatable)")
+    query.add_argument("--chain-prefix", default=None,
+                       help="keep only chains whose uuid starts with this")
+    query.add_argument("--last", type=int, default=None, metavar="N",
+                       help="cross-run mode: aggregate over the newest N"
+                            " runs via the catalog (segment stores only)")
+    query.add_argument("--workers", type=int, default=1,
+                       help="catalog scan fan-out width (cross-run mode)")
+    query.add_argument("--output", default=None)
+    query.set_defaults(func=cmd_query)
 
     def add_run_command(name, func, help_text, extra=None):
         command = sub.add_parser(name, help=help_text)

@@ -60,6 +60,19 @@ SCHEMA_STATEMENTS = (
     CREATE INDEX IF NOT EXISTS idx_records_function
         ON records (run_id, interface, operation)
     """,
+    # Predicate-pushdown parity with the segment store's query engine:
+    # single-operation filters (without an interface) and time-window
+    # filters each get an index so selective scans don't degrade to a
+    # full run scan. IF NOT EXISTS means existing databases pick these
+    # up on their next open.
+    """
+    CREATE INDEX IF NOT EXISTS idx_records_operation
+        ON records (run_id, operation)
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_records_wall
+        ON records (run_id, wall_start)
+    """,
 )
 
 RECORD_COLUMNS = ("run_id",) + tuple(field.name for field in RECORD_SCHEMA)

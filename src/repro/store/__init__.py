@@ -14,6 +14,8 @@ path (directory → segment store, file → SQLite).
 """
 
 from repro.store.backend import StorageBackend, detect_backend, open_store
+from repro.store.catalog import CrossRunResult, RetentionPolicy, RunCatalog
+from repro.store.query import ScanPredicate, ScanStats, run_query
 from repro.store.segment import SegmentReader, SegmentWriter, segment_info
 from repro.store.store import SegmentStore
 
@@ -22,7 +24,13 @@ __all__ = [
     "SegmentStore",
     "SegmentReader",
     "SegmentWriter",
+    "ScanPredicate",
+    "ScanStats",
+    "RunCatalog",
+    "RetentionPolicy",
+    "CrossRunResult",
     "detect_backend",
     "open_store",
+    "run_query",
     "segment_info",
 ]

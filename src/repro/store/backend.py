@@ -16,6 +16,7 @@ import os
 from typing import ContextManager, Iterable, Iterator, Protocol, runtime_checkable
 
 from repro.core.records import ProbeRecord, RunMetadata
+from repro.store.query import ScanPredicate
 from repro.store.store import MARKER_FILE, SegmentStore
 
 
@@ -48,11 +49,14 @@ class StorageBackend(Protocol):
         run_id: str,
         first_chain: str | None = None,
         last_chain: str | None = None,
+        predicate: ScanPredicate | None = None,
     ) -> Iterator[tuple[str, list[ProbeRecord]]]: ...
 
     def record_count(self, run_id: str) -> int: ...
 
-    def all_records(self, run_id: str) -> Iterator[ProbeRecord]: ...
+    def all_records(
+        self, run_id: str, predicate: ScanPredicate | None = None
+    ) -> Iterator[ProbeRecord]: ...
 
     def population_stats(self, run_id: str) -> dict[str, int]: ...
 

@@ -1,0 +1,371 @@
+"""Predicate-pushdown scanning for the record stores.
+
+A :class:`ScanPredicate` narrows a scan along three axes the paper's
+Section-3 analyses actually ask about:
+
+- a **time range** over the record's anchor timestamp (``wall_start``,
+  falling back to ``wall_end`` when the probe only captured the end
+  reading) — "what happened between t0 and t1";
+- **interface / operation sets** — "only calls to ``Printer::print``";
+- a **chain-uuid prefix** — "only the chains of this tenant / shard".
+
+The predicate is *pushed down* into the segment store so filtering
+happens before decode, at three pruning levels:
+
+1. **segment level** — the footer's timestamp bounds skip segments whose
+   time range cannot overlap; the per-segment string dictionary proves
+   an interface/operation was never interned (so no frame can match);
+   the footer chain index proves no chain carries the prefix;
+2. **chain-group level** (sealed segments) — the chain index plus the
+   per-group timestamp bounds skip whole byte ranges without touching
+   them;
+3. **frame level** — inside the fused decode loop, string predicates are
+   resolved to this segment's interned integer ids once
+   (:func:`segment_filter`), so the per-frame test is set membership on
+   ints and no :class:`~repro.core.records.ProbeRecord` is built for a
+   non-matching frame.
+
+The SQLite backend accepts the same predicate and compiles it to indexed
+``WHERE`` clauses; both backends return bit-identical results for any
+predicate (the cross-backend identity suite asserts it), because the
+record-level semantics live in exactly one place:
+:meth:`ScanPredicate.matches`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import StoreError
+
+if TYPE_CHECKING:
+    from repro.core.records import ProbeRecord
+    from repro.store.segment import SegmentReader
+
+
+def record_anchor(wall_start: int | None, wall_end: int | None) -> int | None:
+    """The timestamp a time-range predicate tests a record against.
+
+    ``wall_start`` when the probe captured it, else ``wall_end``; records
+    with neither never match a time-range predicate. Both backends and
+    the segment footer bounds use this one definition.
+    """
+    return wall_start if wall_start is not None else wall_end
+
+
+@dataclass(frozen=True)
+class ScanPredicate:
+    """A conjunction of record filters a scan can push below decode.
+
+    All parts are optional and AND-ed; an all-``None`` predicate matches
+    every record. ``ts_min``/``ts_max`` are inclusive nanosecond bounds
+    on the record anchor timestamp (see :func:`record_anchor`).
+    """
+
+    ts_min: int | None = None
+    ts_max: int | None = None
+    interfaces: frozenset[str] | None = None
+    operations: frozenset[str] | None = None
+    chain_prefix: str | None = None
+
+    def __post_init__(self):
+        # Normalize iterables to frozensets so predicates hash/compare
+        # and an empty set is rejected early (it would match nothing
+        # silently — almost always a caller bug).
+        for name in ("interfaces", "operations"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if isinstance(value, str):
+                value = (value,)
+            value = frozenset(value)
+            if not value:
+                raise StoreError(f"predicate {name} must not be an empty set")
+            object.__setattr__(self, name, value)
+        if (
+            self.ts_min is not None
+            and self.ts_max is not None
+            and self.ts_min > self.ts_max
+        ):
+            raise StoreError(
+                f"predicate time range is empty: ts_min {self.ts_min} >"
+                f" ts_max {self.ts_max}"
+            )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def is_empty(self) -> bool:
+        """True when every part is None — the scan needs no filtering."""
+        return (
+            self.ts_min is None
+            and self.ts_max is None
+            and self.interfaces is None
+            and self.operations is None
+            and self.chain_prefix is None
+        )
+
+    @property
+    def has_time_range(self) -> bool:
+        return self.ts_min is not None or self.ts_max is not None
+
+    def matches(self, record: "ProbeRecord") -> bool:
+        """Record-level semantics — the single source of truth.
+
+        Every pushdown level (segment pruning, group pruning, the
+        integer-id frame filter, the SQLite WHERE clauses) must accept
+        exactly the records this accepts.
+        """
+        if self.chain_prefix is not None and not record.chain_uuid.startswith(
+            self.chain_prefix
+        ):
+            return False
+        if self.interfaces is not None and record.interface not in self.interfaces:
+            return False
+        if self.operations is not None and record.operation not in self.operations:
+            return False
+        if self.has_time_range:
+            anchor = record_anchor(record.wall_start, record.wall_end)
+            if anchor is None:
+                return False
+            if self.ts_min is not None and anchor < self.ts_min:
+                return False
+            if self.ts_max is not None and anchor > self.ts_max:
+                return False
+        return True
+
+    def matches_chain(self, chain_uuid: str) -> bool:
+        return self.chain_prefix is None or chain_uuid.startswith(self.chain_prefix)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (sorted sets), also the CLI echo format."""
+        return {
+            "ts_min": self.ts_min,
+            "ts_max": self.ts_max,
+            "interfaces": sorted(self.interfaces) if self.interfaces else None,
+            "operations": sorted(self.operations) if self.operations else None,
+            "chain_prefix": self.chain_prefix,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScanPredicate":
+        return cls(
+            ts_min=data.get("ts_min"),
+            ts_max=data.get("ts_max"),
+            interfaces=(
+                frozenset(data["interfaces"]) if data.get("interfaces") else None
+            ),
+            operations=(
+                frozenset(data["operations"]) if data.get("operations") else None
+            ),
+            chain_prefix=data.get("chain_prefix"),
+        )
+
+
+@dataclass
+class ScanStats:
+    """Where a predicated scan spent (and saved) its work.
+
+    ``frames_decoded`` counts frames the decode loop actually walked —
+    the honest pushdown figure: a predicated scan must never decode more
+    frames than the unpredicated scan of the same data (the CI gate).
+    """
+
+    segments: int = 0
+    segments_pruned: int = 0
+    groups: int = 0
+    groups_pruned: int = 0
+    frames_decoded: int = 0
+    records_matched: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "segments": self.segments,
+            "segments_pruned": self.segments_pruned,
+            "groups": self.groups,
+            "groups_pruned": self.groups_pruned,
+            "frames_decoded": self.frames_decoded,
+            "records_matched": self.records_matched,
+        }
+
+
+class SegmentFilter:
+    """A :class:`ScanPredicate` resolved against one segment's dictionary.
+
+    String predicates become integer id sets (``None`` = that axis needs
+    no per-frame test), so the decode loop filters on ints only. Built
+    by :func:`segment_filter`; consumed by the ``*_filtered`` decode
+    methods of :class:`~repro.store.segment.SegmentReader`.
+    """
+
+    __slots__ = ("cids", "ifc_ids", "op_ids", "ts_lo", "ts_hi")
+
+    def __init__(self, cids, ifc_ids, op_ids, ts_lo, ts_hi):
+        self.cids = cids
+        self.ifc_ids = ifc_ids
+        self.op_ids = op_ids
+        self.ts_lo = ts_lo
+        self.ts_hi = ts_hi
+
+    @property
+    def is_pass(self) -> bool:
+        """True when no per-frame test remains (decode everything)."""
+        return (
+            self.cids is None
+            and self.ifc_ids is None
+            and self.op_ids is None
+            and self.ts_lo is None
+            and self.ts_hi is None
+        )
+
+    def without_chain_test(self) -> "SegmentFilter":
+        """The same filter minus the chain-id test (for decoding one
+        already-matched sealed chain group, where cid is constant)."""
+        if self.cids is None:
+            return self
+        return SegmentFilter(None, self.ifc_ids, self.op_ids, self.ts_lo, self.ts_hi)
+
+
+def bounds_overlap(
+    bounds: tuple[int, int] | None, lo: int | None, hi: int | None
+) -> bool:
+    """Can any anchor inside ``bounds`` fall within ``[lo, hi]``?
+
+    ``bounds`` is a footer (min, max) pair over anchor timestamps;
+    ``None`` means unknown (salvaged or pre-extension segment — never
+    prune), and an inverted pair (min > max) means *no frame carries an
+    anchor* — nothing can match a time-range predicate, so prune.
+    """
+    if bounds is None:
+        return True
+    bmin, bmax = bounds
+    if bmin > bmax:
+        return False
+    if lo is not None and bmax < lo:
+        return False
+    if hi is not None and bmin > hi:
+        return False
+    return True
+
+
+def segment_filter(
+    reader: "SegmentReader", predicate: ScanPredicate
+) -> SegmentFilter | None:
+    """Resolve ``predicate`` against one segment; ``None`` prunes it.
+
+    Segment-level pruning uses only footer metadata — the string
+    dictionary, the chain index, and the timestamp-bounds extension —
+    so a pruned segment costs zero frame decodes.
+    """
+    ts_lo = ts_hi = None
+    if predicate.has_time_range:
+        ts_lo, ts_hi = predicate.ts_min, predicate.ts_max
+        if not bounds_overlap(reader.ts_bounds, ts_lo, ts_hi):
+            return None
+
+    ifc_ids = op_ids = None
+    strings = reader.strings
+    if predicate.interfaces is not None:
+        want = predicate.interfaces
+        ifc_ids = {i for i, s in enumerate(strings) if s in want}
+        if not ifc_ids:
+            return None
+    if predicate.operations is not None:
+        want = predicate.operations
+        op_ids = {i for i, s in enumerate(strings) if s in want}
+        if not op_ids:
+            return None
+
+    cids = None
+    if predicate.chain_prefix is not None:
+        prefix = predicate.chain_prefix
+        cids = {cid for cid, _c, _o, _r in reader.chains
+                if strings[cid].startswith(prefix)}
+        if not cids:
+            return None
+        if len(cids) == len(reader.chains):
+            cids = None  # every chain matches: no per-frame test needed
+
+    return SegmentFilter(cids, ifc_ids, op_ids, ts_lo, ts_hi)
+
+
+# ----------------------------------------------------------------------
+# Query execution over a StorageBackend (the CLI `repro query` engine)
+
+
+def _nearest_rank(sorted_values: list[int], q: float) -> int:
+    """Deterministic nearest-rank percentile of a non-empty sorted list."""
+    index = max(0, min(len(sorted_values) - 1,
+                       int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+def run_query(
+    backend,
+    run_id: str,
+    predicate: ScanPredicate | None = None,
+    stats: ScanStats | None = None,
+) -> dict:
+    """Execute a predicated scan and aggregate per-operation latency.
+
+    Works against any :class:`~repro.store.StorageBackend`; the segment
+    store additionally fills ``stats`` with its pruning counters. The
+    result is JSON-ready and deterministic for a given store.
+
+    Per-operation ``wall_ns`` aggregates the record's own probe interval
+    (``wall_end - wall_start``) — the store-level latency figure that
+    needs no chain reconstruction.
+    """
+    predicate = predicate or ScanPredicate()
+    durations: dict[str, list[int]] = {}
+    counts: dict[str, int] = {}
+    chains: set[str] = set()
+    records = 0
+    kwargs = {"predicate": predicate}
+    if stats is not None:
+        kwargs["stats"] = stats
+    stats_filled = stats is not None
+    try:
+        groups = backend.chains_for_run(run_id, **kwargs)
+    except TypeError:
+        # Backend without stats plumbing (SQLite): predicate only, and
+        # the result carries no (all-zero) pruning counters.
+        groups = backend.chains_for_run(run_id, predicate=predicate)
+        stats_filled = False
+    for chain_uuid, group in groups:
+        chains.add(chain_uuid)
+        for record in group:
+            records += 1
+            key = f"{record.interface}::{record.operation}"
+            counts[key] = counts.get(key, 0) + 1
+            if record.wall_start is not None and record.wall_end is not None:
+                durations.setdefault(key, []).append(
+                    record.wall_end - record.wall_start
+                )
+    operations = {}
+    for key in sorted(counts):
+        entry: dict = {"records": counts[key]}
+        values = durations.get(key)
+        if values:
+            values.sort()
+            entry["wall_ns"] = {
+                "count": len(values),
+                "min": values[0],
+                "max": values[-1],
+                "mean": round(sum(values) / len(values), 1),
+                "p50": _nearest_rank(values, 0.50),
+                "p95": _nearest_rank(values, 0.95),
+                "p99": _nearest_rank(values, 0.99),
+            }
+        operations[key] = entry
+    result = {
+        "run_id": run_id,
+        "predicate": predicate.to_dict(),
+        "records": records,
+        "chains": len(chains),
+        "operations": operations,
+    }
+    if stats_filled:
+        result["scan"] = stats.to_dict()
+    return result

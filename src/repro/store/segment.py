@@ -10,7 +10,17 @@ Layout (little-endian throughout)::
              u32 n_strings | (u16 len | utf8)*
              u32 n_chains  | (u32 cid | u32 count | u64 start_off
                               | u64 rank * count if has_ranks)*
+             ext?  "FXTS" | u8 flags | i64 ts_min | i64 ts_max
+                   | (i64 gmin | i64 gmax) * n_chains
     trailer  u64 footer_off | "RSEGEND1"
+
+The optional ``FXTS`` footer extension carries min/max *anchor*
+timestamps (``wall_start``, else ``wall_end``) for the whole segment and
+per chain group — the metadata predicate pushdown prunes on. An
+inverted pair (min > max) means "no frame here carries an anchor", which
+a time-range predicate may also prune. Readers that predate the
+extension simply stop after the chain index, so the format version is
+unchanged.
 
 Two segment kinds share the format:
 
@@ -65,6 +75,13 @@ _TRAILER = struct.Struct("<Q8s")
 _TAG_DICT = 1
 _TAG_RECORDS = 2
 
+_FXTS_MAGIC = b"FXTS"
+_FXTS_SEGMENT = 1  # flags bit: segment-level bounds present
+_FXTS_GROUPS = 2  # flags bit: one (gmin, gmax) pair per chain entry
+#: Inverted bounds pair: "no anchored frames" (prunable under any
+#: time-range predicate, unlike unknown bounds which never prune).
+_TS_EMPTY = (1, 0)
+
 _FN_SIZE = FRAME_NARROW.size
 _FW_SIZE = FRAME_WIDE.size
 _MISC_OFF = 13  # byte offset of the misc flag byte inside a frame
@@ -112,8 +129,10 @@ class SegmentWriter:
         self._rbuf = bytearray()
         self._rcount = 0
         self.record_count = 0
-        # cid -> [count, start_off, ranks]; insertion order == group order
-        # for sealed segments (one chain per group).
+        # cid -> [count, start_off, ranks, ts_min, ts_max]; insertion
+        # order == group order for sealed segments (one chain per group).
+        # ts_min/ts_max bound the chain's anchor timestamps (None until
+        # an anchored record lands) and feed the footer FXTS extension.
         self._index: dict[int, list] = {}
         # Delta anchors; None forces the next frame to carry raw readings.
         self._prev_ws: int | None = None
@@ -257,13 +276,24 @@ class SegmentWriter:
                 )
 
             try:
-                index[cid][0] += 1
+                entry = index[cid]
+                entry[0] += 1
             except KeyError:
                 # First frame of this chain; for sealed segments this is
                 # the group start (one chain per group), and the +9
                 # accounts for the pending records-block header and its
                 # frame count word.
-                index[cid] = [1, file_pos + 9 + len(rbuf) if sealed else 0, None]
+                entry = index[cid] = [
+                    1, file_pos + 9 + len(rbuf) if sealed else 0, None, None, None,
+                ]
+            anchor = ws if ws is not None else we
+            if anchor is not None:
+                if entry[3] is None:
+                    entry[3] = entry[4] = anchor
+                elif anchor < entry[3]:
+                    entry[3] = anchor
+                elif anchor > entry[4]:
+                    entry[4] = anchor
             rbuf += frame
             if semb:
                 rbuf += semb
@@ -334,13 +364,27 @@ class SegmentWriter:
             out += struct.pack("<H", len(raw))
             out += raw
         out += struct.pack("<I", len(self._index))
-        for cid, (count, start_off, ranks) in self._index.items():
+        for cid, (count, start_off, ranks, _tmin, _tmax) in self._index.items():
             out += struct.pack("<IIQ", cid, count, start_off)
             if has_ranks:
                 ranks = ranks if ranks is not None else range(count)
                 if len(ranks) != count:
                     raise StoreError("segment footer ranks out of sync")
                 out += struct.pack(f"<{count}Q", *ranks)
+        # Timestamp-bounds extension: segment-level + per-group anchor
+        # (wall_start, else wall_end) min/max — what predicate pushdown
+        # prunes on without decoding a single frame.
+        anchored = [e for e in self._index.values() if e[3] is not None]
+        seg_min, seg_max = (
+            (min(e[3] for e in anchored), max(e[4] for e in anchored))
+            if anchored else _TS_EMPTY
+        )
+        out += _FXTS_MAGIC
+        out += struct.pack("<Bqq", _FXTS_SEGMENT | _FXTS_GROUPS, seg_min, seg_max)
+        for _cid, (_count, _off, _ranks, tmin, tmax) in self._index.items():
+            out += struct.pack(
+                "<qq", *(_TS_EMPTY if tmin is None else (tmin, tmax))
+            )
         self._file.write(out)
         self._file.write(_TRAILER.pack(footer_off, TRAILER_MAGIC))
         self._file.flush()
@@ -386,6 +430,12 @@ class SegmentReader:
         self.strings: list[str] = []
         #: list of (cid, count, start_off, ranks-or-None) in group order.
         self.chains: list[tuple[int, int, int, list | None]] = []
+        #: anchor-timestamp (min, max) over the whole segment; ``None``
+        #: = unknown (salvaged / pre-extension file — never prune),
+        #: inverted = no anchored frames (prunable).
+        self.ts_bounds: tuple[int, int] | None = None
+        #: per-chain-group (min, max) pairs aligned with ``chains``.
+        self.chain_ts: list[tuple[int, int]] | None = None
         self.record_count = 0
         #: frame byte ranges of the records blocks, in file order.
         self._regions: list[tuple[int, int]] = []
@@ -440,6 +490,20 @@ class SegmentReader:
                 pos += 8 * count
             chains.append((cid, count, start_off, ranks))
         self.chains = chains
+        # Optional timestamp-bounds extension (absent in files written
+        # before predicate pushdown landed; scans then never prune).
+        footer_end = self.size_bytes - _TRAILER.size
+        if pos + 4 <= footer_end and mm[pos:pos + 4] == _FXTS_MAGIC:
+            (flags, seg_min, seg_max) = struct.unpack_from("<Bqq", mm, pos + 4)
+            pos += 4 + 17
+            if flags & _FXTS_SEGMENT:
+                self.ts_bounds = (seg_min, seg_max)
+            if flags & _FXTS_GROUPS:
+                pairs = struct.unpack_from(f"<{2 * n_chains}q", mm, pos)
+                pos += 16 * n_chains
+                self.chain_ts = [
+                    (pairs[i], pairs[i + 1]) for i in range(0, len(pairs), 2)
+                ]
         # Hop the block headers to map the frame regions.
         pos = _HEADER.size
         regions = []
@@ -588,6 +652,99 @@ class SegmentReader:
             done += 1
         return done
 
+    def _decode_span_filtered(
+        self, off: int, end: int, limit: int, sink, flt
+    ) -> tuple[int, int]:
+        """Predicated twin of :meth:`_decode_span`.
+
+        Walks up to ``limit`` frames of ``[off, end)``, maintaining the
+        delta chain for every frame, but only materializes (and sinks) a
+        :class:`ProbeRecord` for frames matching ``flt`` — the
+        per-segment integer-id filter compiled by
+        :func:`repro.store.query.segment_filter`. ``sink(cid, record,
+        frame_index)`` receives the frame's position within the span so
+        callers can recover arrival ranks without decoding non-matches.
+        Returns ``(frames_scanned, records_matched)``.
+        """
+        mm = self._mm
+        strings = self.strings
+        fn_unpack = FRAME_NARROW.unpack_from
+        fw_unpack = FRAME_WIDE.unpack_from
+        fn_size = _FN_SIZE
+        fw_size = _FW_SIZE
+        loads = _loads
+        record = ProbeRecord
+        event_by_num = EVENT_BY_NUM
+        domain_by_num = DOMAIN_BY_NUM
+        sealed = self.sealed
+        cids = flt.cids
+        ifc_ids = flt.ifc_ids
+        op_ids = flt.op_ids
+        ts_lo = flt.ts_lo
+        ts_hi = flt.ts_hi
+        timed = ts_lo is not None or ts_hi is not None
+        prev_ws = prev_cs = None
+        last_cid = -1
+        scanned = matched = 0
+        while off < end and scanned < limit:
+            if mm[off + _MISC_OFF] & 16:
+                (cid, seq, ev, misc, pres, ifc, op, obj, comp, proc, pid, host,
+                 tid, ptype, plat, childid, semlen, wsd, wed, csd, ced,
+                 ) = fw_unpack(mm, off)
+                off += fw_size
+            else:
+                (cid, seq, ev, misc, pres, ifc, op, obj, comp, proc, pid, host,
+                 tid, ptype, plat, childid, semlen, wsd, wed, csd, ced,
+                 ) = fn_unpack(mm, off)
+                off += fn_size
+            if sealed and cid != last_cid:
+                prev_ws = prev_cs = None
+                last_cid = cid
+            # Timestamps decode unconditionally: the delta chain must
+            # advance even across skipped frames.
+            if pres & 1:
+                ws = wsd if prev_ws is None else prev_ws + wsd
+                prev_ws = ws
+                we = ws + wed if pres & 2 else None
+            else:
+                ws = None
+                we = wed if pres & 2 else None
+            if pres & 4:
+                cs = csd if prev_cs is None else prev_cs + csd
+                prev_cs = cs
+                ce = cs + ced if pres & 8 else None
+            else:
+                cs = None
+                ce = ced if pres & 8 else None
+            keep = (
+                (cids is None or cid in cids)
+                and (op_ids is None or op in op_ids)
+                and (ifc_ids is None or ifc in ifc_ids)
+            )
+            if keep and timed:
+                anchor = ws if ws is not None else we
+                keep = anchor is not None and (
+                    (ts_lo is None or anchor >= ts_lo)
+                    and (ts_hi is None or anchor <= ts_hi)
+                )
+            if keep:
+                if semlen:
+                    sem = loads(mm[off:off + semlen]) if pres & 32 else None
+                else:
+                    sem = None
+                sink(cid, record(
+                    strings[cid], seq, event_by_num[ev], strings[ifc],
+                    strings[op], strings[obj], strings[comp], strings[proc],
+                    pid, strings[host], tid, strings[ptype], strings[plat],
+                    ONEWAY if misc & 1 else SYNC, True if misc & 2 else False,
+                    domain_by_num[(misc >> 2) & 3], ws, we, cs, ce,
+                    strings[childid] if pres & 16 else None, sem,
+                ), scanned)
+                matched += 1
+            off += semlen
+            scanned += 1
+        return scanned, matched
+
     def load_groups(self, groups) -> None:
         """Append every record to ``groups[chain_uuid]`` in file order.
 
@@ -635,6 +792,76 @@ class SegmentReader:
         self._decode_span(start_off, self.size_bytes, count, sink)
         return group
 
+    # ------------------------------------------------------------------
+    # Predicated decoding (see repro.store.query)
+
+    def load_groups_filtered(self, groups, flt) -> tuple[int, int]:
+        """Filtered :meth:`load_groups`; returns (scanned, matched)."""
+        strings = self.strings
+        sink = lambda cid, rec, _idx, _g=groups: _g[strings[cid]].append(rec)
+        scanned = matched = 0
+        for start, end in self._regions:
+            s, m = self._decode_span_filtered(start, end, 1 << 62, sink, flt)
+            scanned += s
+            matched += m
+        return scanned, matched
+
+    def decode_group_filtered(
+        self, start_off: int, count: int, flt
+    ) -> list[ProbeRecord]:
+        """Filtered :meth:`decode_group` (scans exactly ``count`` frames)."""
+        group: list[ProbeRecord] = []
+        sink = lambda _cid, rec, _idx, _g=group: _g.append(rec)
+        self._decode_span_filtered(start_off, self.size_bytes, count, sink, flt)
+        return group
+
+    def load_ranked_filtered(self, out: list, flt) -> tuple[int, int]:
+        """Filtered :meth:`load_ranked`; returns (scanned, matched).
+
+        Arrival ranks are positional over *all* frames — matched or not —
+        so a predicated ``all_records`` merge interleaves identically
+        with (a subsequence of) the unpredicated order: skipping a frame
+        must never compact the rank space.
+        """
+        scanned = matched = 0
+        if not self.sealed or self.partial:
+            base = self.arrival_base
+            for start, end in self._regions:
+                span_base = base + scanned
+                sink = (
+                    lambda _cid, rec, idx, _b=span_base, _o=out:
+                    _o.append((_b + idx, rec))
+                )
+                s, m = self._decode_span_filtered(start, end, 1 << 62, sink, flt)
+                scanned += s
+                matched += m
+            return scanned, matched
+        next_rank = self.arrival_base
+        chain_ts = self.chain_ts
+        group_flt = flt.without_chain_test()
+        timed = flt.ts_lo is not None or flt.ts_hi is not None
+        for gi, (cid, count, start_off, ranks) in enumerate(self.chains):
+            group_base = next_rank
+            next_rank += count
+            if flt.cids is not None and cid not in flt.cids:
+                continue
+            if timed and chain_ts is not None and not _ts_overlaps(
+                chain_ts[gi], flt.ts_lo, flt.ts_hi
+            ):
+                continue
+            pairs: list[tuple[int, ProbeRecord]] = []
+            sink = lambda _cid, rec, idx, _p=pairs: _p.append((idx, rec))
+            s, m = self._decode_span_filtered(
+                start_off, self.size_bytes, count, sink, group_flt
+            )
+            scanned += s
+            matched += m
+            if ranks is None:
+                out.extend((group_base + idx, rec) for idx, rec in pairs)
+            else:
+                out.extend((ranks[idx], rec) for idx, rec in pairs)
+        return scanned, matched
+
     def stat_scan(self, stats: dict) -> None:
         """Fold this segment into population statistics.
 
@@ -676,8 +903,28 @@ class SegmentReader:
         stats["calls"] = calls
 
 
+def _ts_overlaps(bounds: tuple[int, int], lo: int | None, hi: int | None) -> bool:
+    """Group-bounds overlap test (inverted pair = no anchors = prune)."""
+    bmin, bmax = bounds
+    if bmin > bmax:
+        return False
+    if lo is not None and bmax < lo:
+        return False
+    if hi is not None and bmin > hi:
+        return False
+    return True
+
+
 def segment_info(reader: SegmentReader) -> dict:
-    """Summary dict for ``store-info`` output."""
+    """Summary dict for ``store-info`` output.
+
+    ``salvaged`` marks segments decoded without a (valid) footer; their
+    chain index is rebuilt from the frames, so ``index`` reports
+    ``"salvaged"`` coverage and timestamp bounds are unknown — predicate
+    pushdown can never prune them, only frame-filter.
+    """
+    bounds = reader.ts_bounds
+    has_bounds = bounds is not None and bounds[0] <= bounds[1]
     return {
         "path": os.path.basename(reader.path),
         "kind": "sealed" if reader.sealed else "spool",
@@ -686,5 +933,13 @@ def segment_info(reader: SegmentReader) -> dict:
         "bytes": reader.size_bytes,
         "dictionary_strings": len(reader.strings),
         "partial": reader.partial,
+        "salvaged": reader.partial,
         "dropped_bytes": reader.dropped_bytes,
+        "ts_min": bounds[0] if has_bounds else None,
+        "ts_max": bounds[1] if has_bounds else None,
+        "index": {
+            "coverage": "salvaged" if reader.partial else "footer",
+            "chains": len(reader.chains),
+            "group_ts_bounds": reader.chain_ts is not None,
+        },
     }

@@ -36,6 +36,12 @@ from typing import Iterable, Iterator
 
 from repro.core.records import SCHEMA_VERSION, ProbeRecord, RunMetadata
 from repro.errors import StoreError
+from repro.store.query import (
+    ScanPredicate,
+    ScanStats,
+    bounds_overlap,
+    segment_filter,
+)
 from repro.store.segment import (
     KIND_SEALED,
     KIND_SPOOL,
@@ -88,14 +94,23 @@ class SegmentStore:
         path: str,
         auto_compact: int = 8,
         compact_in_background: bool = True,
+        max_compactors: int = 2,
     ):
+        if max_compactors < 1:
+            raise StoreError("max_compactors must be >= 1")
         self.path = path
         self.auto_compact = auto_compact
         self.compact_in_background = compact_in_background
+        self.max_compactors = max_compactors
         self._lock = threading.RLock()
         self._runs: dict[str, _Run] = {}
         self._bulk_depth = 0
-        self._compaction_threads: list[threading.Thread] = []
+        # Bounded compactor pool: disjoint runs compact concurrently
+        # (compact() serializes per run via run.lock), but the pool caps
+        # how many merge passes contend with ingest for CPU/disk.
+        self._compactor_pool = None
+        self._compact_pending: set[str] = set()
+        self._compact_running = 0
         self._closed = False
         os.makedirs(os.path.join(path, _RUNS_DIR), exist_ok=True)
         marker = os.path.join(path, MARKER_FILE)
@@ -244,33 +259,42 @@ class SegmentStore:
             self.compact(run_id)
             return
         with self._lock:
-            if self._closed:
-                return
-            self._compaction_threads = [
-                t for t in self._compaction_threads if t.is_alive()
-            ]
-            thread = threading.Thread(
-                target=self._compact_quietly, args=(run_id,),
-                name=f"repro-store-compact-{run_id}", daemon=True,
-            )
-            self._compaction_threads.append(thread)
-            thread.start()
+            if self._closed or run_id in self._compact_pending:
+                return  # already queued: one merge will cover the new spools
+            self._compact_pending.add(run_id)
+            if self._compactor_pool is None:
+                from concurrent.futures import ThreadPoolExecutor
+
+                self._compactor_pool = ThreadPoolExecutor(
+                    max_workers=self.max_compactors,
+                    thread_name_prefix="repro-store-compact",
+                )
+            self._compactor_pool.submit(self._compact_quietly, run_id)
 
     def _compact_quietly(self, run_id: str) -> None:
+        with self._lock:
+            # Un-queue before merging: spools landing while we merge may
+            # legitimately re-schedule this run for another pass.
+            self._compact_pending.discard(run_id)
+            self._compact_running += 1
         try:
-            self.compact(run_id)
-        except Exception as exc:
-            # Background compaction must never take down the host
-            # process; the spool segments stay readable as they are.
-            # But a failure must not be invisible either — repeated ones
-            # quietly lose the sharded-scan fast path.
-            logger.exception("background compaction of run %r failed", run_id)
             try:
-                run = self._run(run_id)
-            except StoreError:
-                return
-            with run.lock:
-                run.compact_error = f"{type(exc).__name__}: {exc}"
+                self.compact(run_id)
+            except Exception as exc:
+                # Background compaction must never take down the host
+                # process; the spool segments stay readable as they are.
+                # But a failure must not be invisible either — repeated
+                # ones quietly lose the sharded-scan fast path.
+                logger.exception("background compaction of run %r failed", run_id)
+                try:
+                    run = self._run(run_id)
+                except StoreError:
+                    return
+                with run.lock:
+                    run.compact_error = f"{type(exc).__name__}: {exc}"
+        finally:
+            with self._lock:
+                self._compact_running -= 1
 
     def compact(self, run_id: str) -> bool:
         """Merge the run's segments into one sorted sealed segment.
@@ -332,6 +356,52 @@ class SegmentStore:
                     pass
         return True
 
+    def compact_all(self, workers: int | None = None) -> dict[str, bool]:
+        """Compact every run, ``workers`` runs at a time (disjoint runs
+        merge independently). Returns ``{run_id: produced_new_segment}``
+        in sorted run order; the first failure propagates."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        with self._lock:
+            run_ids = sorted(self._runs, key=_uuid_key)
+        if not run_ids:
+            return {}
+        workers = max(1, min(workers or self.max_compactors, len(run_ids)))
+        if workers == 1:
+            return {run_id: self.compact(run_id) for run_id in run_ids}
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-store-compact-all"
+        ) as pool:
+            futures = {
+                run_id: pool.submit(self.compact, run_id) for run_id in run_ids
+            }
+            return {run_id: futures[run_id].result() for run_id in run_ids}
+
+    def drop_segments(self, run_id: str) -> int:
+        """Delete a run's segment files (the catalog's downsampling step).
+
+        The run directory and ``meta.json`` survive — only record data
+        goes; callers are expected to have written a summary first.
+        Refuses mid-transaction. Returns the number of records dropped.
+        """
+        run = self._run(run_id)
+        with run.lock:
+            if run.writer is not None:
+                raise StoreError(
+                    f"run {run_id!r} has an open ingest transaction;"
+                    " cannot drop its segments"
+                )
+            readers, run.readers = run.readers, []
+            dropped = sum(r.record_count for r in readers)
+            for reader in readers:
+                # Unlink only (scans in flight keep their mmaps); the
+                # readers are closed when the last scan releases them.
+                try:
+                    os.unlink(reader.path)
+                except OSError:
+                    pass
+        return dropped
+
     def prepare_sharded_scan(self, run_id: str) -> None:
         """Hook for the parallel analyzer: make shard scans disjoint
         byte-range reads by compacting synchronously first."""
@@ -339,9 +409,10 @@ class SegmentStore:
 
     def compaction_state(self, run_id: str) -> dict:
         run = self._run(run_id)
+        with self._lock:
+            busy = bool(self._compact_pending) or self._compact_running > 0
         with run.lock:
             readers = list(run.readers)
-            pending = any(t.is_alive() for t in self._compaction_threads)
             last_error = run.compact_error
         spool = sum(1 for r in readers if not r.sealed)
         return {
@@ -349,7 +420,7 @@ class SegmentStore:
             "spool_segments": spool,
             "sealed_segments": len(readers) - spool,
             "compacted": spool == 0 and len(readers) <= 1,
-            "compaction_running": pending,
+            "compaction_running": busy,
             "last_error": last_error,
         }
 
@@ -378,6 +449,8 @@ class SegmentStore:
         run_id: str,
         first_chain: str | None = None,
         last_chain: str | None = None,
+        predicate: ScanPredicate | None = None,
+        stats: ScanStats | None = None,
     ) -> Iterator[tuple[str, list[ProbeRecord]]]:
         """Stream ``(chain_uuid, sorted records)`` groups.
 
@@ -389,7 +462,17 @@ class SegmentStore:
         once and the groups are merged in memory (arrival order is
         preserved segment-by-segment, so the ``event_seq``-stable sort
         reproduces SQLite's ``event_seq, id`` order exactly).
+
+        ``predicate`` pushes a :class:`~repro.store.query.ScanPredicate`
+        below decode: footer metadata prunes whole segments and (sealed)
+        chain groups, and surviving segments frame-filter on interned
+        integer ids — chains with no matching record are not yielded,
+        matching the SQLite backend bit-for-bit. ``stats`` (a
+        :class:`~repro.store.query.ScanStats`) collects the pruning
+        counters.
         """
+        if predicate is not None and predicate.is_empty:
+            predicate = None
         readers = self._segments(self._run(run_id))
         if not readers:
             return
@@ -398,8 +481,20 @@ class SegmentStore:
 
         if len(readers) == 1 and readers[0].sealed and not readers[0].partial:
             reader = readers[0]
+            if stats is not None:
+                stats.segments += 1
+            flt = None
+            if predicate is not None:
+                flt = segment_filter(reader, predicate)
+                if flt is None:
+                    if stats is not None:
+                        stats.segments_pruned += 1
+                    return
+            group_flt = flt.without_chain_test() if flt is not None else None
+            timed = predicate is not None and predicate.has_time_range
+            chain_ts = reader.chain_ts
             strings = reader.strings
-            for cid, count, start_off, _ranks in reader.chains:
+            for gi, (cid, count, start_off, _ranks) in enumerate(reader.chains):
                 uuid = strings[cid]
                 key = _uuid_key(uuid)
                 if lo is not None and key < lo:
@@ -407,14 +502,62 @@ class SegmentStore:
                 if hi is not None and key > hi:
                     # Groups are stored sorted; nothing further matches.
                     break
-                yield uuid, reader.decode_group(start_off, count)
+                if flt is None:
+                    if stats is not None:
+                        stats.frames_decoded += count
+                        stats.records_matched += count
+                    yield uuid, reader.decode_group(start_off, count)
+                    continue
+                if stats is not None:
+                    stats.groups += 1
+                if flt.cids is not None and cid not in flt.cids:
+                    if stats is not None:
+                        stats.groups_pruned += 1
+                    continue
+                if timed and chain_ts is not None and not bounds_overlap(
+                    chain_ts[gi], flt.ts_lo, flt.ts_hi
+                ):
+                    if stats is not None:
+                        stats.groups_pruned += 1
+                    continue
+                if group_flt.is_pass:
+                    group = reader.decode_group(start_off, count)
+                else:
+                    group = reader.decode_group_filtered(
+                        start_off, count, group_flt
+                    )
+                if stats is not None:
+                    stats.frames_decoded += count
+                    stats.records_matched += len(group)
+                if group:
+                    yield uuid, group
             return
 
         from collections import defaultdict
 
         groups: dict[str, list[ProbeRecord]] = defaultdict(list)
         for reader in readers:
-            reader.load_groups(groups)
+            if stats is not None:
+                stats.segments += 1
+            if predicate is None:
+                reader.load_groups(groups)
+                if stats is not None:
+                    stats.frames_decoded += reader.record_count
+                    stats.records_matched += reader.record_count
+                continue
+            flt = segment_filter(reader, predicate)
+            if flt is None:
+                if stats is not None:
+                    stats.segments_pruned += 1
+                continue
+            if flt.is_pass:
+                reader.load_groups(groups)
+                scanned = matched = reader.record_count
+            else:
+                scanned, matched = reader.load_groups_filtered(groups, flt)
+            if stats is not None:
+                stats.frames_decoded += scanned
+                stats.records_matched += matched
         for uuid in sorted(groups, key=_uuid_key):
             key = _uuid_key(uuid)
             if lo is not None and key < lo:
@@ -431,13 +574,47 @@ class SegmentStore:
     def record_count(self, run_id: str) -> int:
         return sum(r.record_count for r in self._segments(self._run(run_id)))
 
-    def all_records(self, run_id: str) -> Iterator[ProbeRecord]:
-        """Stream a run's records in arrival (insert) order."""
+    def all_records(
+        self,
+        run_id: str,
+        predicate: ScanPredicate | None = None,
+        stats: ScanStats | None = None,
+    ) -> Iterator[ProbeRecord]:
+        """Stream a run's records in arrival (insert) order.
+
+        With a ``predicate``, yields the matching subsequence of the
+        unpredicated order: arrival ranks are positional over all frames,
+        so filtering can neither reorder nor double-count records.
+        """
+        if predicate is not None and predicate.is_empty:
+            predicate = None
         readers = self._segments(self._run(run_id))
         streams = []
         for reader in readers:
+            if stats is not None:
+                stats.segments += 1
             ranked: list = []
-            reader.load_ranked(ranked)
+            if predicate is None:
+                reader.load_ranked(ranked)
+                if stats is not None:
+                    stats.frames_decoded += reader.record_count
+                    stats.records_matched += reader.record_count
+            else:
+                flt = segment_filter(reader, predicate)
+                if flt is None:
+                    if stats is not None:
+                        stats.segments_pruned += 1
+                    continue
+                if flt.is_pass:
+                    reader.load_ranked(ranked)
+                    if stats is not None:
+                        stats.frames_decoded += reader.record_count
+                        stats.records_matched += reader.record_count
+                else:
+                    scanned, matched = reader.load_ranked_filtered(ranked, flt)
+                    if stats is not None:
+                        stats.frames_decoded += scanned
+                        stats.records_matched += matched
             ranked.sort(key=_rank_key)
             streams.append(ranked)
         if len(streams) == 1:
@@ -505,9 +682,13 @@ class SegmentStore:
         for run in sorted(runs, key=lambda r: _uuid_key(r.run_id)):
             readers = self._segments(run)
             segments = [segment_info(reader) for reader in readers]
+            ts_mins = [s["ts_min"] for s in segments if s["ts_min"] is not None]
+            ts_maxs = [s["ts_max"] for s in segments if s["ts_max"] is not None]
             info_runs.append({
                 "run_id": run.run_id,
                 "records": sum(r.record_count for r in readers),
+                "ts_min": min(ts_mins) if ts_mins else None,
+                "ts_max": max(ts_maxs) if ts_maxs else None,
                 "chains": len({
                     reader.strings[cid]
                     for reader in readers
@@ -531,9 +712,9 @@ class SegmentStore:
             if self._closed:
                 return
             self._closed = True
-            threads = list(self._compaction_threads)
-        for thread in threads:
-            thread.join(timeout=30.0)
+            pool, self._compactor_pool = self._compactor_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
         with self._lock:
             runs = list(self._runs.values())
         # Take run locks without holding the store lock: sealing paths

@@ -169,6 +169,46 @@ class TestSegmentStoreCli:
         assert run["records"] > 0
         assert run["segments"]
 
+    def test_query_predicated(self, segment_store, tmp_path):
+        out_file = tmp_path / "q.json"
+        assert main(["query", segment_store, "--operation", "m0",
+                     "--output", str(out_file)]) == 0
+        result = json.loads(out_file.read_text())
+        assert result["predicate"]["operations"] == ["m0"]
+        assert result["records"] > 0
+        assert all(key.endswith("::m0") for key in result["operations"])
+        # The pushdown proof: fewer frames decoded than records stored.
+        unfiltered = tmp_path / "all.json"
+        assert main(["query", segment_store, "--output", str(unfiltered)]) == 0
+        full = json.loads(unfiltered.read_text())
+        assert result["records"] < full["records"]
+        assert result["scan"]["frames_decoded"] <= full["scan"]["frames_decoded"]
+
+    def test_query_cross_run_catalog(self, segment_store, tmp_path):
+        out_file = tmp_path / "xq.json"
+        assert main(["query", segment_store, "--last", "5",
+                     "--workers", "2", "--output", str(out_file)]) == 0
+        result = json.loads(out_file.read_text())
+        assert len(result["runs"]) == 1  # the fixture collected one run
+        assert result["quantile_source"] == "exact"
+        assert result["records"] > 0
+
+    def test_query_sqlite_backend(self, pps_db, tmp_path):
+        out_file = tmp_path / "sq.json"
+        assert main(["query", pps_db, "--output", str(out_file)]) == 0
+        result = json.loads(out_file.read_text())
+        assert result["records"] > 0
+        assert "scan" not in result  # no pruning stats on SQLite
+
+    def test_store_info_catalog(self, segment_store, tmp_path):
+        out_file = tmp_path / "cat.json"
+        assert main(["store-info", segment_store, "--catalog",
+                     "--output", str(out_file)]) == 0
+        info = json.loads(out_file.read_text())
+        (row,) = info["catalog"]["runs"]
+        assert row["records"] > 0
+        assert row["downsampled"] is False
+
     def test_store_info_sqlite(self, pps_db, tmp_path):
         out_file = tmp_path / "info.json"
         assert main(["store-info", pps_db, "--output", str(out_file)]) == 0

@@ -1,0 +1,293 @@
+"""Predicate-pushdown scans: semantics, pruning, salvage, swap safety.
+
+The contract under test: a predicated scan returns exactly the records
+``ScanPredicate.matches`` accepts, in exactly the order the unpredicated
+scan would have yielded them — whatever the store's physical state
+(spooled, compacted, salvaged, or swapped mid-scan) — while the pruning
+counters prove the engine skipped work instead of filtering after the
+fact.
+"""
+
+import os
+
+import pytest
+
+from repro.core import RunMetadata
+from repro.errors import StoreError
+from repro.store import ScanPredicate, ScanStats, SegmentStore, run_query
+from repro.store.segment import SegmentReader, segment_info
+
+from tests.unit.store.test_segment_codec import make_record
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = SegmentStore(str(tmp_path / "store"), auto_compact=0)
+    yield store
+    store.close()
+
+
+def seeded_records():
+    """Eight chains, five operations, two interfaces, a spread of times."""
+    records = []
+    for i in range(240):
+        records.append(make_record(
+            chain=f"{i % 8:032x}", seq=i,
+            interface="M::A" if i % 2 else "M::B",
+            operation=f"op{i % 5}",
+            wall_start=10**12 + 100 * i, wall_end=10**12 + 100 * i + 40,
+            semantics={"i": i} if i % 4 == 0 else None,
+        ))
+    # A few records with no wall interval at all: they must never match
+    # a time-range predicate, on either backend.
+    for i in range(240, 250):
+        records.append(make_record(
+            chain=f"{i % 8:032x}", seq=i, operation="op0",
+            wall_start=None, wall_end=None,
+        ))
+    return records
+
+
+def ingest(store, records, run_id="r1"):
+    store.create_run(RunMetadata(run_id=run_id))
+    with store.bulk_ingest():
+        store.insert_records(run_id, records)
+
+
+def brute_chains(store, run_id, predicate):
+    """Reference semantics: unpredicated scan + in-Python filter."""
+    out = []
+    for chain, group in store.chains_for_run(run_id):
+        kept = [r for r in group if predicate.matches(r)]
+        if kept:
+            out.append((chain, kept))
+    return out
+
+
+PREDICATES = [
+    ScanPredicate(operations=frozenset({"op2"})),
+    ScanPredicate(interfaces=frozenset({"M::A"})),
+    ScanPredicate(chain_prefix="0" * 31 + "3"),
+    ScanPredicate(chain_prefix="0" * 30),
+    ScanPredicate(ts_min=10**12 + 5_000, ts_max=10**12 + 12_000),
+    ScanPredicate(ts_min=10**12 + 20_000),
+    ScanPredicate(
+        operations=frozenset({"op1", "op4"}),
+        interfaces=frozenset({"M::B"}),
+        ts_max=10**12 + 18_000,
+    ),
+    ScanPredicate(operations=frozenset({"not-there"})),
+]
+
+
+class TestPredicateSemantics:
+    def test_empty_string_sets_rejected(self):
+        with pytest.raises(StoreError):
+            ScanPredicate(operations=frozenset())
+        with pytest.raises(StoreError):
+            ScanPredicate(interfaces=[])
+
+    def test_inverted_time_range_rejected(self):
+        with pytest.raises(StoreError):
+            ScanPredicate(ts_min=10, ts_max=9)
+
+    def test_anchor_falls_back_to_wall_end(self):
+        predicate = ScanPredicate(ts_min=100, ts_max=200)
+        only_end = make_record(wall_start=None, wall_end=150)
+        assert predicate.matches(only_end)
+        neither = make_record(wall_start=None, wall_end=None)
+        assert not predicate.matches(neither)
+
+    def test_dict_roundtrip(self):
+        for predicate in PREDICATES:
+            assert ScanPredicate.from_dict(predicate.to_dict()) == predicate
+
+    def test_empty_predicate(self):
+        assert ScanPredicate().is_empty
+        assert ScanPredicate().matches(make_record())
+
+
+class TestPredicatedScans:
+    @pytest.mark.parametrize("compacted", [False, True], ids=["spool", "sealed"])
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_chains_match_brute_force(self, store, compacted, predicate):
+        ingest(store, seeded_records())
+        if compacted:
+            assert store.compact("r1") is True
+        expected = brute_chains(store, "r1", predicate)
+        assert list(store.chains_for_run("r1", predicate=predicate)) == expected
+
+    @pytest.mark.parametrize("compacted", [False, True], ids=["spool", "sealed"])
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_all_records_is_arrival_subsequence(self, store, compacted, predicate):
+        ingest(store, seeded_records())
+        if compacted:
+            assert store.compact("r1") is True
+        full = list(store.all_records("r1"))
+        expected = [r for r in full if predicate.matches(r)]
+        assert list(store.all_records("r1", predicate=predicate)) == expected
+
+    def test_predicate_composes_with_shard_bounds(self, store):
+        ingest(store, seeded_records())
+        store.compact("r1")
+        predicate = ScanPredicate(operations=frozenset({"op1", "op3"}))
+        bounds = ("0" * 31 + "2", "0" * 31 + "6")
+        expected = [
+            (chain, group)
+            for chain, group in brute_chains(store, "r1", predicate)
+            if bounds[0] <= chain <= bounds[1]
+        ]
+        assert list(store.chains_for_run("r1", *bounds, predicate=predicate)) \
+            == expected
+
+
+class TestPruning:
+    def test_unknown_operation_prunes_whole_segment(self, store):
+        ingest(store, seeded_records())
+        store.compact("r1")
+        stats = ScanStats()
+        predicate = ScanPredicate(operations=frozenset({"not-there"}))
+        assert list(store.chains_for_run("r1", predicate=predicate,
+                                         stats=stats)) == []
+        assert stats.segments_pruned == stats.segments > 0
+        assert stats.frames_decoded == 0
+
+    def test_disjoint_time_range_prunes_whole_segment(self, store):
+        ingest(store, seeded_records())
+        store.compact("r1")
+        stats = ScanStats()
+        predicate = ScanPredicate(ts_min=10**15)
+        assert list(store.chains_for_run("r1", predicate=predicate,
+                                         stats=stats)) == []
+        assert stats.segments_pruned == stats.segments > 0
+
+    def test_chain_prefix_prunes_groups(self, store):
+        ingest(store, seeded_records())
+        store.compact("r1")
+        stats = ScanStats()
+        predicate = ScanPredicate(chain_prefix="0" * 31 + "3")
+        chains = list(store.chains_for_run("r1", predicate=predicate,
+                                           stats=stats))
+        assert [chain for chain, _ in chains] == ["0" * 31 + "3"]
+        assert stats.groups_pruned > 0
+        # Only the one matching chain group was decoded.
+        assert stats.frames_decoded == sum(len(g) for _, g in chains)
+
+    def test_predicated_never_decodes_more(self, store):
+        ingest(store, seeded_records())
+        store.compact("r1")
+        baseline = ScanStats()
+        list(store.chains_for_run("r1", stats=baseline))
+        for predicate in PREDICATES:
+            stats = ScanStats()
+            list(store.chains_for_run("r1", predicate=predicate, stats=stats))
+            assert stats.frames_decoded <= baseline.frames_decoded
+
+    def test_segment_info_reports_footer_bounds(self, store):
+        ingest(store, seeded_records())
+        store.compact("r1")
+        run_dir = os.path.join(store.path, "runs", "r1")
+        (name,) = [n for n in os.listdir(run_dir) if n.endswith(".seg")]
+        reader = SegmentReader(os.path.join(run_dir, name))
+        info = segment_info(reader)
+        reader.close()
+        assert info["salvaged"] is False
+        # Bounds track the record anchor (wall_start when present).
+        assert info["ts_min"] == 10**12
+        assert info["ts_max"] == 10**12 + 100 * 239
+        assert info["index"]["coverage"] == "footer"
+        assert info["index"]["group_ts_bounds"] is True
+
+
+class TestSalvagedScans:
+    def truncated_store(self, tmp_path):
+        path = str(tmp_path / "sv")
+        store = SegmentStore(path, auto_compact=0)
+        ingest(store, seeded_records())
+        store.close()
+        run_dir = os.path.join(path, "runs", "r1")
+        (name,) = [n for n in os.listdir(run_dir) if n.endswith(".seg")]
+        victim = os.path.join(run_dir, name)
+        data = open(victim, "rb").read()
+        with open(victim, "wb") as handle:
+            handle.write(data[: int(len(data) * 0.6)])
+        return SegmentStore(path, auto_compact=0)
+
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_salvaged_segment_predicate_scan(self, tmp_path, predicate):
+        # A salvaged segment has no footer bounds ("unknown", not
+        # "empty"): predicates must filter frame-by-frame, never prune.
+        store = self.truncated_store(tmp_path)
+        try:
+            assert 0 < store.record_count("r1") < 250
+            expected = brute_chains(store, "r1", predicate)
+            assert list(store.chains_for_run("r1", predicate=predicate)) \
+                == expected
+            full = list(store.all_records("r1"))
+            assert list(store.all_records("r1", predicate=predicate)) \
+                == [r for r in full if predicate.matches(r)]
+        finally:
+            store.close()
+
+    def test_salvaged_flag_in_segment_info(self, tmp_path):
+        store = self.truncated_store(tmp_path)
+        try:
+            run_dir = os.path.join(store.path, "runs", "r1")
+            (name,) = [n for n in os.listdir(run_dir) if n.endswith(".seg")]
+            reader = SegmentReader(os.path.join(run_dir, name))
+            info = segment_info(reader)
+            reader.close()
+            assert info["salvaged"] is True
+            assert info["ts_min"] is None
+            assert info["index"]["coverage"] == "salvaged"
+        finally:
+            store.close()
+
+
+class TestSwapSafety:
+    def test_predicated_scan_survives_compaction_swap(self, store):
+        ingest(store, seeded_records())
+        assert store.compact("r1") is True
+        predicate = ScanPredicate(interfaces=frozenset({"M::A"}))
+        expected = list(store.chains_for_run("r1", predicate=predicate))
+        scan = store.chains_for_run("r1", predicate=predicate)
+        first = next(scan)
+        store.insert_records("r1", [make_record(chain="ff" * 16, seq=999,
+                                                interface="M::A")])
+        assert store.compact("r1") is True  # swaps the mmap'd segment out
+        assert [first] + list(scan) == expected
+
+    def test_no_resurrected_records_after_swap(self, store):
+        # A fresh predicated scan after the swap sees the new record and
+        # exactly one copy of everything else — compaction neither drops
+        # matching records nor duplicates arrival ranks.
+        ingest(store, seeded_records())
+        store.compact("r1")
+        predicate = ScanPredicate(operations=frozenset({"op0"}))
+        before = list(store.all_records("r1", predicate=predicate))
+        extra = make_record(chain="ff" * 16, seq=1000, operation="op0")
+        store.insert_records("r1", [extra])
+        store.compact("r1")
+        after = list(store.all_records("r1", predicate=predicate))
+        assert after == before + [extra]
+        seqs = [r.event_seq for r in after]
+        assert len(seqs) == len(set(seqs))
+
+
+class TestRunQuery:
+    def test_aggregates_per_operation_latency(self, store):
+        ingest(store, seeded_records())
+        store.compact("r1")
+        stats = ScanStats()
+        result = run_query(store, "r1",
+                           ScanPredicate(operations=frozenset({"op2"})),
+                           stats=stats)
+        assert result["run_id"] == "r1"
+        assert set(result["operations"]) == {"M::A::op2", "M::B::op2"}
+        for row in result["operations"].values():
+            assert row["wall_ns"]["min"] == 40
+            assert row["wall_ns"]["p99"] == 40
+        assert result["records"] == sum(
+            row["records"] for row in result["operations"].values()
+        )
+        assert result["scan"]["records_matched"] == result["records"]
