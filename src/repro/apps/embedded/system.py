@@ -70,9 +70,15 @@ class EmbeddedSystem:
         instrument: bool = True,
         clock: Clock | None = None,
         uuid_prefix: str = "ee",
+        network: Network | None = None,
+        policy_factory=None,
+        channel: str = "mux",
+        request_timeout: float = 30.0,
     ):
         self.config = config if config is not None else EmbeddedConfig()
-        self.network = Network()
+        # An injected network (e.g. a faults.FaultyNetwork) lets suite
+        # scenarios run the synthetic system under seeded message faults.
+        self.network = network if network is not None else Network()
         self.registry = InterfaceRegistry()
         idl_source = generate_embedded_idl(self.config)
         self.compiled = compile_idl(idl_source, instrument=instrument, registry=self.registry)
@@ -99,8 +105,14 @@ class EmbeddedSystem:
             orb = Orb(
                 process,
                 self.network,
-                policy=ThreadPool(self.config.pool_threads_per_process),
+                policy=(
+                    policy_factory()
+                    if policy_factory is not None
+                    else ThreadPool(self.config.pool_threads_per_process)
+                ),
                 registry=self.registry,
+                channel=channel,
+                request_timeout=request_timeout,
             )
             self.processes.append(process)
             self.orbs.append(orb)

@@ -140,6 +140,7 @@ class PpsSystem:
         network_latency_ns: int = 0,
         network: Network | None = None,
         request_timeout: float = 30.0,
+        channel: str = "mux",
     ):
         self.deployment = deployment
         # An injected network (e.g. a faults.FaultyNetwork) lets the chaos
@@ -183,6 +184,7 @@ class PpsSystem:
                 collocation_optimization=deployment.collocation,
                 registry=self.registry,
                 request_timeout=request_timeout,
+                channel=channel,
             )
             self.processes[process_name] = process
             self.orbs[process_name] = orb

@@ -402,6 +402,45 @@ def cmd_store_info(args) -> int:
     return 0
 
 
+def cmd_suite_list(args) -> int:
+    """Print a suite's expanded scenario grid without running it."""
+    from repro.scenarios import expand_grid, load_suite
+
+    config = load_suite(args.suite)
+    scenarios = expand_grid(config, seed=args.seed)
+    print(f"suite {config.name}: {len(scenarios)} scenarios"
+          f" across {len(config.grids)} grid(s)")
+    for spec in scenarios:
+        invariants = ",".join(i.name for i in spec.invariants) or "-"
+        print(f"  [{spec.index:3d}] seed={spec.seed:>10} {spec.scenario_id}"
+              f"  invariants={invariants}")
+    return 0
+
+
+def cmd_suite_run(args) -> int:
+    """Run a suite and emit its machine-readable report."""
+    import json
+
+    from repro.scenarios import load_suite, run_suite
+
+    config = load_suite(args.suite)
+    report = run_suite(
+        config, workers=args.workers, seed=args.seed, only=args.only or None
+    )
+    _emit(args.output, report.to_json())
+    failures = report.failures()
+    summary = (
+        f"suite {report.suite}: {len(report.outcomes)} scenarios,"
+        f" {len(failures)} failed"
+    )
+    print(summary, file=sys.stderr)
+    for outcome in failures:
+        failed = [r.name for r in outcome.invariants if not r.passed]
+        print(f"  FAIL {outcome.scenario_id}"
+              f" invariants={','.join(failed) or 'hooks'}", file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _emit(output: str | None, text: str) -> None:
     if output:
         with open(output, "w") as handle:
@@ -596,6 +635,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="latency SLO for breach counters, in milliseconds")
     metrics.add_argument("--output", default=None)
     metrics.set_defaults(func=cmd_metrics)
+
+    suite = sub.add_parser(
+        "suite",
+        help="declarative scenario suites: expand, run, check invariants",
+    )
+    suite_sub = suite.add_subparsers(dest="suite_command", required=True)
+
+    def suite_common(command):
+        command.add_argument("--suite", required=True,
+                             help="path to a suite YAML file (see suites/)")
+        command.add_argument("--seed", type=int, default=None,
+                             help="override the suite file's seed")
+
+    suite_list = suite_sub.add_parser(
+        "list", help="print the expanded scenario grid without running it"
+    )
+    suite_common(suite_list)
+    suite_list.set_defaults(func=cmd_suite_list)
+
+    suite_run = suite_sub.add_parser(
+        "run", help="run every scenario and emit the SuiteReport JSON"
+    )
+    suite_common(suite_run)
+    suite_run.add_argument("--workers", type=int, default=1,
+                           help="worker threads (0 = one per CPU core)")
+    suite_run.add_argument("--only", default=None,
+                           help="run only scenarios whose id contains this substring")
+    suite_run.add_argument("--output", default=None,
+                           help="write the report JSON here instead of stdout")
+    suite_run.set_defaults(func=cmd_suite_run)
     return parser
 
 

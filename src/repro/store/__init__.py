@@ -15,7 +15,12 @@ path (directory → segment store, file → SQLite).
 
 from repro.store.backend import StorageBackend, detect_backend, open_store
 from repro.store.catalog import CrossRunResult, RetentionPolicy, RunCatalog
-from repro.store.query import ScanPredicate, ScanStats, run_query
+from repro.store.query import (
+    ScanPredicate,
+    ScanStats,
+    fold_population_stats,
+    run_query,
+)
 from repro.store.segment import SegmentReader, SegmentWriter, segment_info
 from repro.store.store import SegmentStore
 
@@ -32,5 +37,6 @@ __all__ = [
     "detect_backend",
     "open_store",
     "run_query",
+    "fold_population_stats",
     "segment_info",
 ]

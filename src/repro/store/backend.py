@@ -58,7 +58,9 @@ class StorageBackend(Protocol):
         self, run_id: str, predicate: ScanPredicate | None = None
     ) -> Iterator[ProbeRecord]: ...
 
-    def population_stats(self, run_id: str) -> dict[str, int]: ...
+    def population_stats(
+        self, run_id: str, predicate: ScanPredicate | None = None
+    ) -> dict[str, int]: ...
 
     def runs(self) -> list[RunMetadata]: ...
 

@@ -290,6 +290,47 @@ def segment_filter(
     return SegmentFilter(cids, ifc_ids, op_ids, ts_lo, ts_hi)
 
 
+def fold_population_stats(records: Iterable["ProbeRecord"]) -> dict[str, int]:
+    """Figure-5 population statistics folded from a record stream.
+
+    The record-level definition both backends' ``population_stats`` must
+    agree with: ``calls`` counts STUB_START events, the ``unique_*``
+    figures count distinct values using the same string identities the
+    SQLite aggregation uses (``interface || '::' || operation``,
+    ``process || '/' || thread_id``). The segment store routes its
+    *predicated* stats through this fold (over the pushed-down scan);
+    SQLite compiles the identical semantics to WHERE clauses.
+    """
+    calls = 0
+    methods: set[str] = set()
+    interfaces: set[str] = set()
+    components: set[str] = set()
+    objects: set[str] = set()
+    processes: set[str] = set()
+    threads: set[str] = set()
+    chains: set[str] = set()
+    for record in records:
+        if record.event == 1:
+            calls += 1
+        methods.add(f"{record.interface}::{record.operation}")
+        interfaces.add(record.interface)
+        components.add(record.component)
+        objects.add(record.object_id)
+        processes.add(record.process)
+        threads.add(f"{record.process}/{record.thread_id}")
+        chains.add(record.chain_uuid)
+    return {
+        "calls": calls,
+        "unique_methods": len(methods),
+        "unique_interfaces": len(interfaces),
+        "unique_components": len(components),
+        "unique_objects": len(objects),
+        "processes": len(processes),
+        "threads": len(threads),
+        "chains": len(chains),
+    }
+
+
 # ----------------------------------------------------------------------
 # Query execution over a StorageBackend (the CLI `repro query` engine)
 

@@ -40,6 +40,7 @@ from repro.store.query import (
     ScanPredicate,
     ScanStats,
     bounds_overlap,
+    fold_population_stats,
     segment_filter,
 )
 from repro.store.segment import (
@@ -624,13 +625,21 @@ class SegmentStore:
         for _rank, record in _heapq_merge(*streams, key=_rank_key):
             yield record
 
-    def population_stats(self, run_id: str) -> dict[str, int]:
+    def population_stats(
+        self, run_id: str, predicate: ScanPredicate | None = None
+    ) -> dict[str, int]:
         """Unique methods/interfaces/components/processes — Figure-5 stats.
 
         Mirrors the SQLite backend's semantics exactly, including the
         string-concatenation identity of ``interface || '::' ||
-        operation`` and ``process || '/' || thread_id``.
+        operation`` and ``process || '/' || thread_id``. A predicate
+        narrows the population via the pushed-down filtered scan; the
+        unpredicated path keeps the lean no-record stat scan.
         """
+        if predicate is not None and not predicate.is_empty:
+            return fold_population_stats(
+                self.all_records(run_id, predicate=predicate)
+            )
         state = {
             "calls": 0,
             "methods": set(), "interfaces": set(), "components": set(),

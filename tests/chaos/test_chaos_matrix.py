@@ -1,12 +1,18 @@
-"""The seeded chaos matrix: every fault domain x every call style, twice.
+"""The seeded chaos matrix, driven by the declarative suite runner.
 
-Each scenario runs a real workload (two-process CORBA, a three-domain
-chain, the PPS pipeline) under a seeded :class:`FaultPlan`, collects
-through the resilient collector, reconstructs offline, and produces one
-canonical accounting dict (per-call outcomes, injected faults, capture
-completeness, collection loss). Every scenario is executed twice with
-the same seed and the accounting must match exactly — the determinism
-contract that makes chaotic failures replayable from their seed.
+The matrix itself now lives in ``suites/chaos.yaml``: every fault domain
+x every CORBA call style (plus a gentler three-tier/PPS grid), each cell
+a real workload under a seeded :class:`FaultPlan`, collected through the
+resilient collector and reconstructed offline. The runner evaluates the
+``deterministic_accounting`` invariant per cell — the scenario is
+re-executed with the same derived seed and the canonical accounting dict
+must match exactly, the determinism contract that makes chaotic failures
+replayable from their seed — and ``loss_accounting`` balances every
+injected loss against what the collection metadata reports.
+
+These tests hold the suite green and keep the matrix honest: every
+registered fault kind must actually fire somewhere, and different suite
+seeds must produce different fault placements.
 
 Set ``CHAOS_ACCOUNTING_OUT=<path>`` to append each scenario's accounting
 as JSON lines (CI diffs the files of two consecutive full runs).
@@ -14,370 +20,127 @@ as JSON lines (CI diffs the files of two consecutive full runs).
 
 import json
 import os
-import time
+from pathlib import Path
 
 import pytest
 
-from repro.analysis import loss_report, reconstruct
-from repro.collector import LogCollector, MonitoringDatabase
-from repro.core import (
-    MonitorConfig,
-    MonitoringRuntime,
-    MonitorMode,
-    SequentialUuidFactory,
-)
-from repro.faults import FaultInjector, FaultKind, FaultPlan
-from repro.idl import compile_idl
-from repro.orb import InterfaceRegistry, Orb, ThreadPerConnection
-from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
+from repro.scenarios import expand_grid, load_suite, run_scenario, run_suite
 
-IDL = """
-module CH {
-  interface Svc {
-    long ping(in long x);
-    oneway void notify(in long x);
-  };
-};
-"""
+SUITE_PATH = Path(__file__).resolve().parents[2] / "suites" / "chaos.yaml"
 
-#: fault domain -> FaultPlan keyword arguments (rates tuned so every
-#: scenario injects something without drowning the workload).
-FAULT_DOMAINS = {
-    "drop": {"rates": {FaultKind.DROP: 0.25}},
-    "duplicate": {"rates": {FaultKind.DUPLICATE: 0.3}},
-    "reorder": {"rates": {FaultKind.REORDER: 0.3}},
-    "reset": {"rates": {FaultKind.RESET: 0.15}},
-    "crash": {},  # crash_calls filled per call style
+#: Every fault kind the matrix must exercise at least once.
+EXPECTED_FAULT_KINDS = {
+    "drop",
+    "duplicate",
+    "reorder",
+    "reset",
+    "crash",
+    "record_loss",
+    "collect_fail",
 }
 
-CALL_STYLES = ("sync", "oneway", "collocated")
 
-_SEEDS = {"sync": 101, "oneway": 202, "collocated": 303}
-
-
-def _quiesce(processes, settle=3, interval=0.002, timeout=2.0):
-    deadline = time.monotonic() + timeout
-    last, stable = -1, 0
-    while time.monotonic() < deadline:
-        size = sum(len(p.log_buffer) for p in processes)
-        if size == last:
-            stable += 1
-            if stable >= settle:
-                return
-        else:
-            stable, last = 0, size
-        time.sleep(interval)
+@pytest.fixture(scope="module")
+def suite_config():
+    return load_suite(str(SUITE_PATH))
 
 
-def _accounting(injector, processes, errors, results):
-    """One canonical dict: what happened, what was injected, what was lost."""
-    collector = LogCollector(MonitoringDatabase(), retries=2, backoff_s=0.0)
-    collector.collect(processes, run_id="chaos", description="chaos")
-    dscg = reconstruct(collector.database, "chaos")
-    (meta,) = collector.database.runs()
-    # summary() comes after collect(): record-loss and drain-failure
-    # faults are injected during the drain itself.
-    return {
-        "client_errors": errors,
-        "results": results,
-        "faults": injector.summary(),
-        "capture": loss_report(dscg).to_dict(),
-        "stats": dscg.stats(),
-        "collection": meta.extra["loss"],
-    }
+@pytest.fixture(scope="module")
+def suite_report(suite_config):
+    report = run_suite(suite_config, workers=4)
+    _dump_report(report)
+    return report
 
 
-def run_corba_scenario(style: str, fault: str, seed: int) -> dict:
-    """Two-process CORBA workload under one fault domain; returns accounting."""
-    plan_kwargs = dict(FAULT_DOMAINS[fault])
-    if fault == "crash":
-        plan_kwargs["crash_calls"] = (
-            {"CH::Svc::notify": 2} if style == "oneway" else {"CH::Svc::ping": 3}
-        )
-    plan = FaultPlan(
-        seed=seed, record_loss_rate=0.05, collect_fail_attempts=1, **plan_kwargs
-    )
-    injector = FaultInjector(plan)
-    network = injector.network()
-    clock = VirtualClock()
-    host = Host("chaos-host", PlatformKind.HPUX_11, clock=clock)
-    uuid_factory = SequentialUuidFactory("fa")
-    registry = InterfaceRegistry()
-    compiled = compile_idl(IDL, instrument=True, registry=registry)
-
-    def make_process(name):
-        process = SimProcess(name, host)
-        MonitoringRuntime(
-            process,
-            MonitorConfig(mode=MonitorMode.LATENCY, uuid_factory=uuid_factory),
-        )
-        return process
-
-    class SvcImpl(compiled.Svc):
-        def ping(self, x):
-            clock.consume(300)
-            return x * 2
-
-        def notify(self, x):
-            clock.consume(200)
-
-    server = make_process("server")
-    server_orb = Orb(
-        server,
-        network,
-        policy=ThreadPerConnection(),
-        registry=registry,
-        request_timeout=0.1,
-    )
-    ref = server_orb.activate(SvcImpl())
-    if style == "collocated":
-        client = server
-        stub = server_orb.resolve(ref)
-        processes = [server]
-    else:
-        client = make_process("client")
-        client_orb = Orb(
-            client, network, registry=registry, request_timeout=0.1
-        )
-        stub = client_orb.resolve(ref)
-        processes = [client, server]
-    injector.arm_crashes(server)
-
-    errors = 0
-    results = []
-    try:
-        for i in range(8):
-            try:
-                if style == "oneway":
-                    stub.notify(i)
-                    results.append("sent")
-                    # Oneway dispatch is asynchronous: settle before the
-                    # next send so crash-triggered connection teardown
-                    # cannot race it (determinism, not correctness).
-                    _quiesce(processes)
-                else:
-                    results.append(stub.ping(i))
-            except BaseException as exc:  # ComponentCrash included
-                errors += 1
-                results.append(type(exc).__name__)
-            finally:
-                if client.monitor is not None:
-                    client.monitor.unbind_ftl()
-        _quiesce(processes)
-        for process in processes:
-            injector.lossy_delivery(process)
-        return _accounting(injector, processes, errors, results)
-    finally:
-        for process in processes:
-            process.shutdown()
+def _scenario_ids():
+    return [spec.scenario_id for spec in expand_grid(load_suite(str(SUITE_PATH)))]
 
 
-@pytest.mark.parametrize("fault", sorted(FAULT_DOMAINS))
-@pytest.mark.parametrize("style", CALL_STYLES)
-def test_matrix_cell_is_deterministic(style, fault):
-    seed = _SEEDS[style]
-    first = run_corba_scenario(style, fault, seed)
-    second = run_corba_scenario(style, fault, seed)
-    assert first == second, f"{style} x {fault}: accounting diverged between runs"
-    _dump(f"corba:{style}:{fault}", first)
+def test_grid_is_a_real_matrix(suite_config):
+    """The committed grid covers the full style x fault-domain product."""
+    scenarios = expand_grid(suite_config)
+    assert len(scenarios) >= 12
+    corba = [s for s in scenarios if s.grid == "corba-matrix"]
+    styles = {s.workload.params["style"] for s in corba}
+    faults = {s.fault.name for s in corba}
+    assert styles == {"sync", "oneway", "collocated"}
+    assert {"drop", "duplicate", "reorder", "reset", "crash"} <= faults
 
 
-def test_matrix_actually_injects_faults():
-    """Sanity: across the matrix, every fault domain fired at least once."""
+@pytest.mark.parametrize("scenario_id", _scenario_ids())
+def test_matrix_cell_passes_invariants(suite_report, scenario_id):
+    (outcome,) = [o for o in suite_report.outcomes if o.scenario_id == scenario_id]
+    failed = [r.name for r in outcome.invariants if not r.passed]
+    assert outcome.passed, f"{scenario_id}: failed invariants {failed}"
+    names = {r.name for r in outcome.invariants}
+    # The determinism gate (run twice, identical accounting) is an
+    # invariant on every chaos cell, not a separate test loop.
+    assert {"deterministic_accounting", "loss_accounting"} <= names
+
+
+def test_matrix_actually_injects_faults(suite_report):
+    """Sanity: across the matrix, every fault kind fired at least once."""
     seen = set()
-    for style in CALL_STYLES:
-        for fault in sorted(FAULT_DOMAINS):
-            accounting = run_corba_scenario(style, fault, _SEEDS[style])
-            seen.update(accounting["faults"]["by_kind"])
-    assert {"drop", "duplicate", "reorder", "reset", "crash", "record_loss",
-            "collect_fail"} <= seen
+    for outcome in suite_report.outcomes:
+        seen.update(outcome.accounting["faults"]["by_kind"])
+    assert EXPECTED_FAULT_KINDS <= seen
 
 
-def test_different_seeds_differ():
-    a = run_corba_scenario("sync", "drop", 101)
-    b = run_corba_scenario("sync", "drop", 9999)
-    assert a["faults"]["by_site"] != b["faults"]["by_site"]
+def test_crash_domain_salvages_partial_chains(suite_report):
+    """Crash cells still reconstruct: the analyzer reports partial chains
+    rather than losing the capture."""
+    crashed = [
+        o
+        for o in suite_report.outcomes
+        if o.axes["fault"] == "crash" and o.accounting["faults"]["by_kind"].get("crash")
+    ]
+    assert crashed
+    assert any(o.accounting["capture"]["partial_chains"] >= 1 for o in crashed)
 
 
-# ----------------------------------------------------------------------
-# Three-domain chain under faults
-
-
-def run_three_domain_scenario(seed: int) -> dict:
-    from repro.com import ComInterface, ComObject, ComRuntime
-    from repro.j2ee import Container, Jndi, stateless
-
-    plan = FaultPlan(
-        seed=seed,
-        rates={FaultKind.DROP: 0.12},
-        record_loss_rate=0.05,
-        crash_calls={"IMiddle::relay": 3},
+def test_different_seeds_differ(suite_config):
+    """Re-deriving the suite under another seed moves the fault sites."""
+    spec_a = expand_grid(suite_config)[0]
+    spec_b = expand_grid(suite_config, seed=9999)[0]
+    assert spec_a.scenario_id == spec_b.scenario_id
+    assert spec_a.seed != spec_b.seed
+    outcome_a = run_scenario(spec_a)
+    outcome_b = run_scenario(spec_b)
+    assert (
+        outcome_a.accounting["faults"]["by_site"]
+        != outcome_b.accounting["faults"]["by_site"]
     )
-    injector = FaultInjector(plan)
-    network = injector.network()
-    clock = VirtualClock()
-    host = Host("chaos-host", PlatformKind.HPUX_11, clock=clock)
-    uuid_factory = SequentialUuidFactory("3d")
-    registry = InterfaceRegistry()
-    compiled = compile_idl(IDL_GATEWAY, instrument=True, registry=registry)
-    IMiddle = ComInterface("IMiddle", ("relay",))
 
-    def make_process(name):
-        process = SimProcess(name, host)
-        MonitoringRuntime(
-            process,
-            MonitorConfig(mode=MonitorMode.LATENCY, uuid_factory=uuid_factory),
-        )
-        return process
 
-    front = make_process("front")
-    middle = make_process("middle")
-    back = make_process("back")
-    driver = make_process("driver")
-    processes = [front, middle, back, driver]
-
-    front_orb = Orb(
-        front,
-        network,
-        policy=ThreadPerConnection(),
-        registry=registry,
-        request_timeout=0.1,
+def test_report_is_seed_reproducible(suite_config):
+    """One scenario, re-run from the suite file alone, matches the full
+    suite run byte for byte — cells are independent of pool context."""
+    spec = expand_grid(suite_config)[5]
+    solo = run_scenario(spec)
+    full = run_suite(suite_config, workers=4, only=spec.scenario_id)
+    (pooled,) = full.outcomes
+    assert json.dumps(solo.to_dict(), sort_keys=True) == json.dumps(
+        pooled.to_dict(), sort_keys=True
     )
-    client_orb = Orb(driver, network, registry=registry, request_timeout=0.1)
-    com_runtime = ComRuntime(middle)
-    front_com = ComRuntime(front)
-    container = Container(back, "backend")
-    jndi = Jndi()
-
-    @stateless
-    class TaxService:
-        def compute(self, amount):
-            clock.consume(400)
-            return amount * 2
-
-    jndi.bind("tax", container, container.deploy(TaxService))
-
-    class MiddleObj(ComObject):
-        implements = (IMiddle,)
-
-        def relay(self, amount):
-            clock.consume(200)
-            return jndi.lookup("tax", middle).compute(amount) + 1
-
-    sta = com_runtime.create_sta("m")
-    middle_identity = com_runtime.create_object(MiddleObj, sta)
-    injector.arm_crashes(middle)
-
-    class GatewayImpl(compiled.Gateway):
-        def handle(self, request):
-            clock.consume(100)
-            proxy = front_com.proxy_for(middle_identity, IMiddle)
-            return proxy.relay(request) + 1
-
-    gateway_ref = front_orb.activate(GatewayImpl())
-    stub = client_orb.resolve(gateway_ref)
-
-    errors = 0
-    results = []
-    try:
-        for i in range(6):
-            try:
-                results.append(stub.handle(i))
-            except BaseException as exc:
-                errors += 1
-                results.append(type(exc).__name__)
-            finally:
-                if driver.monitor is not None:
-                    driver.monitor.unbind_ftl()
-        _quiesce(processes)
-        for process in processes:
-            injector.lossy_delivery(process)
-        return _accounting(injector, processes, errors, results)
-    finally:
-        for process in processes:
-            process.shutdown()
-
-
-IDL_GATEWAY = """
-module TD {
-  interface Gateway {
-    long handle(in long request);
-  };
-};
-"""
-
-
-def test_three_domain_chain_is_deterministic():
-    first = run_three_domain_scenario(seed=77)
-    second = run_three_domain_scenario(seed=77)
-    assert first == second
-    # The crash fired inside the COM domain and the analyzer salvaged.
-    assert first["faults"]["by_kind"].get("crash") == 1
-    assert first["capture"]["partial_chains"] >= 1
-    _dump("three-domain", first)
-
-
-# ----------------------------------------------------------------------
-# PPS pipeline under faults
-
-
-def run_pps_scenario(seed: int) -> dict:
-    from repro.apps.pps import PpsSystem, four_process_deployment
-
-    plan = FaultPlan(
-        seed=seed,
-        rates={FaultKind.DROP: 0.04},
-        record_loss_rate=0.04,
-        collect_fail_attempts=1,
-        crash_calls={"PPS::Halftone::halftone": 3},
-    )
-    injector = FaultInjector(plan)
-    pps = PpsSystem(
-        four_process_deployment(),
-        mode=MonitorMode.LATENCY,
-        network=injector.network(),
-        request_timeout=0.1,
-        policy_factory=ThreadPerConnection,
-    )
-    for process in pps.processes.values():
-        injector.arm_crashes(process)
-    errors = 0
-    results = []
-    try:
-        for job in range(3):
-            try:
-                pps.run(njobs=1, pages=2, complexity=1)
-                results.append("ok")
-            except BaseException as exc:
-                errors += 1
-                results.append(type(exc).__name__)
-        pps.quiesce()
-        processes = list(pps.processes.values())
-        for process in processes:
-            injector.lossy_delivery(process)
-        return _accounting(injector, processes, errors, results)
-    finally:
-        pps.shutdown()
-
-
-def test_pps_pipeline_is_deterministic():
-    first = run_pps_scenario(seed=55)
-    second = run_pps_scenario(seed=55)
-    assert first == second
-    assert first["faults"]["total"] > 0
-    _dump("pps", first)
 
 
 # ----------------------------------------------------------------------
 
 
-def _dump(name: str, accounting: dict) -> None:
-    """Append one scenario's accounting for the CI determinism diff."""
+def _dump_report(report) -> None:
+    """Append per-scenario accounting for the CI determinism diff."""
     out = os.environ.get("CHAOS_ACCOUNTING_OUT")
     if not out:
         return
     with open(out, "a") as handle:
-        handle.write(
-            json.dumps({"scenario": name, "accounting": accounting}, sort_keys=True)
-            + "\n"
-        )
+        for outcome in report.outcomes:
+            handle.write(
+                json.dumps(
+                    {
+                        "scenario": outcome.scenario_id,
+                        "accounting": outcome.accounting,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )

@@ -6,8 +6,7 @@ JSON, loss accounting — must be bit-identical whichever backend held the
 run, including under record loss and for the sharded parallel analyzer.
 """
 
-import json
-import random
+from pathlib import Path
 
 import pytest
 
@@ -21,7 +20,6 @@ from repro.analysis import (
     render_ccsg_xml,
 )
 from repro.collector import LogCollector, MonitoringDatabase
-from repro.core import RunMetadata
 from repro.store import SegmentStore
 
 
@@ -188,129 +186,110 @@ class TestCrossBackendPredicates:
             result_a.pop("scan", None)
             assert result_a == result_b
 
+    def test_predicated_population_stats_identical(self, backends):
+        """population_stats honors predicates, identically on both
+        backends, spooled and compacted (folded from a filtered scan on
+        the segment store, a WHERE clause on SQLite)."""
+        sqlite, segment = backends
+        for state in ("as-is", "compacted"):
+            for predicate in _identity_predicates(sqlite):
+                assert segment.population_stats(
+                    "xb", predicate=predicate
+                ) == sqlite.population_stats("xb", predicate=predicate), (
+                    state,
+                    predicate,
+                )
+            segment.compact("xb")
 
-class TestCrossBackendChaos:
-    """Chaos-matrix scenarios: faulted captures store identically."""
+    def test_predicated_population_stats_subset_of_full(self, backends):
+        from repro.store import ScanPredicate
 
-    @pytest.mark.parametrize("fault", ["drop", "duplicate", "reorder"])
-    def test_faulted_corba_capture_identical(self, tmp_path, fault):
-        from repro.core import (
-            MonitorConfig,
-            MonitoringRuntime,
-            MonitorMode,
-            SequentialUuidFactory,
-        )
-        from repro.faults import FaultInjector, FaultKind, FaultPlan
-        from repro.idl import compile_idl
-        from repro.orb import InterfaceRegistry, Orb, ThreadPerConnection
-        from repro.platform import Host, PlatformKind, SimProcess, VirtualClock
-        from tests.chaos.test_chaos_matrix import FAULT_DOMAINS, IDL, _quiesce
-
-        plan = FaultPlan(seed=17, record_loss_rate=0.05, **FAULT_DOMAINS[fault])
-        injector = FaultInjector(plan)
-        clock = VirtualClock()
-        host = Host("xb-host", PlatformKind.HPUX_11, clock=clock)
-        uuid_factory = SequentialUuidFactory("ee")
-        registry = InterfaceRegistry()
-        compiled = compile_idl(IDL, instrument=True, registry=registry)
-
-        class SvcImpl(compiled.Svc):
-            def ping(self, x):
-                clock.consume(300)
-                return x * 2
-
-            def notify(self, x):
-                clock.consume(200)
-
-        server = SimProcess("server", host)
-        client = SimProcess("client", host)
-        for process in (server, client):
-            MonitoringRuntime(
-                process,
-                MonitorConfig(mode=MonitorMode.LATENCY, uuid_factory=uuid_factory),
-            )
-        server_orb = Orb(server, injector.network(), policy=ThreadPerConnection(),
-                         registry=registry, request_timeout=0.1)
-        client_orb = Orb(client, injector.network(), registry=registry,
-                         request_timeout=0.1)
-        stub = client_orb.resolve(server_orb.activate(SvcImpl()))
-        processes = [client, server]
-        try:
-            for i in range(8):
-                try:
-                    stub.ping(i)
-                except BaseException:
-                    pass
-                finally:
-                    if client.monitor is not None:
-                        client.monitor.unbind_ftl()
-            _quiesce(processes)
-            for process in processes:
-                injector.lossy_delivery(process)
-
-            # One collection (record-loss draws advance per delivery, so
-            # collecting twice would capture two different record sets);
-            # the segment store gets a byte-identical mirror of it.
-            sqlite = MonitoringDatabase()
-            LogCollector(sqlite, retries=2, backoff_s=0.0).collect(
-                processes, run_id="chaos", description=fault
-            )
-        finally:
-            for process in processes:
-                process.shutdown()
-
-        segment = SegmentStore(str(tmp_path / fault), auto_compact=0)
-        (meta,) = sqlite.runs()
-        segment.create_run(meta)
-        with segment.bulk_ingest():
-            segment.insert_records("chaos", sqlite.all_records("chaos"))
-
-        dscg_a = reconstruct(sqlite, "chaos", annotate=True)
-        dscg_b = reconstruct(segment, "chaos", annotate=True)
-        assert dscg_to_json(dscg_a) == dscg_to_json(dscg_b)
-        assert loss_report(dscg_a).to_dict() == loss_report(dscg_b).to_dict()
-        xml_a = render_ccsg_xml(build_ccsg(dscg_a, CpuAnalysis(dscg_a)),
-                                description="chaos")
-        xml_b = render_ccsg_xml(build_ccsg(dscg_b, CpuAnalysis(dscg_b)),
-                                description="chaos")
-        assert xml_a == xml_b
-        assert list(segment.all_records("chaos")) == list(sqlite.all_records("chaos"))
-        assert segment.population_stats("chaos") == sqlite.population_stats("chaos")
-        sqlite.close()
-        segment.close()
-
-
-class TestCrossBackendUnderLoss:
-    """Chaos-style scenario: deterministically damaged record streams."""
-
-    @pytest.mark.parametrize("seed", [11, 23])
-    def test_lossy_capture_identical(self, tmp_path, seed):
-        system = _embedded_processes()
-        try:
-            records = []
-            for process in system.processes:
-                records.extend(process.log_buffer.drain())
-        finally:
-            system.shutdown()
-        rng = random.Random(seed)
-        damaged = [r for r in records if rng.random() > 0.15]
-        assert len(damaged) < len(records)
-
-        meta = RunMetadata(run_id="lossy", description="", monitor_mode="cpu")
-        sqlite = MonitoringDatabase()
-        segment = SegmentStore(str(tmp_path / "store"), auto_compact=0)
+        sqlite, segment = backends
+        full = sqlite.population_stats("xb")
+        operations = sorted({r.operation for r in sqlite.all_records("xb")})
+        narrowed = ScanPredicate(operations=frozenset(operations[:1]))
         for backend in (sqlite, segment):
-            backend.create_run(meta)
-            with backend.bulk_ingest():
-                backend.insert_records("lossy", damaged)
+            stats = backend.population_stats("xb", predicate=narrowed)
+            assert 0 < stats["calls"] < full["calls"]
+            # one operation name, possibly on several interfaces
+            assert 0 < stats["unique_methods"] <= full["unique_interfaces"]
+            empty = backend.population_stats(
+                "xb", predicate=ScanPredicate(operations=frozenset({"nope"}))
+            )
+            assert all(value == 0 for value in empty.values())
+            assert set(empty) == set(full)
 
-        dscg_a = reconstruct(sqlite, "lossy", annotate=True)
-        dscg_b = reconstruct(segment, "lossy", annotate=True)
-        report_a = loss_report(dscg_a).to_dict()
-        report_b = loss_report(dscg_b).to_dict()
-        assert report_a == report_b
-        assert json.loads(dscg_to_json(dscg_a)) == json.loads(dscg_to_json(dscg_b))
-        segment.compact("lossy")
-        assert dscg_to_json(reconstruct(segment, "lossy", annotate=True)) == dscg_to_json(dscg_b)
-        sqlite.close()
-        segment.close()
+
+# ----------------------------------------------------------------------
+# Faulted and lossy captures, via the declarative suite runner
+#
+# suites/cross_backend.yaml declares the scenario loops that used to be
+# hand-rolled here: two-process CORBA under drop/duplicate/reorder and a
+# lossy embedded-system capture, each run on BOTH backends with the
+# cross_backend_identity invariant mirroring the capture into the other
+# backend and asserting the full analyzer surface matches bit-for-bit.
+
+SUITE_PATH = Path(__file__).resolve().parents[2] / "suites" / "cross_backend.yaml"
+
+
+@pytest.fixture(scope="module")
+def xb_suite_report():
+    from repro.scenarios import load_suite, run_suite
+
+    return run_suite(load_suite(str(SUITE_PATH)), workers=4)
+
+
+def _xb_scenario_ids():
+    from repro.scenarios import expand_grid, load_suite
+
+    return [s.scenario_id for s in expand_grid(load_suite(str(SUITE_PATH)))]
+
+
+class TestCrossBackendSuite:
+    """The committed cross-backend grid holds on every cell."""
+
+    @pytest.mark.parametrize("scenario_id", _xb_scenario_ids())
+    def test_scenario_identical_across_backends(self, xb_suite_report, scenario_id):
+        (outcome,) = [
+            o for o in xb_suite_report.outcomes if o.scenario_id == scenario_id
+        ]
+        failed = [r.name for r in outcome.invariants if not r.passed]
+        assert outcome.passed, f"{scenario_id}: failed invariants {failed}"
+
+    def test_identity_checks_cover_analyzer_surface(self, xb_suite_report):
+        """Every cell's identity invariant compared the whole surface:
+        raw scans, predicated scans, stats, DSCG JSON, loss report and
+        CCSG XML — not some subset."""
+        for outcome in xb_suite_report.outcomes:
+            (identity,) = [
+                r for r in outcome.invariants if r.name == "cross_backend_identity"
+            ]
+            checks = identity.details["checks"]
+            assert {
+                "record_count",
+                "chain_uuids",
+                "arrival_stream",
+                "chain_groups",
+                "population_stats",
+                "predicated_scans",
+                "predicated_population_stats",
+                "dscg_json",
+                "loss_report",
+                "ccsg_xml",
+            } <= set(checks)
+            assert all(checks.values()), (outcome.scenario_id, checks)
+
+    def test_grid_spans_both_backends_and_faults(self, xb_suite_report):
+        backends_seen = {o.axes["backend"] for o in xb_suite_report.outcomes}
+        faults_seen = {o.axes["fault"] for o in xb_suite_report.outcomes}
+        assert backends_seen == {"sqlite", "segment"}
+        assert {"drop", "duplicate", "reorder", "lossy"} <= faults_seen
+
+    def test_lossy_cells_account_for_loss(self, xb_suite_report):
+        lossy = [
+            o for o in xb_suite_report.outcomes if o.axes["fault"] == "lossy"
+        ]
+        assert lossy
+        for outcome in lossy:
+            assert outcome.accounting["faults"]["by_kind"].get("record_loss")
+            assert outcome.accounting["collection"]["records_lost_in_delivery"] > 0
