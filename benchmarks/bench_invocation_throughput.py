@@ -2,7 +2,11 @@
 
 Measures calls/sec and per-probe overhead across the matrix
 ``{sync_remote, oneway_remote, collocated} x {1, 8, 32 client threads}``
-for two data planes:
+for two data planes, plus an **async** plane ladder — ``sync_remote``
+driven by ``{1, 64, 1024, 8192}`` pipelined asyncio tasks over one
+event-loop channel, with a threaded-mux comparison cell at 1024 OS
+threads and honesty fields recording requested vs observed in-flight
+depth:
 
 - **fast** — the current tree: multiplexed client channels (request
   pipelining over one shared connection), fused CDR marshalling plans,
@@ -49,6 +53,12 @@ import time
 
 KINDS = ("sync_remote", "oneway_remote", "collocated")
 THREADS = (1, 8, 32)
+#: Concurrency ladder for the asyncio plane: one driver *task* per
+#: in-flight call, all pipelined on one event-loop channel. The threaded
+#: mux comparison point runs the same sync_remote workload with this many
+#: OS threads instead.
+ASYNC_INFLIGHT = (1, 64, 1024, 8192)
+MUX_COMPARE_THREADS = 1024
 
 IDL = """
 module Bench {
@@ -191,6 +201,96 @@ def _measure_cell(kind: str, threads: int, monitored: bool, plane: str,
     }
 
 
+def _measure_async_cell(inflight: int, monitored: bool,
+                        total_calls: int) -> dict:
+    """One asyncio-plane cell: ``inflight`` driver tasks pipelining
+    sync calls over one shared event-loop channel.
+
+    Honesty fields: ``requested_inflight`` is the task count we asked
+    for; ``effective_inflight`` is the channel's observed high-water mark
+    of concurrently pending requests (``AsyncMuxChannel.peak_pending``) —
+    if replies drain faster than tasks launch, the two differ and the
+    JSON says so.
+    """
+    import asyncio
+
+    from repro.core import MonitorConfig, MonitoringRuntime, MonitorMode
+    from repro.idl import compile_idl
+    from repro.orb import AsyncioDispatch, InterfaceRegistry, Orb
+    from repro.platform import Host, Network, SimProcess
+
+    network = Network()
+    host = Host("bench-host")  # real clock: throughput is wall time
+    registry = InterfaceRegistry()
+    compiled = compile_idl(IDL, instrument=True, registry=registry,
+                           async_mode=True)
+
+    server = SimProcess("bench-server", host)
+    client = SimProcess("bench-client", host)
+    if monitored:
+        MonitoringRuntime(server, MonitorConfig(mode=MonitorMode.LATENCY))
+        MonitoringRuntime(client, MonitorConfig(mode=MonitorMode.LATENCY))
+
+    server_orb = Orb(server, network, policy=AsyncioDispatch(),
+                     registry=registry, channel="asyncio")
+
+    class Impl(compiled.Svc):
+        async def ping(self, x):
+            return x + 1
+
+        async def cast(self, x):
+            pass
+
+    ref = server_orb.activate(Impl())
+    caller_orb = Orb(client, network, registry=registry, channel="asyncio")
+    stub = caller_orb.resolve(ref)
+
+    per_task = max(1, total_calls // inflight)
+    calls = per_task * inflight
+
+    async def worker():
+        for _ in range(per_task):
+            await stub.ping(7)
+
+    async def drive() -> int:
+        start = time.perf_counter_ns()
+        await asyncio.gather(*(worker() for _ in range(inflight)))
+        return time.perf_counter_ns() - start
+
+    elapsed_ns = asyncio.run(drive())
+    peak_pending = max(
+        (ch.peak_pending for ch in caller_orb._async_channels.values()),
+        default=0,
+    )
+
+    records = 0
+    if monitored:
+        records = (len(server.log_buffer.snapshot())
+                   + len(client.log_buffer.snapshot()))
+
+    try:
+        caller_orb.shutdown()
+        server_orb.shutdown()
+    finally:
+        client.shutdown()
+        server.shutdown()
+
+    return {
+        "kind": "sync_remote",
+        "threads": inflight,
+        "plane": "async",
+        "monitored": monitored,
+        "requested_inflight": inflight,
+        "effective_inflight": peak_pending,
+        "calls": calls,
+        "elapsed_ns": elapsed_ns,
+        "calls_per_sec": round(calls / (elapsed_ns / 1e9), 1),
+        "ns_per_call": round(elapsed_ns / calls, 1),
+        "probe_records": records,
+        "records_per_call": round(records / calls, 2) if monitored else 0.0,
+    }
+
+
 def _run_worker(spec_json: str) -> None:
     spec = json.loads(spec_json)
     repeat = spec.get("repeat", 1)
@@ -198,11 +298,18 @@ def _run_worker(spec_json: str) -> None:
     for cell in spec["cells"]:
         # Best-of-N: each run includes full setup/teardown; keeping the
         # fastest run filters scheduler noise out of sub-second cells.
-        runs = [
-            _measure_cell(cell["kind"], cell["threads"], cell["monitored"],
-                          cell["plane"], spec["total_calls"])
-            for _ in range(repeat)
-        ]
+        if cell["plane"] == "async":
+            runs = [
+                _measure_async_cell(cell["inflight"], cell["monitored"],
+                                    spec["total_calls"])
+                for _ in range(repeat)
+            ]
+        else:
+            runs = [
+                _measure_cell(cell["kind"], cell["threads"], cell["monitored"],
+                              cell["plane"], spec["total_calls"])
+                for _ in range(repeat)
+            ]
         best = max(runs, key=lambda r: r["calls_per_sec"])
         best["all_runs_calls_per_sec"] = [r["calls_per_sec"] for r in runs]
         results.append(best)
@@ -250,6 +357,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="fail --check if mean per-probe overhead exceeds this")
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="fail --check if sync_remote@8 speedup is below this")
+    parser.add_argument("--min-async-inflight", type=int, default=5000,
+                        help="fail --check if the async plane never sustains "
+                             "this many concurrent in-flight calls")
     parser.add_argument("--repeat", type=int, default=None,
                         help="best-of-N runs per cell (default 3, 1 with --quick)")
     parser.add_argument("--calls", type=int, default=None,
@@ -271,6 +381,21 @@ def main(argv: list[str] | None = None) -> int:
         {"kind": kind, "threads": threads, "plane": "fast", "monitored": mon}
         for kind in KINDS for threads in THREADS for mon in (True, False)
     ]
+    # The threaded-mux point of comparison for the asyncio plane: same
+    # sync_remote workload at event-loop-scale concurrency, one parked OS
+    # thread per in-flight call.
+    fast_cells.append({
+        "kind": "sync_remote", "threads": MUX_COMPARE_THREADS,
+        "plane": "fast", "monitored": True,
+    })
+    async_cells = [
+        {"kind": "sync_remote", "threads": n, "inflight": n,
+         "plane": "async", "monitored": True}
+        for n in ASYNC_INFLIGHT
+    ] + [
+        {"kind": "sync_remote", "threads": 1, "inflight": 1,
+         "plane": "async", "monitored": False},
+    ]
     baseline_cells = [
         {"kind": kind, "threads": threads, "plane": "baseline", "monitored": True}
         for kind in KINDS for threads in THREADS
@@ -288,11 +413,14 @@ def main(argv: list[str] | None = None) -> int:
     print(f"fast plane: {len(fast_cells)} cells x {total_calls} calls",
           file=sys.stderr)
     fast = _spawn_worker(fast_cells, total_calls, fast_src, repeat)
+    print(f"async plane: {len(async_cells)} cells x {total_calls} calls",
+          file=sys.stderr)
+    async_results = _spawn_worker(async_cells, total_calls, fast_src, repeat)
     print(f"baseline plane ({baseline_label}): {len(baseline_cells)} cells",
           file=sys.stderr)
     baseline = _spawn_worker(baseline_cells, total_calls, baseline_src, repeat)
 
-    by_key = {_cell_key(c): c for c in fast + baseline}
+    by_key = {_cell_key(c): c for c in fast + async_results + baseline}
 
     speedups: dict[str, dict[str, float]] = {}
     for kind in KINDS:
@@ -322,6 +450,28 @@ def main(argv: list[str] | None = None) -> int:
         values = [v for v in per_kind.values() if v is not None]
         means[plane] = round(sum(values) / len(values), 1) if values else None
 
+    mux_hi = by_key[("sync_remote", MUX_COMPARE_THREADS, "fast", True)]
+    async_summary = {
+        "calls_per_sec_by_inflight": {
+            str(n): by_key[("sync_remote", n, "async", True)]["calls_per_sec"]
+            for n in ASYNC_INFLIGHT
+        },
+        "effective_inflight": {
+            str(n): by_key[("sync_remote", n, "async", True)]["effective_inflight"]
+            for n in ASYNC_INFLIGHT
+        },
+        "max_effective_inflight": max(
+            by_key[("sync_remote", n, "async", True)]["effective_inflight"]
+            for n in ASYNC_INFLIGHT
+        ),
+        "threaded_mux_calls_per_sec_at_compare": mux_hi["calls_per_sec"],
+        "compare_concurrency": MUX_COMPARE_THREADS,
+        "async_vs_threaded_mux_at_compare": round(
+            by_key[("sync_remote", MUX_COMPARE_THREADS, "async", True)]
+            ["calls_per_sec"] / mux_hi["calls_per_sec"], 2
+        ),
+    }
+
     result = {
         "benchmark": "invocation_throughput",
         "quick": args.quick,
@@ -330,8 +480,9 @@ def main(argv: list[str] | None = None) -> int:
         "total_calls_per_cell": total_calls,
         "repeat_best_of": repeat,
         "baseline_source": baseline_label,
-        "cells": fast + baseline,
+        "cells": fast + async_results + baseline,
         "speedup_vs_baseline": speedups,
+        "async_plane": async_summary,
         "probe_overhead_ns_per_record": probe_overhead,
         "mean_probe_overhead_ns": means,
         "notes": (
@@ -340,7 +491,10 @@ def main(argv: list[str] | None = None) -> int:
             "thread as (monitored - unmonitored) ns/call divided by probe "
             "records per call. baseline_source=in-tree-compat means the "
             "baseline is the current tree in per-thread lock-step mode "
-            "with slow marshalling, not a true pre-PR checkout."
+            "with slow marshalling, not a true pre-PR checkout. async "
+            "cells drive N pipelined tasks over one event-loop channel; "
+            "requested_inflight is the task count, effective_inflight the "
+            "channel's observed peak of concurrently pending requests."
         ),
     }
 
@@ -349,7 +503,8 @@ def main(argv: list[str] | None = None) -> int:
         handle.write("\n")
     print(f"wrote {args.output}", file=sys.stderr)
     print(json.dumps({"speedup_vs_baseline": speedups,
-                      "mean_probe_overhead_ns": means}, indent=2))
+                      "mean_probe_overhead_ns": means,
+                      "async_plane": async_summary}, indent=2))
 
     if args.check:
         failures = []
@@ -359,6 +514,18 @@ def main(argv: list[str] | None = None) -> int:
                 failures.append(
                     f"sync_remote@8 speedup {got} < {args.min_speedup}"
                 )
+        ratio = async_summary["async_vs_threaded_mux_at_compare"]
+        if ratio <= 1.0:
+            failures.append(
+                f"async plane did not beat threaded mux at "
+                f"{MUX_COMPARE_THREADS}-way concurrency (ratio {ratio})"
+            )
+        peak = async_summary["max_effective_inflight"]
+        if peak < args.min_async_inflight:
+            failures.append(
+                f"async peak effective in-flight {peak} "
+                f"< {args.min_async_inflight}"
+            )
         if args.max_overhead_ns is not None and means["fast"] is not None:
             if means["fast"] > args.max_overhead_ns:
                 failures.append(

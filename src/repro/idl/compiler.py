@@ -38,6 +38,7 @@ class CompiledIdl:
     source: str
     internal_idl: str
     namespace: dict[str, Any] = field(default_factory=dict)
+    async_mode: bool = False
 
     def __getattr__(self, name: str) -> Any:
         try:
@@ -62,16 +63,21 @@ def compile_idl(
     source: str,
     instrument: bool = True,
     registry: InterfaceRegistry | None = None,
+    async_mode: bool = False,
 ) -> CompiledIdl:
     """Compile IDL source text into live Python stub/skeleton classes.
 
     ``registry`` defaults to the process-wide interface registry; pass a
     private :class:`InterfaceRegistry` to isolate compilations (the tests
     do this when compiling the same IDL twice with different flags).
+    With ``async_mode=True`` the emitted stubs/skeletons are coroutines
+    for the asyncio data plane (``channel="asyncio"`` +
+    :class:`~repro.orb.threading_policies.AsyncioDispatch`); the probe
+    placement is unchanged.
     """
     spec_ast = parse_idl(source)
     resolved = analyze(spec_ast)
-    python_source = generate_python(spec_ast, resolved, instrument)
+    python_source = generate_python(spec_ast, resolved, instrument, async_mode=async_mode)
     internal_idl = render_internal_idl(resolved, instrument)
     registry = registry if registry is not None else GLOBAL_INTERFACE_REGISTRY
 
@@ -95,4 +101,5 @@ def compile_idl(
         source=python_source,
         internal_idl=internal_idl,
         namespace=module.__dict__,
+        async_mode=async_mode,
     )

@@ -12,6 +12,7 @@ from repro.orb.runtime import (
     StubBase,
 )
 from repro.orb.threading_policies import (
+    AsyncioDispatch,
     ThreadingPolicy,
     ThreadPerConnection,
     ThreadPerRequest,
@@ -19,6 +20,7 @@ from repro.orb.threading_policies import (
 )
 
 __all__ = [
+    "AsyncioDispatch",
     "CdrDecoder",
     "CdrEncoder",
     "GLOBAL_INTERFACE_REGISTRY",

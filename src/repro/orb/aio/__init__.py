@@ -1,0 +1,28 @@
+"""Asyncio-native invocation data plane.
+
+Event-loop GIOP framing (:mod:`repro.orb.aio.framing`) and the awaitable
+multiplexed channel (:mod:`repro.orb.aio.channel`). The ORB mounts this
+plane when constructed with ``channel="asyncio"``; servers dispatch on
+an event loop via
+:class:`~repro.orb.threading_policies.AsyncioDispatch`.
+"""
+
+from repro.orb.aio.channel import AsyncMuxChannel
+from repro.orb.aio.framing import (
+    ASYNC_STREAM_PRELUDE,
+    MAX_FRAME_BYTES,
+    FramedConnectionWriter,
+    StreamFrameParser,
+    frame_message,
+    parse_frames_blocking,
+)
+
+__all__ = [
+    "ASYNC_STREAM_PRELUDE",
+    "AsyncMuxChannel",
+    "FramedConnectionWriter",
+    "MAX_FRAME_BYTES",
+    "StreamFrameParser",
+    "frame_message",
+    "parse_frames_blocking",
+]

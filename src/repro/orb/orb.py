@@ -24,6 +24,7 @@ One :class:`Orb` is attached to each simulated process. It owns:
 
 from __future__ import annotations
 
+import asyncio
 import copy
 import itertools
 import threading
@@ -31,6 +32,12 @@ import time
 from typing import Any
 
 from repro.errors import ComponentCrash, ObjectNotFound, OrbError, TransportError
+from repro.orb.aio.channel import AsyncMuxChannel
+from repro.orb.aio.framing import (
+    ASYNC_STREAM_PRELUDE,
+    FramedConnectionWriter,
+    StreamFrameParser,
+)
 from repro.orb.channel import MuxChannel
 from repro.orb.giop import (
     ReplyMessage,
@@ -146,7 +153,7 @@ class Orb:
         request_timeout: float = 30.0,
         channel: str = "mux",
     ):
-        if channel not in ("mux", "per-thread"):
+        if channel not in ("mux", "per-thread", "asyncio"):
             raise OrbError(f"unknown channel mode {channel!r}")
         self.process = process
         self.network = network
@@ -159,6 +166,7 @@ class Orb:
         self.channel_mode = channel
         self._client_state = threading.local()
         self._channels: dict[str, MuxChannel] = {}
+        self._async_channels: dict[str, AsyncMuxChannel] = {}
         self._channels_lock = threading.Lock()
         self._request_ids = itertools.count(1)
         self._connection_serial = itertools.count(1)
@@ -297,6 +305,72 @@ class Orb:
                 self._channels[address] = chan
             return chan
 
+    def _async_channel_to(self, address: str) -> AsyncMuxChannel:
+        """The shared awaitable channel to ``address`` (created lazily).
+
+        Channels are bound to the event loop that created them: a cached
+        channel whose loop is not the *running* loop (a previous
+        ``asyncio.run`` epoch) is replaced, like a dead threaded channel.
+        """
+        loop = asyncio.get_running_loop()
+        chan = self._async_channels.get(address)
+        if chan is not None and not chan.closed and chan.loop is loop:
+            return chan
+        with self._channels_lock:
+            chan = self._async_channels.get(address)
+            if chan is None or chan.closed or chan.loop is not loop:
+                label = f"{self.address}/t{next(self._connection_serial)}"
+                conn = self.network.connect(label, address)
+                chan = AsyncMuxChannel(conn, self.process, loop)
+                self._async_channels[address] = chan
+            return chan
+
+    async def send_request_async(
+        self,
+        ref: ObjectRef,
+        operation: str,
+        body: bytes,
+        oneway: bool,
+        ftl: bytes | None,
+    ) -> ReplyMessage | None:
+        """Awaitable twin of :meth:`send_request`, used by async stubs.
+
+        Same frame bytes (shared request-template cache), same request-id
+        space; the call parks on an asyncio future instead of an OS
+        thread, so in-flight depth is bounded by memory, not threads.
+        """
+        if self._shut_down:
+            raise OrbError("ORB has been shut down")
+        request_id = next(self._request_ids)
+        payload = encode_request(
+            request_id,
+            ref.object_key,
+            ref.interface,
+            operation,
+            oneway,
+            body,
+            ftl,
+            self._request_templates,
+        )
+        _REQUESTS[oneway].inc()
+        channel = self._async_channel_to(ref.address)
+        if oneway:
+            await channel.call(
+                request_id, payload, self.process.host, oneway=True, timeout=None
+            )
+            return None
+        _INFLIGHT.inc()
+        try:
+            return await channel.call(
+                request_id,
+                payload,
+                self.process.host,
+                oneway=False,
+                timeout=self.request_timeout,
+            )
+        finally:
+            _INFLIGHT.dec()
+
     def send_request(
         self,
         ref: ObjectRef,
@@ -320,7 +394,9 @@ class Orb:
             self._request_templates,
         )
         _REQUESTS[oneway].inc()
-        if self.channel_mode == "mux":
+        # channel="asyncio" only changes the *async* client path; sync
+        # callers on an asyncio-mode ORB ride the threaded mux channel.
+        if self.channel_mode != "per-thread":
             channel = self._channel_to(ref.address)
             if oneway:
                 channel.call(
@@ -381,28 +457,51 @@ class Orb:
     def _reader_loop(self, conn: Connection) -> None:
         connection_id = f"{conn.peer_label}#{id(conn)}"
         inline = getattr(self.policy, "inline_per_connection", False)
+        # Asyncio-plane clients speak a length-prefixed byte *stream*
+        # (coalesced writes may pack many frames into one transport
+        # message). The prelude, sent before any framed bytes, switches
+        # this reader into stream mode; replies then go back framed.
+        parser: StreamFrameParser | None = None
+        reply_conn: Connection | FramedConnectionWriter = conn
         while not self._shut_down:
             try:
                 payload = conn.recv(timeout=None)
             except TransportError:
                 return
-            try:
-                message = decode_message(payload)
-            except Exception:
-                # A corrupt/truncated request must not kill the reader
-                # thread; drop the payload and keep serving the link.
-                _MALFORMED.inc()
+            if parser is None and payload == ASYNC_STREAM_PRELUDE:
+                parser = StreamFrameParser()
+                reply_conn = FramedConnectionWriter(conn)
                 continue
-            if not isinstance(message, RequestMessage):
-                continue
-
-            def dispatch(message=message):
-                self._dispatch_request(message, conn)
-
-            if inline:
-                dispatch()
+            if parser is not None:
+                try:
+                    frames = parser.feed(payload)
+                except Exception:
+                    # A corrupt length prefix desynchronizes the whole
+                    # stream — unlike one bad message, there is no next
+                    # frame boundary to resume from. Reset the link.
+                    _MALFORMED.inc()
+                    conn.close()
+                    return
             else:
-                self.policy.submit(dispatch, connection_id)
+                frames = (payload,)
+            for frame in frames:
+                try:
+                    message = decode_message(frame)
+                except Exception:
+                    # A corrupt/truncated request must not kill the reader
+                    # thread; drop the payload and keep serving the link.
+                    _MALFORMED.inc()
+                    continue
+                if not isinstance(message, RequestMessage):
+                    continue
+
+                def dispatch(message=message, reply_conn=reply_conn):
+                    self._dispatch_request(message, reply_conn)
+
+                if inline:
+                    dispatch()
+                else:
+                    self.policy.submit(dispatch, connection_id)
 
     def _dispatch_request(self, request: RequestMessage, conn: Connection) -> None:
         _DISPATCH_TOTAL.inc()
@@ -434,8 +533,48 @@ class Orb:
             _CRASHED_DISPATCHES.inc()
             conn.close()
             return
+        if asyncio.iscoroutine(reply):
+            # Async skeleton: the probes and the servant body live inside
+            # the coroutine; run it as its own Task (own context copy,
+            # own FTL slot) and reply from the done callback.
+            self._finish_async_dispatch(reply, request, conn)
+            return
         if reply is not None and not request.oneway:
             self._send_reply(conn, reply)
+
+    def _finish_async_dispatch(self, coro, request: RequestMessage, conn) -> None:
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:
+            loop = None
+        if loop is None:
+            # Compatibility path: an async skeleton dispatched by a
+            # threaded policy. Drive the coroutine to completion on this
+            # worker thread — concurrency comes from the policy, as ever.
+            try:
+                reply = asyncio.run(coro)
+            except ComponentCrash:
+                _CRASHED_DISPATCHES.inc()
+                conn.close()
+                return
+            if reply is not None and not request.oneway:
+                self._send_reply(conn, reply)
+            return
+        task = loop.create_task(coro)
+
+        def _done(task, request=request, conn=conn):
+            try:
+                reply = task.result()
+            except (ComponentCrash, asyncio.CancelledError):
+                # Crash mid-call (no skel-end probe, no reply) or loop
+                # teardown: reset the link so the client fails promptly.
+                _CRASHED_DISPATCHES.inc()
+                conn.close()
+                return
+            if reply is not None and not request.oneway:
+                self._send_reply(conn, reply)
+
+        task.add_done_callback(_done)
 
     def _send_reply(self, conn: Connection, reply: ReplyMessage) -> None:
         """Send a reply, tolerating a connection torn down mid-dispatch.
@@ -459,8 +598,12 @@ class Orb:
         with self._channels_lock:
             channels = list(self._channels.values())
             self._channels.clear()
+            async_channels = list(self._async_channels.values())
+            self._async_channels.clear()
         for channel in channels:
             channel.close()  # unblocks the demux reader thread
+        for channel in async_channels:
+            channel.close()  # posts failure to the owning loop
         with self._server_connections_lock:
             connections = list(self._server_connections)
         for conn in connections:

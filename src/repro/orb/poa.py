@@ -10,10 +10,18 @@ from repro.orb.refs import ObjectRef
 
 
 class ObjectAdapter:
-    """Maps object keys to activated skeletons within one process."""
+    """Maps object keys to activated skeletons within one process.
+
+    Lookups are copy-on-write: activation-time writers replace the
+    table wholesale under the lock, while ``find``/``try_find`` — one
+    per dispatched request, and under :class:`AsyncioDispatch` all on
+    the single loop thread — read the published snapshot with a
+    GIL-atomic dict get, never acquiring anything.
+    """
 
     def __init__(self, address: str):
         self.address = address
+        #: Immutable snapshot, replaced (never mutated) by writers.
         self._skeletons: dict[str, object] = {}
         self._key_counter = itertools.count(1)
         self._lock = threading.Lock()
@@ -27,7 +35,9 @@ class ObjectAdapter:
                 object_key = f"{self.address}.obj-{next(self._key_counter)}"
             if object_key in self._skeletons:
                 raise ObjectNotFound(f"object key {object_key!r} already active")
-            self._skeletons[object_key] = None  # reserved, not yet installed
+            table = dict(self._skeletons)
+            table[object_key] = None  # reserved, not yet installed
+            self._skeletons = table
         return object_key
 
     def install(self, object_key: str, skeleton) -> None:
@@ -35,7 +45,9 @@ class ObjectAdapter:
         with self._lock:
             if object_key not in self._skeletons:
                 raise ObjectNotFound(f"object key {object_key!r} was never reserved")
-            self._skeletons[object_key] = skeleton
+            table = dict(self._skeletons)
+            table[object_key] = skeleton
+            self._skeletons = table
 
     def activate(
         self, skeleton, object_key: str | None, interface: str, component: str
@@ -52,19 +64,18 @@ class ObjectAdapter:
 
     def deactivate(self, object_key: str) -> None:
         with self._lock:
-            self._skeletons.pop(object_key, None)
+            table = dict(self._skeletons)
+            table.pop(object_key, None)
+            self._skeletons = table
 
     def find(self, object_key: str):
-        with self._lock:
-            skeleton = self._skeletons.get(object_key)
+        skeleton = self._skeletons.get(object_key)
         if skeleton is None:
             raise ObjectNotFound(f"no active object with key {object_key!r}")
         return skeleton
 
     def try_find(self, object_key: str):
-        with self._lock:
-            return self._skeletons.get(object_key)
+        return self._skeletons.get(object_key)
 
     def active_keys(self) -> list[str]:
-        with self._lock:
-            return sorted(self._skeletons)
+        return sorted(self._skeletons)

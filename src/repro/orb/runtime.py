@@ -16,6 +16,7 @@ receives the ``in``/``inout`` parameters in declaration order and returns
 
 from __future__ import annotations
 
+import inspect
 import threading
 from typing import TYPE_CHECKING, Any
 
@@ -280,6 +281,21 @@ class StubBase:
         ftl = ctx.request_ftl_payload if ctx is not None else None
         self._orb.send_request(self.object_ref, op_name, body, oneway=True, ftl=ftl)
 
+    async def _remote_call_async(self, op_name: str, args: tuple, ctx) -> ReplyMessage:
+        """Awaitable twin of :meth:`_remote_call` (asyncio plane)."""
+        body = _marshal_args(self._op(op_name), args)
+        ftl = ctx.request_ftl_payload if ctx is not None else None
+        return await self._orb.send_request_async(
+            self.object_ref, op_name, body, oneway=False, ftl=ftl
+        )
+
+    async def _oneway_call_async(self, op_name: str, args: tuple, ctx) -> None:
+        body = _marshal_args(self._op(op_name), args)
+        ftl = ctx.request_ftl_payload if ctx is not None else None
+        await self._orb.send_request_async(
+            self.object_ref, op_name, body, oneway=True, ftl=ftl
+        )
+
     def _decode_reply(self, op_name: str, reply: ReplyMessage) -> Any:
         op = self._op(op_name)
         if reply.status is ReplyStatus.OK:
@@ -317,6 +333,46 @@ class StubBase:
             # The component died mid-call: probes 3 and 4 never fire (the
             # process that would run them is gone). The open frame shows
             # up as a partial chain in the analyzer — by design.
+            raise
+        except BaseException:
+            monitor.collocated_call_end(stub_ctx, skel_ctx)
+            raise
+        monitor.collocated_call_end(stub_ctx, skel_ctx)
+        return result
+
+    async def _call_servant_async(self, servant, op_name: str, args: tuple) -> Any:
+        """Direct collocated invocation awaiting an async servant method."""
+        hook = self._orb.process.fault_hook
+        if hook is not None:
+            hook.on_dispatch(self._interface, op_name)
+        result = getattr(servant, op_name)(*args)
+        if inspect.isawaitable(result):
+            result = await result
+        _result_values(self._op(op_name), result)
+        return result
+
+    async def _collocated_call_plain_async(
+        self, op_name: str, servant, args: tuple
+    ) -> Any:
+        return await self._call_servant_async(servant, op_name, args)
+
+    async def _collocated_call_probed_async(
+        self, op_name: str, servant, args: tuple
+    ) -> Any:
+        """Async collocated call with the degenerate probe pairs.
+
+        Probe semantics match :meth:`_collocated_call_probed`; the FTL
+        lives in the calling task's context, so the ``await`` suspension
+        cannot leak it to other tasks sharing the loop thread.
+        """
+        monitor = self._monitor
+        if monitor is None:
+            return await self._call_servant_async(servant, op_name, args)
+        op_info = self._op_info(op_name)
+        stub_ctx, skel_ctx = monitor.collocated_call_start(op_info)
+        try:
+            result = await self._call_servant_async(servant, op_name, args)
+        except ComponentCrash:
             raise
         except BaseException:
             monitor.collocated_call_end(stub_ctx, skel_ctx)
@@ -411,6 +467,28 @@ class SkeletonBase:
             hook.on_dispatch(self._interface, op_name)
         try:
             result = getattr(self.servant, op_name)(*args)
+            return ReplyStatus.OK, result
+        except declared as exc:  # user exception listed in raises(...)
+            return ReplyStatus.USER_EXCEPTION, exc
+        except Exception as exc:  # anything else is a system exception
+            return ReplyStatus.SYSTEM_EXCEPTION, exc
+
+    async def _execute_async(self, op_name: str, args: tuple) -> tuple[ReplyStatus, Any]:
+        """Awaitable twin of :meth:`_execute` for async servant methods.
+
+        The classification happens around the ``await`` as well, so a
+        declared exception raised after a suspension point still maps to
+        USER_EXCEPTION; :class:`ComponentCrash` escapes either way.
+        """
+        op = self._op(op_name)
+        declared = tuple(exc_type.py_class for exc_type in op.raises)
+        hook = self._orb.process.fault_hook
+        if hook is not None:
+            hook.on_dispatch(self._interface, op_name)
+        try:
+            result = getattr(self.servant, op_name)(*args)
+            if inspect.isawaitable(result):
+                result = await result
             return ReplyStatus.OK, result
         except declared as exc:  # user exception listed in raises(...)
             return ReplyStatus.USER_EXCEPTION, exc

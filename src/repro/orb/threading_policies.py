@@ -17,6 +17,7 @@ decides which thread executes it.
 
 from __future__ import annotations
 
+import asyncio
 import queue
 import threading
 from typing import Callable
@@ -121,3 +122,72 @@ class ThreadPool(ThreadingPolicy):
     def shutdown(self) -> None:
         for _ in range(self.size):
             self._work.put(None)
+
+
+class AsyncioDispatch(ThreadingPolicy):
+    """Run every dispatch on one dedicated asyncio event-loop thread.
+
+    The asyncio analogue of :class:`ThreadPool` with size 1 — except
+    each dispatched call that reaches an *async* skeleton becomes its own
+    Task, so thousands of calls can be suspended at ``await`` points
+    concurrently while costing zero parked OS threads. Observation O1
+    bends here (a call *is* suspended mid-flight), but causality capture
+    survives because the FTL carrier is execution-context-local
+    (:class:`~repro.platform.tss.ContextVarStorage`): each Task runs in
+    its own context copy, so a resumed call still sees its own FTL, and
+    O2's refresh-on-dispatch happens per task instead of per thread.
+
+    Sync skeletons dispatched under this policy simply run inline on the
+    loop thread (sequentially, like a size-1 pool).
+    """
+
+    name = "asyncio"
+
+    def __init__(self):
+        self.loop: asyncio.AbstractEventLoop | None = None
+        self._started = False
+        self._ready = threading.Event()
+
+    def start(self, process) -> None:
+        super().start(process)
+        if not self._started:
+            self._started = True
+            process.spawn_thread(self._run_loop, name="aio-dispatch")
+            self._ready.wait(timeout=5.0)
+
+    def _run_loop(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self.loop = loop
+        loop.call_soon(self._ready.set)
+        try:
+            loop.run_forever()
+        finally:
+            try:
+                pending = asyncio.all_tasks(loop)
+                for task in pending:
+                    task.cancel()
+                if pending:
+                    loop.run_until_complete(
+                        asyncio.gather(*pending, return_exceptions=True)
+                    )
+            finally:
+                asyncio.set_event_loop(None)
+                loop.close()
+
+    def submit(self, dispatch: DispatchFn, connection_id: str) -> None:
+        loop = self.loop
+        if loop is None or loop.is_closed():
+            return  # shutting down; the client will observe the close
+        try:
+            loop.call_soon_threadsafe(dispatch)
+        except RuntimeError:
+            pass  # loop stopped between the check and the post
+
+    def shutdown(self) -> None:
+        loop = self.loop
+        if loop is not None and not loop.is_closed():
+            try:
+                loop.call_soon_threadsafe(loop.stop)
+            except RuntimeError:
+                pass

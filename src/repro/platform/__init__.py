@@ -10,12 +10,13 @@ from repro.platform.clocks import Clock, RealClock, SkewedClock, VirtualClock
 from repro.platform.host import Host
 from repro.platform.network import Connection, Network
 from repro.platform.process import LocalLogBuffer, SimProcess
-from repro.platform.tss import ThreadSpecificStorage
+from repro.platform.tss import ContextVarStorage, ThreadSpecificStorage
 
 __all__ = [
     "Capabilities",
     "Clock",
     "Connection",
+    "ContextVarStorage",
     "Host",
     "LocalLogBuffer",
     "Network",

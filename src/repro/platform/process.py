@@ -21,7 +21,7 @@ import threading
 from typing import Any, Callable
 
 from repro.platform.host import Host
-from repro.platform.tss import ThreadSpecificStorage
+from repro.platform.tss import ContextVarStorage
 
 _pid_counter = itertools.count(1)
 
@@ -152,7 +152,7 @@ class SimProcess:
         self.pid = next(_pid_counter)
         self.name = name
         self.host = host
-        self.tss = ThreadSpecificStorage()
+        self.tss = ContextVarStorage()
         self.log_buffer = LocalLogBuffer()
         self.monitor: Any = None  # attached by repro.core.monitor
         self.orb: Any = None  # attached by repro.orb.orb

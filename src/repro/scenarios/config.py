@@ -35,9 +35,9 @@ WORKLOAD_NAMES = ("corba", "embedded", "three_tier", "pps", "bridge")
 #: Storage backends a scenario can collect into.
 BACKEND_NAMES = ("sqlite", "segment")
 #: ORB client channel modes.
-CHANNEL_MODES = ("mux", "per-thread")
+CHANNEL_MODES = ("mux", "per-thread", "asyncio")
 #: Server dispatch threading styles.
-THREADING_STYLES = ("per-request", "per-connection", "pool")
+THREADING_STYLES = ("per-request", "per-connection", "pool", "asyncio")
 #: Background hook kinds (implementations in repro.scenarios.hooks).
 HOOK_KINDS = ("compaction", "collector_failover", "windowed_delay")
 #: Invariant checker names (implementations in repro.scenarios.invariants).
@@ -521,8 +521,24 @@ def expand_grid(config: SuiteConfig, seed: int | None = None) -> list[ScenarioSp
 #: served — requests time out or the transport resets, and which root
 #: trips first is a thread race. Grid expansion rejects the combination
 #: up front instead of letting a suite encode a flaky cell.
+#:
+#: The asyncio plane is rejected for ``embedded`` for the same
+#: re-entrancy reason: the system drives *sync* servants, so under
+#: AsyncioDispatch every dispatch runs inline on the single loop thread
+#: (a one-thread pool), and a nested call back into a process whose loop
+#: is blocked mid-frame can never be served; the asyncio client channel
+#: likewise assumes the embedded driver runs inside an event loop, which
+#: it does not.
 UNSUPPORTED_POLICIES = {
-    "embedded": (("mux", "per-connection"),),
+    "embedded": (
+        ("mux", "per-connection"),
+        ("mux", "asyncio"),
+        ("per-thread", "asyncio"),
+        ("asyncio", "per-request"),
+        ("asyncio", "per-connection"),
+        ("asyncio", "pool"),
+        ("asyncio", "asyncio"),
+    ),
 }
 
 

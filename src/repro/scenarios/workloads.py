@@ -34,6 +34,7 @@ from repro.core import (
 )
 from repro.idl import compile_idl
 from repro.orb import (
+    AsyncioDispatch,
     InterfaceRegistry,
     Orb,
     ThreadPerConnection,
@@ -93,6 +94,8 @@ class ScenarioContext:
             return ThreadPerRequest()
         if style == "per-connection":
             return ThreadPerConnection()
+        if style == "asyncio":
+            return AsyncioDispatch()
         return ThreadPool(self.spec.policy.pool_threads)
 
     @property
@@ -173,15 +176,30 @@ def run_corba(ctx: ScenarioContext) -> WorkloadHarness:
     host = Host("suite-host", PlatformKind.HPUX_11, clock=clock)
     uuid_factory = SequentialUuidFactory("fa")
     registry = InterfaceRegistry()
-    compiled = compile_idl(CORBA_IDL, instrument=True, registry=registry)
+    async_plane = ctx.channel == "asyncio"
+    compiled = compile_idl(
+        CORBA_IDL, instrument=True, registry=registry, async_mode=async_plane
+    )
 
-    class SvcImpl(compiled.Svc):
-        def ping(self, x):
-            clock.consume(300)
-            return x * 2
+    if async_plane:
 
-        def notify(self, x):
-            clock.consume(200)
+        class SvcImpl(compiled.Svc):
+            async def ping(self, x):
+                clock.consume(300)
+                return x * 2
+
+            async def notify(self, x):
+                clock.consume(200)
+
+    else:
+
+        class SvcImpl(compiled.Svc):
+            def ping(self, x):
+                clock.consume(300)
+                return x * 2
+
+            def notify(self, x):
+                clock.consume(200)
 
     server = _monitored_process("server", host, uuid_factory)
     server_orb = Orb(
@@ -212,24 +230,50 @@ def run_corba(ctx: ScenarioContext) -> WorkloadHarness:
 
     errors = 0
     results: list = []
-    for i in range(calls):
-        try:
-            if style == "oneway":
-                stub.notify(i)
-                results.append("sent")
-                # Oneway dispatch is asynchronous: settle before the next
-                # send so crash-triggered connection teardown cannot race
-                # it (determinism, not correctness).
-                quiesce(processes)
-            else:
-                results.append(stub.ping(i))
-        except BaseException as exc:  # ComponentCrash included
-            errors += 1
-            results.append(type(exc).__name__)
-        finally:
-            if client.monitor is not None:
-                client.monitor.unbind_ftl()
-        ctx.tick(i)
+    if async_plane:
+        import asyncio
+
+        async def _drive():
+            nonlocal errors
+            # One task drives the calls sequentially, so the causal
+            # structure (one chain per root call, reset by unbind_ftl)
+            # matches the threaded drive loop record for record.
+            for i in range(calls):
+                try:
+                    if style == "oneway":
+                        await stub.notify(i)
+                        results.append("sent")
+                        quiesce(processes)
+                    else:
+                        results.append(await stub.ping(i))
+                except BaseException as exc:  # ComponentCrash included
+                    errors += 1
+                    results.append(type(exc).__name__)
+                finally:
+                    if client.monitor is not None:
+                        client.monitor.unbind_ftl()
+                ctx.tick(i)
+
+        asyncio.run(_drive())
+    else:
+        for i in range(calls):
+            try:
+                if style == "oneway":
+                    stub.notify(i)
+                    results.append("sent")
+                    # Oneway dispatch is asynchronous: settle before the next
+                    # send so crash-triggered connection teardown cannot race
+                    # it (determinism, not correctness).
+                    quiesce(processes)
+                else:
+                    results.append(stub.ping(i))
+            except BaseException as exc:  # ComponentCrash included
+                errors += 1
+                results.append(type(exc).__name__)
+            finally:
+                if client.monitor is not None:
+                    client.monitor.unbind_ftl()
+            ctx.tick(i)
     quiesce(processes)
     return WorkloadHarness(processes, errors, results, _shutdown_all(processes))
 

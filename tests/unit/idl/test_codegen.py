@@ -134,3 +134,54 @@ class TestCompiledModule:
         plain = compile_idl(IDL, instrument=False, registry=InterfaceRegistry())
         assert instrumented.FooStub._instrumented
         assert not plain.FooStub._instrumented
+
+
+class TestAsyncBackEnd:
+    """The ``async_mode`` flag: coroutine stubs/skeletons, same probes."""
+
+    def _generate(self, instrument=True):
+        spec_ast = parse_idl(IDL)
+        resolved = analyze(spec_ast)
+        return generate_python(spec_ast, resolved, instrument, async_mode=True)
+
+    def test_header_records_async_flag(self):
+        assert "async=True" in self._generate()
+        sync_source, _ = generate(True)
+        assert "async=False" in sync_source
+
+    def test_stub_and_skeleton_methods_are_coroutines(self):
+        source = self._generate()
+        assert "async def funcB" in source
+        assert "await self._remote_call_async(" in source
+        assert "async def _dispatch_funcB" in source
+        assert "await self._execute_async(" in source
+        # Oneway rides the fire-and-forget async path.
+        assert "await self._oneway_call_async(" in source
+
+    def test_async_probes_preserved_around_awaits(self):
+        source = self._generate()
+        for label in (
+            "Probe 1: stub start",
+            "Probe 2: skeleton start",
+            "Probe 3: skeleton end",
+            "Probe 4: stub end",
+        ):
+            assert label in source
+
+    def test_async_servant_methods_are_coroutine_functions(self):
+        import asyncio
+
+        registry = InterfaceRegistry()
+        compiled = compile_idl(IDL, instrument=True, registry=registry, async_mode=True)
+        assert compiled.async_mode
+        assert asyncio.iscoroutinefunction(compiled.Foo.funcB)
+        assert asyncio.iscoroutinefunction(compiled.FooStub.funcB)
+        stub_cls = registry.stub_class("Example::Foo")
+        assert asyncio.iscoroutinefunction(stub_cls.funcA)
+
+    def test_sync_compile_is_unchanged(self):
+        compiled = compile_idl(IDL, instrument=True, registry=InterfaceRegistry())
+        import asyncio
+
+        assert not compiled.async_mode
+        assert not asyncio.iscoroutinefunction(compiled.Foo.funcB)

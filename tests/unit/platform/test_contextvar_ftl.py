@@ -1,0 +1,260 @@
+"""FTL propagation through the contextvar carrier.
+
+The virtual tunnel's contract under asyncio: the chain's FTL must follow
+the *logical* call chain — surviving ``await`` suspensions, flowing into
+``asyncio.gather`` fan-outs, and riding task hand-offs across loop
+iterations — while per-task ``set``s stay isolated. The threaded plane
+must see exactly the old TSS semantics through the same shim, so the
+shared per-thread cases run against both carriers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.ftl import FunctionTxLog, SequentialUuidFactory
+from repro.core.monitor import MonitorConfig, MonitoringRuntime
+from repro.platform.host import Host
+from repro.platform.process import SimProcess
+from repro.platform.tss import ContextVarStorage, ThreadSpecificStorage
+
+
+@pytest.fixture(params=[ContextVarStorage, ThreadSpecificStorage])
+def any_carrier(request):
+    return request.param()
+
+
+class TestCarrierParity:
+    """Both carriers honor the TSS contract on plain threads."""
+
+    def test_get_set_pop_defaults(self, any_carrier):
+        assert any_carrier.get("ftl") is None
+        assert any_carrier.get("ftl", "fallback") == "fallback"
+        any_carrier.set("ftl", "value")
+        assert any_carrier.get("ftl") == "value"
+        assert any_carrier.pop("ftl") == "value"
+        assert any_carrier.pop("ftl", "gone") == "gone"
+
+    def test_thread_isolation(self, any_carrier):
+        any_carrier.set("ftl", "main")
+        seen = {}
+
+        def worker():
+            seen["before"] = any_carrier.get("ftl")
+            any_carrier.set("ftl", "worker")
+            seen["after"] = any_carrier.get("ftl")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["before"] is None
+        assert seen["after"] == "worker"
+        assert any_carrier.get("ftl") == "main"
+
+    def test_clear_thread_drops_current_context_only(self, any_carrier):
+        any_carrier.set("a", 1)
+        any_carrier.set("b", 2)
+        other = {}
+
+        def worker():
+            any_carrier.set("a", "other")
+            other["kept"] = any_carrier.get("a")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        any_carrier.clear_thread()
+        assert any_carrier.get("a") is None
+        assert any_carrier.get("b") is None
+        assert other["kept"] == "other"
+
+    def test_multiple_slots_independent(self, any_carrier):
+        any_carrier.set("ftl", "chain")
+        any_carrier.set("other", "data")
+        assert any_carrier.pop("ftl") == "chain"
+        assert any_carrier.get("other") == "data"
+
+
+class TestContextVarTaskSemantics:
+    """Asyncio-specific behavior only the contextvar carrier provides."""
+
+    def test_value_survives_await(self):
+        tss = ContextVarStorage()
+
+        async def main():
+            tss.set("ftl", "chain-1")
+            await asyncio.sleep(0)
+            assert tss.get("ftl") == "chain-1"
+            await asyncio.sleep(0.001)
+            return tss.get("ftl")
+
+        assert asyncio.run(main()) == "chain-1"
+
+    def test_gather_children_inherit_parent_reference(self):
+        tss = ContextVarStorage()
+        ftl = FunctionTxLog(chain_uuid="u-1", event_seq_no=0)
+
+        async def child(i):
+            seen = tss.get("ftl")
+            # The child sees the parent's FTL *object* — mutating it in
+            # place (the paper's seq-no bump) is visible chain-wide.
+            seen.event_seq_no += 1
+            await asyncio.sleep(0)
+            return seen is ftl
+
+        async def main():
+            tss.set("ftl", ftl)
+            return await asyncio.gather(*(child(i) for i in range(5)))
+
+        assert asyncio.run(main()) == [True] * 5
+        assert ftl.event_seq_no == 5
+
+    def test_child_set_isolated_from_parent_and_siblings(self):
+        tss = ContextVarStorage()
+
+        async def child(i):
+            tss.set("ftl", f"child-{i}")
+            await asyncio.sleep(0)
+            return tss.get("ftl")
+
+        async def main():
+            tss.set("ftl", "parent")
+            results = await asyncio.gather(*(child(i) for i in range(4)))
+            return results, tss.get("ftl")
+
+        results, parent_after = asyncio.run(main())
+        assert results == [f"child-{i}" for i in range(4)]
+        assert parent_after == "parent"
+
+    def test_interleaved_tasks_do_not_mingle(self):
+        # Two tasks ping-pong on the same carrier thread across many loop
+        # iterations; a thread-keyed carrier would cross their chains.
+        tss = ContextVarStorage()
+
+        async def worker(name, rounds, observations):
+            tss.set("ftl", name)
+            for _ in range(rounds):
+                await asyncio.sleep(0)
+                observations.append(tss.get("ftl"))
+
+        async def main():
+            a_seen: list = []
+            b_seen: list = []
+            await asyncio.gather(
+                worker("chain-a", 10, a_seen), worker("chain-b", 10, b_seen)
+            )
+            return a_seen, b_seen
+
+        a_seen, b_seen = asyncio.run(main())
+        assert a_seen == ["chain-a"] * 10
+        assert b_seen == ["chain-b"] * 10
+
+    def test_task_handoff_between_loop_iterations(self):
+        # A chain hops tasks: the first task finishes, and a follow-up
+        # task created *from its context* carries the FTL onward.
+        tss = ContextVarStorage()
+
+        async def first_leg():
+            tss.set("ftl", "relay-chain")
+            return asyncio.create_task(second_leg())
+
+        async def second_leg():
+            await asyncio.sleep(0)
+            return tss.get("ftl")
+
+        async def main():
+            handoff = await first_leg()
+            return await handoff
+
+        assert asyncio.run(main()) == "relay-chain"
+
+    def test_thread_keyed_carrier_mingles_tasks(self):
+        # The negative control: the paper-literal TSS keyed by OS thread
+        # cannot tell two tasks on one loop apart. This is *why* the
+        # asyncio plane switched carriers.
+        tss = ThreadSpecificStorage()
+
+        async def worker(name, observations):
+            tss.set("ftl", name)
+            await asyncio.sleep(0)
+            observations.append(tss.get("ftl"))
+
+        async def main():
+            a_seen: list = []
+            b_seen: list = []
+            await asyncio.gather(
+                worker("chain-a", a_seen), worker("chain-b", b_seen)
+            )
+            return a_seen, b_seen
+
+        a_seen, b_seen = asyncio.run(main())
+        # Both observed the *last* writer: chains crossed.
+        assert a_seen == b_seen
+
+
+class TestMonitorFtlUnderAsyncio:
+    """Monitor-level: bind/current/unbind ride the execution context."""
+
+    def _monitor(self):
+        process = SimProcess("p", Host("h"))
+        return MonitoringRuntime(
+            process, MonitorConfig(uuid_factory=SequentialUuidFactory("aa"))
+        )
+
+    def test_chain_id_stable_across_awaits_and_tasks(self):
+        monitor = self._monitor()
+
+        async def nested():
+            await asyncio.sleep(0)
+            return monitor.current_ftl().chain_uuid
+
+        async def main():
+            monitor.bind_ftl(FunctionTxLog(chain_uuid="m-0", event_seq_no=3))
+            await asyncio.sleep(0)
+            ids = await asyncio.gather(nested(), nested(), nested())
+            ids.append(monitor.current_ftl().chain_uuid)
+            return ids
+
+        assert asyncio.run(main()) == ["m-0"] * 4
+
+    def test_unbind_in_one_task_leaves_siblings_bound(self):
+        monitor = self._monitor()
+
+        async def unbinder():
+            detached = monitor.unbind_ftl()
+            await asyncio.sleep(0)
+            return detached.chain_uuid, monitor.current_ftl()
+
+        async def main():
+            monitor.bind_ftl(FunctionTxLog(chain_uuid="m-0", event_seq_no=0))
+            # A bare ``await`` shares the caller's context; only a Task
+            # gets its own copy — so spawn the unbinder as a task.
+            detached_id, after = await asyncio.create_task(unbinder())
+            return detached_id, after, monitor.current_ftl().chain_uuid
+
+        detached_id, after, parent_chain = asyncio.run(main())
+        assert detached_id == "m-0"
+        assert after is None
+        assert parent_chain == "m-0"
+
+    def test_threaded_plane_unchanged_through_shim(self):
+        # The same monitor API on plain worker threads: fresh thread has
+        # no FTL, root call starts a new chain, binding stays per-thread.
+        monitor = self._monitor()
+        monitor.bind_ftl(FunctionTxLog(chain_uuid="main-chain", event_seq_no=0))
+        seen = {}
+
+        def worker():
+            seen["before"] = monitor.current_ftl()
+            monitor.bind_ftl(FunctionTxLog(chain_uuid="w-chain", event_seq_no=0))
+            seen["after"] = monitor.current_ftl().chain_uuid
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["before"] is None
+        assert seen["after"] == "w-chain"
+        assert monitor.current_ftl().chain_uuid == "main-chain"

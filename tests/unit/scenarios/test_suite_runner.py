@@ -287,3 +287,53 @@ class TestHooks:
         assert event["width"] == 3
         assert event["window_start"] >= 4  # after warmup
         assert outcome.passed
+
+
+class TestAsyncioPolicyAxis:
+    """The asyncio channel/threading axes: accepted, gated, runnable."""
+
+    def test_asyncio_policy_spec_validates(self):
+        spec = PolicySpec(channel="asyncio", threading="asyncio")
+        assert spec.label == "asyncio/asyncio"
+
+    def test_asyncio_corba_grid_expands(self):
+        config = _suite(grids=(GridConfig(
+            name="g",
+            workloads=(WorkloadSpec("corba", {"style": "sync", "calls": 4}),),
+            policies=(
+                PolicySpec(channel="asyncio", threading="asyncio"),
+                PolicySpec(channel="asyncio", threading="pool", pool_threads=2),
+            ),
+            invariants=(InvariantSpec("loss_accounting"),),
+        ),))
+        scenarios = expand_grid(config)
+        assert {s.policy.label for s in scenarios} == {
+            "asyncio/asyncio", "asyncio/pool"
+        }
+
+    def test_embedded_asyncio_rejected(self):
+        for channel, threading in (
+            ("asyncio", "asyncio"),
+            ("asyncio", "pool"),
+            ("mux", "asyncio"),
+        ):
+            config = _suite(grids=(GridConfig(
+                name="g",
+                workloads=(WorkloadSpec("embedded"),),
+                policies=(PolicySpec(channel=channel, threading=threading),),
+            ),))
+            with pytest.raises(SuiteError, match="does not support"):
+                expand_grid(config)
+
+    def test_asyncio_corba_cell_runs_and_holds_invariants(self):
+        config = _suite(grids=(GridConfig(
+            name="g",
+            workloads=(WorkloadSpec("corba", {"style": "sync", "calls": 6}),),
+            policies=(PolicySpec(channel="asyncio", threading="asyncio"),),
+            invariants=(InvariantSpec("loss_accounting"),),
+        ),))
+        (scenario,) = expand_grid(config)
+        outcome = run_scenario(scenario)
+        assert outcome.passed, [r.name for r in outcome.invariants if not r.passed]
+        assert not outcome.accounting["collection"]["failed_drains"]
+        assert outcome.accounting["stats"]["chains"] > 0
