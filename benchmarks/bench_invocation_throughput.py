@@ -6,7 +6,10 @@ for two data planes, plus an **async** plane ladder — ``sync_remote``
 driven by ``{1, 64, 1024, 8192}`` pipelined asyncio tasks over one
 event-loop channel, with a threaded-mux comparison cell at 1024 OS
 threads and honesty fields recording requested vs observed in-flight
-depth:
+depth. The async plane also runs the ``collocated`` and
+``oneway_remote`` kinds at ``{1, 64, 1024}`` tasks, mirroring the
+threaded matrix (oneways measure send rate with the same trailing-call
+record settle):
 
 - **fast** — the current tree: multiplexed client channels (request
   pipelining over one shared connection), fused CDR marshalling plans,
@@ -58,6 +61,10 @@ THREADS = (1, 8, 32)
 #: mux comparison point runs the same sync_remote workload with this many
 #: OS threads instead.
 ASYNC_INFLIGHT = (1, 64, 1024, 8192)
+#: Secondary async ladder for the collocated and oneway kinds — the
+#: interesting comparisons live well below the 8192 extreme.
+ASYNC_KIND_INFLIGHT = (1, 64, 1024)
+ASYNC_KINDS = ("collocated", "oneway_remote")
 MUX_COMPARE_THREADS = 1024
 
 IDL = """
@@ -201,16 +208,23 @@ def _measure_cell(kind: str, threads: int, monitored: bool, plane: str,
     }
 
 
-def _measure_async_cell(inflight: int, monitored: bool,
+def _measure_async_cell(kind: str, inflight: int, monitored: bool,
                         total_calls: int) -> dict:
     """One asyncio-plane cell: ``inflight`` driver tasks pipelining
-    sync calls over one shared event-loop channel.
+    ``kind`` calls over one shared event-loop channel.
+
+    Kinds mirror the threaded matrix: ``sync_remote`` awaits a reply
+    per call, ``oneway_remote`` awaits only the send (measuring send
+    rate, with a trailing sync call + record-count settle for honest
+    probe accounting, exactly like the threaded oneway cell), and
+    ``collocated`` resolves the stub on the serving ORB so the call
+    never leaves the process.
 
     Honesty fields: ``requested_inflight`` is the task count we asked
     for; ``effective_inflight`` is the channel's observed high-water mark
     of concurrently pending requests (``AsyncMuxChannel.peak_pending``) —
     if replies drain faster than tasks launch, the two differ and the
-    JSON says so.
+    JSON says so (0 for collocated: no channel is involved at all).
     """
     import asyncio
 
@@ -242,20 +256,44 @@ def _measure_async_cell(inflight: int, monitored: bool,
             pass
 
     ref = server_orb.activate(Impl())
-    caller_orb = Orb(client, network, registry=registry, channel="asyncio")
+    if kind == "collocated":
+        caller_orb = server_orb
+    else:
+        caller_orb = Orb(client, network, registry=registry, channel="asyncio")
     stub = caller_orb.resolve(ref)
 
     per_task = max(1, total_calls // inflight)
     calls = per_task * inflight
+    oneway = kind == "oneway_remote"
+
+    def _records() -> int:
+        return (len(server.log_buffer.snapshot())
+                + len(client.log_buffer.snapshot()))
 
     async def worker():
+        invoke = stub.cast if oneway else stub.ping
         for _ in range(per_task):
-            await stub.ping(7)
+            await invoke(7)
 
     async def drive() -> int:
         start = time.perf_counter_ns()
         await asyncio.gather(*(worker() for _ in range(inflight)))
-        return time.perf_counter_ns() - start
+        elapsed = time.perf_counter_ns() - start
+        if oneway and monitored:
+            # Oneways measure send rate; dispatches may still be queued
+            # on the server loop. A trailing sync call orders behind
+            # every cast on the shared channel, then the record count is
+            # polled to quiescence *inside* the loop (the dispatch tasks
+            # die with it otherwise).
+            await stub.ping(0)
+            settled = -1
+            while True:
+                await asyncio.sleep(0.02)
+                now = _records()
+                if now == settled:
+                    break
+                settled = now
+        return elapsed
 
     elapsed_ns = asyncio.run(drive())
     peak_pending = max(
@@ -265,18 +303,20 @@ def _measure_async_cell(inflight: int, monitored: bool,
 
     records = 0
     if monitored:
-        records = (len(server.log_buffer.snapshot())
-                   + len(client.log_buffer.snapshot()))
+        records = _records()
+        if oneway:
+            records -= 4  # the flush call's own probe records
 
     try:
         caller_orb.shutdown()
-        server_orb.shutdown()
+        if caller_orb is not server_orb:
+            server_orb.shutdown()
     finally:
         client.shutdown()
         server.shutdown()
 
     return {
-        "kind": "sync_remote",
+        "kind": kind,
         "threads": inflight,
         "plane": "async",
         "monitored": monitored,
@@ -300,7 +340,8 @@ def _run_worker(spec_json: str) -> None:
         # fastest run filters scheduler noise out of sub-second cells.
         if cell["plane"] == "async":
             runs = [
-                _measure_async_cell(cell["inflight"], cell["monitored"],
+                _measure_async_cell(cell.get("kind", "sync_remote"),
+                                    cell["inflight"], cell["monitored"],
                                     spec["total_calls"])
                 for _ in range(repeat)
             ]
@@ -395,6 +436,10 @@ def main(argv: list[str] | None = None) -> int:
     ] + [
         {"kind": "sync_remote", "threads": 1, "inflight": 1,
          "plane": "async", "monitored": False},
+    ] + [
+        {"kind": kind, "threads": n, "inflight": n,
+         "plane": "async", "monitored": True}
+        for kind in ASYNC_KINDS for n in ASYNC_KIND_INFLIGHT
     ]
     baseline_cells = [
         {"kind": kind, "threads": threads, "plane": "baseline", "monitored": True}
@@ -470,6 +515,13 @@ def main(argv: list[str] | None = None) -> int:
             by_key[("sync_remote", MUX_COMPARE_THREADS, "async", True)]
             ["calls_per_sec"] / mux_hi["calls_per_sec"], 2
         ),
+        "kind_calls_per_sec_by_inflight": {
+            kind: {
+                str(n): by_key[(kind, n, "async", True)]["calls_per_sec"]
+                for n in ASYNC_KIND_INFLIGHT
+            }
+            for kind in ASYNC_KINDS
+        },
     }
 
     result = {
@@ -494,7 +546,10 @@ def main(argv: list[str] | None = None) -> int:
             "with slow marshalling, not a true pre-PR checkout. async "
             "cells drive N pipelined tasks over one event-loop channel; "
             "requested_inflight is the task count, effective_inflight the "
-            "channel's observed peak of concurrently pending requests."
+            "channel's observed peak of concurrently pending requests "
+            "(0 for collocated cells: no channel involved). async oneway "
+            "cells measure send rate with a trailing sync call and "
+            "record-count settle, like the threaded oneway cells."
         ),
     }
 

@@ -20,6 +20,9 @@ system with the bundled example applications:
 - ``incidents``       streaming spike detection + causal root-cause ranking
 - ``metrics``         run a demo with self-metrics on; print Prometheus text
 - ``store-info``      segment/record/compaction report of a storage backend
+- ``cluster``         real-socket multi-process deployments: up/run/collect/
+  down a worker cluster, or verify cluster-vs-single DSCG/CCSG bit-identity
+  (``cluster identity``)
 """
 
 from __future__ import annotations
@@ -441,6 +444,157 @@ def cmd_suite_run(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_cluster_identity(args) -> int:
+    """Cluster-vs-single-process bit-identity check (in-process).
+
+    Runs the seeded ring workload twice — once on a real worker-process
+    cluster over TCP with sharded spool shipping, once inside this
+    interpreter — and compares the canonical DSCG/CCSG documents byte
+    for byte. Exit 0 only when every field is identical. The optional
+    output files get each pass's document for CI to ``diff``.
+    """
+    import json
+    import tempfile
+
+    from repro.cluster.identity import run_identity_check
+
+    with tempfile.TemporaryDirectory(prefix="repro-identity-") as workdir:
+        outcome = run_identity_check(
+            args.workers,
+            args.calls,
+            workdir,
+            cluster_output=args.output_cluster,
+            reference_output=args.output_single,
+        )
+    checks = outcome["checks"]
+    print(json.dumps(checks, indent=2, sort_keys=True))
+    for path in (args.output_cluster, args.output_single):
+        if path:
+            print(f"wrote {path}", file=sys.stderr)
+    return 0 if checks["identical"] else 1
+
+
+def cmd_cluster_up(args) -> int:
+    """Launch the cluster service daemon and wait for it to come up."""
+    import json
+    import os
+    import subprocess
+    import time
+
+    from repro.cluster.service import state_path
+
+    path = state_path(args.state)
+    if os.path.exists(path):
+        raise SystemExit(f"cluster state already exists at {path};"
+                         f" run `repro cluster down --state {args.state}` first")
+    os.makedirs(args.state, exist_ok=True)
+    log_path = os.path.join(args.state, "service.log")
+    with open(log_path, "ab") as log:
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cluster.service",
+                "--state", args.state,
+                "--workers", str(args.workers),
+                "--plane", args.plane,
+            ],
+            stdin=subprocess.DEVNULL,
+            stdout=log,
+            stderr=log,
+            start_new_session=True,
+        )
+    deadline = time.monotonic() + args.timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise SystemExit(f"cluster service exited early"
+                             f" (status {process.returncode}); see {log_path}")
+        if os.path.exists(path):
+            with open(path) as handle:
+                state = json.load(handle)
+            print(f"cluster up: {args.workers} worker(s), plane={args.plane},"
+                  f" control port {state['port']}, state {path}")
+            return 0
+        time.sleep(0.05)
+    process.kill()
+    raise SystemExit(f"cluster failed to come up within {args.timeout:g}s;"
+                     f" see {log_path}")
+
+
+def cmd_cluster_run(args) -> int:
+    """Drive work on a running cluster (monitored calls or a load step)."""
+    import json
+
+    from repro.cluster.service import request
+
+    if args.rate is not None:
+        reply = request(args.state, {
+            "type": "run-load",
+            "rate": args.rate,
+            "arrivals": args.arrivals,
+            "seed": args.seed,
+            "max_inflight": args.max_inflight,
+        })
+    else:
+        reply = request(args.state, {"type": "run-calls", "calls": args.calls})
+    if not reply.get("ok"):
+        raise SystemExit(f"cluster run failed: {reply.get('error')}")
+    reply.pop("ok", None)
+    _emit(args.output, json.dumps(reply, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_cluster_collect(args) -> int:
+    """Collect every worker's spool into a store as one merged run."""
+    from repro.cluster.service import request
+
+    reply = request(args.state, {
+        "type": "collect",
+        "database": args.database,
+        "run_id": args.run_id,
+        "backend": getattr(args, "store", None),
+        "description": args.description,
+    })
+    if not reply.get("ok"):
+        raise SystemExit(f"cluster collect failed: {reply.get('error')}")
+    print(f"collected run {args.run_id!r} ({reply['records']} records)"
+          f" into {args.database}")
+    return 0
+
+
+def cmd_cluster_status(args) -> int:
+    import json
+
+    from repro.cluster.service import request
+
+    reply = request(args.state, {"type": "status"}, timeout=30.0)
+    if not reply.get("ok"):
+        raise SystemExit(f"cluster status failed: {reply.get('error')}")
+    reply.pop("ok", None)
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    return 0 if all(reply["alive"].values()) else 1
+
+
+def cmd_cluster_down(args) -> int:
+    """Stop the cluster (and its service daemon).
+
+    With ``--drain-into`` the workers are SIGTERMed and their final
+    spools shipped into the given store before teardown.
+    """
+    from repro.cluster.service import request
+
+    message: dict = {"type": "down"}
+    if args.drain_into:
+        message["drain_database"] = args.drain_into
+        message["run_id"] = args.run_id
+        message["backend"] = getattr(args, "store", None)
+    reply = request(args.state, message)
+    if not reply.get("ok"):
+        raise SystemExit(f"cluster down failed: {reply.get('error')}")
+    if "records" in reply:
+        print(f"drained {reply['records']} record(s) into {args.drain_into}")
+    print("cluster down")
+    return 0
+
+
 def _emit(output: str | None, text: str) -> None:
     if output:
         with open(output, "w") as handle:
@@ -665,6 +819,89 @@ def build_parser() -> argparse.ArgumentParser:
     suite_run.add_argument("--output", default=None,
                            help="write the report JSON here instead of stdout")
     suite_run.set_defaults(func=cmd_suite_run)
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="real-socket multi-process deployments (up/run/collect/down,"
+             " bit-identity verification)",
+    )
+    cluster_sub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    def cluster_state(command):
+        command.add_argument("--state", required=True,
+                             help="cluster state directory (one directory"
+                                  " == one running cluster)")
+
+    cluster_up = cluster_sub.add_parser(
+        "up", help="launch worker processes behind a detached service daemon"
+    )
+    cluster_state(cluster_up)
+    cluster_up.add_argument("--workers", type=int, default=2)
+    cluster_up.add_argument("--plane", default="identity",
+                            choices=["identity", "load"],
+                            help="identity = monitored virtual-clock ring;"
+                                 " load = unmonitored asyncio load plane")
+    cluster_up.add_argument("--timeout", type=float, default=60.0)
+    cluster_up.set_defaults(func=cmd_cluster_up)
+
+    cluster_run = cluster_sub.add_parser(
+        "run", help="drive monitored calls or one open-loop load step"
+    )
+    cluster_state(cluster_run)
+    cluster_run.add_argument("--calls", type=int, default=8,
+                             help="monitored ring calls per worker"
+                                  " (identity plane)")
+    cluster_run.add_argument("--rate", type=float, default=None,
+                             help="open-loop arrival rate per worker"
+                                  " (switches to a load step; load plane)")
+    cluster_run.add_argument("--arrivals", type=int, default=1000,
+                             help="arrivals per worker for the load step")
+    cluster_run.add_argument("--seed", type=int, default=2027)
+    cluster_run.add_argument("--max-inflight", type=int, default=4096,
+                             help="shed arrivals beyond this many outstanding")
+    cluster_run.add_argument("--output", default=None)
+    cluster_run.set_defaults(func=cmd_cluster_run)
+
+    cluster_collect = cluster_sub.add_parser(
+        "collect", help="ship every worker's spool into a store as one run"
+    )
+    cluster_state(cluster_collect)
+    cluster_collect.add_argument("database")
+    cluster_collect.add_argument("--run-id", default="cluster")
+    cluster_collect.add_argument("--description", default="cluster (CLI)")
+    add_store_flag(cluster_collect)
+    cluster_collect.set_defaults(func=cmd_cluster_collect)
+
+    cluster_status = cluster_sub.add_parser(
+        "status", help="liveness and buffer occupancy of a running cluster"
+    )
+    cluster_state(cluster_status)
+    cluster_status.set_defaults(func=cmd_cluster_status)
+
+    cluster_down = cluster_sub.add_parser(
+        "down", help="stop the workers and the service daemon"
+    )
+    cluster_state(cluster_down)
+    cluster_down.add_argument("--drain-into", default=None, metavar="DATABASE",
+                              help="SIGTERM-drain final spools into this"
+                                   " store before teardown")
+    cluster_down.add_argument("--run-id", default="drain")
+    add_store_flag(cluster_down)
+    cluster_down.set_defaults(func=cmd_cluster_down)
+
+    cluster_identity = cluster_sub.add_parser(
+        "identity",
+        help="verify cluster-vs-single-process DSCG/CCSG bit-identity",
+    )
+    cluster_identity.add_argument("--workers", type=int, default=2)
+    cluster_identity.add_argument("--calls", type=int, default=4)
+    cluster_identity.add_argument("--output-cluster", default=None,
+                                  help="write the cluster pass's canonical"
+                                       " JSON document here (CI diffs it)")
+    cluster_identity.add_argument("--output-single", default=None,
+                                  help="write the single-process pass's"
+                                       " document here")
+    cluster_identity.set_defaults(func=cmd_cluster_identity)
     return parser
 
 

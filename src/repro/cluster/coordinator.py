@@ -1,0 +1,385 @@
+"""The cluster coordinator: spawns workers, wires the ring, runs loads,
+and re-ingests shipped spools into the central store.
+
+The launcher's lifecycle (``repro cluster up/run/down``)::
+
+    up:    spawn W ``python -m repro.cluster.worker`` processes
+           accept W control connections, gather hellos
+           broadcast the endpoint/ref map, await readies
+    run:   broadcast a command (monitored calls or an open-loop load
+           step), gather per-worker results in ring order
+    collect: per worker, trigger collect-and-ship and re-ingest the
+           spool into the central store as one merged run
+    down:  graceful = SIGTERM (workers drain and ship final spools),
+           otherwise a shutdown command; then reap
+
+Heartbeats arrive on the same control connections; they are consumed
+opportunistically whenever the coordinator waits for a reply, keeping
+``last_buffered`` fresh — the basis for charging an abruptly dead
+worker's records to ``records_uncollected`` so cluster-wide loss
+accounting balances even under kill -9.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+
+from repro.cluster.loadgen import LoadResult, merge_results
+from repro.cluster.shipping import ChannelTimeout, FrameChannel
+from repro.cluster.workload import driver_name, server_name
+from repro.errors import TransportError
+from repro.store.ingest import Shipment, ingest_shipments, receive_shipment
+
+
+def _src_pythonpath() -> str:
+    """PYTHONPATH entry that makes ``import repro`` resolve to this tree."""
+    import repro
+
+    return os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+class WorkerHandle:
+    """Coordinator-side state for one worker process."""
+
+    def __init__(self, index: int, process: subprocess.Popen):
+        self.index = index
+        self.process = process
+        self.channel: FrameChannel | None = None
+        self.pid: int | None = None
+        self.endpoints: dict[str, tuple[str, int]] = {}
+        self.refs: dict[str, str] = {}
+        #: Last log-buffer occupancy the worker reported (heartbeat or
+        #: command reply) — the kill -9 loss-accounting source.
+        self.last_buffered: dict[str, int] = {}
+        self.alive = True
+
+    @property
+    def process_names(self) -> list[str]:
+        return [driver_name(self.index), server_name(self.index)]
+
+    def expect(self, *types: str, timeout: float = 60.0) -> dict:
+        """Receive until a message of one of ``types`` arrives.
+
+        Heartbeats (and any stale replies) update ``last_buffered`` and
+        are skipped. EOF marks the worker dead and raises
+        :class:`TransportError`.
+        """
+        try:
+            while True:
+                message = self.channel.recv_json(timeout=timeout)
+                if "buffered" in message:
+                    self.last_buffered = dict(message["buffered"])
+                if message.get("type") in types:
+                    return message
+        except ChannelTimeout:
+            raise
+        except TransportError:
+            self.alive = False
+            raise
+
+    def poll(self) -> None:
+        """Drain any queued heartbeats without blocking."""
+        if not self.alive:
+            return
+        try:
+            while True:
+                message = self.channel.recv_json(timeout=0.01)
+                if "buffered" in message:
+                    self.last_buffered = dict(message["buffered"])
+        except ChannelTimeout:
+            return
+        except TransportError:
+            self.alive = False
+
+    def send(self, message: dict) -> None:
+        self.channel.send_json(message)
+
+
+class Cluster:
+    """Process-per-host launcher and control plane."""
+
+    def __init__(
+        self,
+        workers: int,
+        plane: str = "identity",
+        spool_root: str | None = None,
+        python: str | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.plane = plane
+        self.spool_root = spool_root
+        self.python = python or sys.executable
+        self.handles: list[WorkerHandle] = []
+        self._control: socket.socket | None = None
+        self._run_seq = 0
+
+    # -- lifecycle -------------------------------------------------------
+
+    def up(self, timeout: float = 60.0) -> None:
+        """Spawn the workers and wire the ring; returns when all ready."""
+        self._control = socket.create_server(("127.0.0.1", 0))
+        self._control.settimeout(timeout)
+        port = self._control.getsockname()[1]
+        env = dict(os.environ)
+        src = _src_pythonpath()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+        for index in range(self.workers):
+            argv = [
+                self.python,
+                "-m",
+                "repro.cluster.worker",
+                "--index",
+                str(index),
+                "--workers",
+                str(self.workers),
+                "--connect",
+                f"127.0.0.1:{port}",
+                "--plane",
+                self.plane,
+            ]
+            if self.spool_root:
+                argv += ["--spool-root", self.spool_root]
+            self.handles.append(
+                WorkerHandle(
+                    index,
+                    subprocess.Popen(argv, env=env, stdin=subprocess.DEVNULL),
+                )
+            )
+        # Accept control connections; hellos identify which worker dialed.
+        pending = self.workers
+        by_index = {handle.index: handle for handle in self.handles}
+        while pending:
+            sock, _peer = self._control.accept()
+            sock.settimeout(None)
+            channel = FrameChannel(sock)
+            hello = channel.recv_json(timeout=timeout)
+            if hello.get("type") != "hello":
+                channel.close()
+                continue
+            handle = by_index[int(hello["index"])]
+            handle.channel = channel
+            handle.pid = int(hello["pid"])
+            handle.endpoints = {
+                address: (host, int(p))
+                for address, (host, p) in hello["endpoints"].items()
+            }
+            handle.refs = dict(hello["refs"])
+            pending -= 1
+        endpoints: dict[str, list] = {}
+        refs: dict[str, str] = {}
+        for handle in self.handles:
+            for address, (host, p) in handle.endpoints.items():
+                endpoints[address] = [host, p]
+            refs.update(handle.refs)
+        for handle in self.handles:
+            handle.send({"type": "map", "endpoints": endpoints, "refs": refs})
+        for handle in self.handles:
+            handle.expect("ready", timeout=timeout)
+
+    def down(self, graceful: bool = False, timeout: float = 30.0) -> None:
+        """Stop the workers. ``graceful=False`` sends the shutdown
+        command; use :meth:`drain` for the SIGTERM ship-final-spool path."""
+        for handle in self.handles:
+            if not handle.alive:
+                continue
+            try:
+                handle.send({"type": "shutdown"})
+                handle.expect("bye", timeout=timeout)
+            except TransportError:
+                pass
+        self._reap(timeout, force=not graceful)
+
+    def _reap(self, timeout: float, force: bool) -> None:
+        for handle in self.handles:
+            try:
+                handle.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                if force:
+                    handle.process.kill()
+                    handle.process.wait(timeout=timeout)
+        for handle in self.handles:
+            if handle.channel is not None:
+                handle.channel.close()
+        if self._control is not None:
+            self._control.close()
+            self._control = None
+
+    def kill(self, index: int) -> None:
+        """SIGKILL one worker (the failure-injection path for tests)."""
+        handle = self.handles[index]
+        handle.process.kill()
+        handle.process.wait()
+        handle.alive = False
+
+    # -- commands --------------------------------------------------------
+
+    def _next_seq(self) -> int:
+        self._run_seq += 1
+        return self._run_seq
+
+    def run_calls(self, calls: int, timeout: float = 120.0) -> list[dict]:
+        """Drive ``calls`` monitored ring calls on every live worker."""
+        seq = self._next_seq()
+        live = [h for h in self.handles if h.alive]
+        for handle in live:
+            handle.send({"type": "run-calls", "calls": calls, "run_seq": seq})
+        replies = []
+        for handle in live:
+            reply = handle.expect("done", timeout=timeout)
+            if reply.get("run_seq") != seq:
+                raise TransportError(
+                    f"worker {handle.index}: stale done "
+                    f"(seq {reply.get('run_seq')} != {seq})"
+                )
+            replies.append(reply)
+        return replies
+
+    def run_load(
+        self,
+        rate_per_worker: float,
+        arrivals_per_worker: int,
+        seed: int,
+        max_inflight: int = 4096,
+        timeout: float = 600.0,
+    ) -> tuple[LoadResult, list[LoadResult]]:
+        """One open-loop load step on every live worker, concurrently.
+
+        Returns ``(merged, per_worker)`` results; offered load is
+        ``rate_per_worker * live_workers``.
+        """
+        seq = self._next_seq()
+        live = [h for h in self.handles if h.alive]
+        for handle in live:
+            handle.send(
+                {
+                    "type": "run-load",
+                    "rate": rate_per_worker,
+                    "arrivals": arrivals_per_worker,
+                    "seed": seed + handle.index,
+                    "max_inflight": max_inflight,
+                    "run_seq": seq,
+                }
+            )
+        results = []
+        for handle in live:
+            reply = handle.expect("done", timeout=timeout)
+            results.append(LoadResult.from_json(reply["result"]))
+        return merge_results(results), results
+
+    # -- collection ------------------------------------------------------
+
+    def collect(
+        self,
+        backend,
+        run_id: str,
+        description: str = "",
+        timeout: float = 120.0,
+        expect_command: bool = True,
+    ) -> int:
+        """Collect every worker's spool into ``backend`` as one run.
+
+        Live workers are collected in ring order (matching the
+        single-process reference's process order); dead workers are
+        charged to ``failed_drains`` / ``records_uncollected`` from
+        their last heartbeat, keeping the cluster-wide balance
+        ``stored + lost + uncollected == produced``.
+
+        ``expect_command=False`` skips sending the collect command and
+        just receives shipments the workers initiate themselves (the
+        SIGTERM drain path).
+
+        Returns the number of records ingested.
+        """
+        shipments: list[Shipment] = []
+        extra_loss: list[dict] = []
+        dead: list[str] = []
+        for handle in self.handles:
+            if not handle.alive:
+                self._charge_dead(handle, extra_loss, dead)
+                continue
+            try:
+                if expect_command:
+                    handle.send({"type": "collect", "run_id": run_id})
+                begin = handle.expect("ship-begin", timeout=timeout)
+                shipment = receive_shipment(handle.channel, begin)
+                shipment.run_id = run_id
+                shipments.append(shipment)
+            except TransportError:
+                self._charge_dead(handle, extra_loss, dead)
+        return ingest_shipments(
+            backend,
+            run_id,
+            shipments,
+            description=description,
+            extra_loss=extra_loss,
+            dead_processes=dead,
+        )
+
+    def drain(self, backend, run_id: str = "drain", timeout: float = 60.0) -> int:
+        """Graceful teardown: SIGTERM every worker, ingest the final
+        spools they ship on their way out, then reap."""
+        import signal as _signal
+
+        for handle in self.handles:
+            if handle.alive:
+                try:
+                    handle.process.send_signal(_signal.SIGTERM)
+                except OSError:
+                    handle.alive = False
+        inserted = self.collect(
+            backend,
+            run_id,
+            description="graceful drain",
+            timeout=timeout,
+            expect_command=False,
+        )
+        for handle in self.handles:
+            if handle.alive:
+                try:
+                    handle.expect("drain-complete", timeout=timeout)
+                except TransportError:
+                    pass
+        self._reap(timeout, force=True)
+        return inserted
+
+    @staticmethod
+    def _charge_dead(
+        handle: WorkerHandle, extra_loss: list[dict], dead: list[str]
+    ) -> None:
+        uncollected = sum(handle.last_buffered.values())
+        extra_loss.append(
+            {
+                "failed_drains": handle.process_names,
+                "records_uncollected": uncollected,
+            }
+        )
+        dead.extend(handle.process_names)
+
+    # -- liveness --------------------------------------------------------
+
+    def poll(self) -> dict[int, bool]:
+        """Non-blocking liveness sweep: drain heartbeats, check exits."""
+        status = {}
+        for handle in self.handles:
+            if handle.alive and handle.process.poll() is not None:
+                handle.alive = False
+            handle.poll()
+            status[handle.index] = handle.alive
+        return status
+
+    def __enter__(self) -> "Cluster":
+        self.up()
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> None:
+        try:
+            self.down()
+        except Exception:
+            if exc_type is None:
+                raise

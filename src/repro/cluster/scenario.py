@@ -1,0 +1,106 @@
+"""The ``cluster`` scenario workload: a real mini-cluster inside a suite
+cell.
+
+Unlike every other workload adapter, this one does not build on the
+scenario's in-memory (possibly faulty) network — it launches an actual
+:class:`~repro.cluster.Cluster` of worker OS processes over TCP, drives
+the seeded ring workload, collects via sharded spools into a private
+central store, and then *re-presents* the collected records as ghost
+processes so the executor's standard collection/invariant machinery
+applies unchanged. Grid validation
+(:func:`repro.scenarios.config._validate_cell`) enforces the resulting
+contract: fault-free cells only (seeded fault plans cannot inject into
+kernel sockets), no background hooks, mux/per-request policy.
+
+Determinism still holds — the ring workload's records depend only on
+worker index and call count (see :mod:`repro.cluster.workload`) — so
+``deterministic_accounting`` re-runs the whole mini-cluster and gets the
+same accounting byte for byte.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+
+from repro.cluster.coordinator import Cluster
+from repro.platform.process import LocalLogBuffer
+from repro.scenarios.workloads import WorkloadHarness
+from repro.store import SegmentStore
+
+_RUN_ID = "cluster-scenario"
+
+
+class _GhostMode:
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        self.value = value
+
+
+class _GhostMonitor:
+    __slots__ = ("config",)
+
+    def __init__(self, mode: str):
+        self.config = type("_Cfg", (), {})()
+        self.config.mode = _GhostMode(mode)
+
+
+class _GhostProcess:
+    """A collected worker process, re-presented for the executor.
+
+    Carries exactly the attributes the executor's collection path reads:
+    ``name``, ``log_buffer`` (pre-filled with the shipped records, in
+    the worker's arrival order), and ``monitor`` (for the run's
+    monitor-mode string). ``log_buffer`` stays assignable so
+    ``FaultInjector.lossy_delivery`` can wrap it like any process's.
+    """
+
+    def __init__(self, name: str, records: list, mode: str):
+        self.name = name
+        self.log_buffer = LocalLogBuffer()
+        for record in records:
+            self.log_buffer.append(record)
+        self.monitor = _GhostMonitor(mode)
+
+    def shutdown(self) -> None:
+        pass
+
+
+def run_cluster_scenario(ctx) -> WorkloadHarness:
+    """Workload adapter: ``(ScenarioContext) -> WorkloadHarness``."""
+    params = ctx.spec.workload.params
+    workers = int(params.get("workers", 2))
+    calls = int(params.get("calls", 4))
+
+    workdir = tempfile.mkdtemp(prefix="repro-cluster-scn-")
+    errors = 0
+    results: list = []
+    try:
+        store = SegmentStore(os.path.join(workdir, "central"), auto_compact=0)
+        try:
+            cluster = Cluster(workers, plane="identity", spool_root=workdir)
+            cluster.up()
+            try:
+                for reply in cluster.run_calls(calls):
+                    errors += int(reply.get("errors", 0))
+                    results.extend(reply.get("results", []))
+                cluster.collect(store, _RUN_ID, description=ctx.spec.scenario_id)
+            finally:
+                cluster.down()
+            meta = next(m for m in store.runs() if m.run_id == _RUN_ID)
+            process_names = list(meta.extra.get("processes", []))
+            by_process: dict[str, list] = {name: [] for name in process_names}
+            for record in store.all_records(_RUN_ID):
+                by_process.setdefault(record.process, []).append(record)
+            mode = meta.monitor_mode or "latency"
+            ghosts = [
+                _GhostProcess(name, by_process.get(name, []), mode)
+                for name in process_names
+            ]
+        finally:
+            store.close()
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return WorkloadHarness(ghosts, errors, results, lambda: None)

@@ -1,0 +1,199 @@
+"""Long-lived cluster service behind ``repro cluster up/run/down``.
+
+A :class:`~repro.cluster.coordinator.Cluster` lives only as long as the
+process that created it (it holds the worker control sockets), so the
+CLI's ``up`` command spawns *this* module as a detached daemon. The
+daemon brings the cluster up, records its own control port in
+``<state>/state.json``, then serves one framed-JSON request per client
+connection: later ``repro cluster run/collect/status/down`` invocations
+read the state file, dial the port, and proxy their command.
+
+The state directory is the handle: one directory == one running
+cluster. ``down`` tears the cluster down (optionally via the SIGTERM
+drain path, shipping final spools into a store first), removes the
+state file, and exits the daemon.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+
+from repro.cluster.coordinator import Cluster
+from repro.cluster.shipping import FrameChannel
+from repro.errors import TransportError
+
+STATE_FILE = "state.json"
+
+
+def state_path(state_dir: str) -> str:
+    return os.path.join(state_dir, STATE_FILE)
+
+
+def read_state(state_dir: str) -> dict:
+    path = state_path(state_dir)
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise SystemExit(f"no cluster state at {path} (is the cluster up?)")
+
+
+def request(state_dir: str, message: dict, timeout: float = 600.0) -> dict:
+    """One round-trip to the service daemon named by ``state_dir``."""
+    state = read_state(state_dir)
+    sock = socket.create_connection(("127.0.0.1", state["port"]), timeout=10.0)
+    channel = FrameChannel(sock)
+    try:
+        channel.send_json(message)
+        return channel.recv_json(timeout=timeout)
+    finally:
+        channel.close()
+
+
+class ClusterService:
+    def __init__(self, state_dir: str, workers: int, plane: str):
+        self.state_dir = state_dir
+        self.cluster = Cluster(workers, plane=plane, spool_root=state_dir)
+        self.plane = plane
+
+    def serve(self) -> int:
+        os.makedirs(self.state_dir, exist_ok=True)
+        control = socket.create_server(("127.0.0.1", 0))
+        port = control.getsockname()[1]
+        self.cluster.up()
+        with open(state_path(self.state_dir), "w") as handle:
+            json.dump(
+                {
+                    "pid": os.getpid(),
+                    "port": port,
+                    "workers": self.cluster.workers,
+                    "plane": self.plane,
+                    "worker_pids": [h.pid for h in self.cluster.handles],
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+        try:
+            while True:
+                sock, _peer = control.accept()
+                sock.settimeout(None)
+                channel = FrameChannel(sock)
+                try:
+                    message = channel.recv_json(timeout=30.0)
+                    stop = self._handle(channel, message)
+                except TransportError:
+                    continue
+                finally:
+                    channel.close()
+                if stop:
+                    return 0
+        finally:
+            control.close()
+            try:
+                os.unlink(state_path(self.state_dir))
+            except OSError:
+                pass
+
+    def _handle(self, channel: FrameChannel, message: dict) -> bool:
+        """Serve one request; True means the daemon should exit."""
+        kind = message.get("type")
+        try:
+            if kind == "status":
+                alive = self.cluster.poll()
+                channel.send_json(
+                    {
+                        "ok": True,
+                        "workers": self.cluster.workers,
+                        "plane": self.plane,
+                        "alive": {str(i): up for i, up in alive.items()},
+                        "buffered": {
+                            str(h.index): h.last_buffered
+                            for h in self.cluster.handles
+                        },
+                    }
+                )
+            elif kind == "run-calls":
+                replies = self.cluster.run_calls(int(message["calls"]))
+                channel.send_json(
+                    {
+                        "ok": True,
+                        "errors": sum(int(r.get("errors", 0)) for r in replies),
+                        "calls": int(message["calls"]) * len(replies),
+                        "workers": len(replies),
+                    }
+                )
+            elif kind == "run-load":
+                merged, per_worker = self.cluster.run_load(
+                    rate_per_worker=float(message["rate"]),
+                    arrivals_per_worker=int(message["arrivals"]),
+                    seed=int(message["seed"]),
+                    max_inflight=int(message.get("max_inflight", 4096)),
+                )
+                channel.send_json(
+                    {
+                        "ok": True,
+                        "merged": merged.to_json(),
+                        "per_worker": [r.to_json() for r in per_worker],
+                    }
+                )
+            elif kind == "collect":
+                from repro.store import open_store
+
+                backend = open_store(
+                    message["database"], backend=message.get("backend")
+                )
+                try:
+                    inserted = self.cluster.collect(
+                        backend,
+                        message["run_id"],
+                        description=message.get("description", ""),
+                    )
+                finally:
+                    backend.close()
+                channel.send_json({"ok": True, "records": inserted})
+            elif kind == "down":
+                if message.get("drain_database"):
+                    from repro.store import open_store
+
+                    backend = open_store(
+                        message["drain_database"],
+                        backend=message.get("backend"),
+                    )
+                    try:
+                        inserted = self.cluster.drain(
+                            backend, run_id=message.get("run_id", "drain")
+                        )
+                    finally:
+                        backend.close()
+                    channel.send_json({"ok": True, "records": inserted})
+                else:
+                    self.cluster.down()
+                    channel.send_json({"ok": True})
+                return True
+            else:
+                channel.send_json({"ok": False, "error": f"unknown: {kind!r}"})
+        except Exception as exc:  # surfaced to the CLI client, not lost
+            try:
+                channel.send_json({"ok": False, "error": str(exc)})
+            except TransportError:
+                pass
+        return False
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="repro cluster service daemon")
+    parser.add_argument("--state", required=True)
+    parser.add_argument("--workers", type=int, required=True)
+    parser.add_argument("--plane", choices=("identity", "load"), default="identity")
+    args = parser.parse_args(argv)
+    return ClusterService(args.state, args.workers, args.plane).serve()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""One cluster worker: a real OS process hosting ORB endpoints.
+
+Launched by the coordinator as ``python -m repro.cluster.worker`` with
+its ring index; the worker
+
+1. dials the coordinator's control port and says hello (its local
+   data-plane endpoints plus its server's object-ref URL),
+2. receives the cluster-wide endpoint/ref map, wires its driver to its
+   ring neighbour over the :class:`~repro.cluster.transport.SocketTransport`,
+3. reports ready and starts a heartbeat thread (liveness + current
+   log-buffer occupancy, which is what lets the coordinator charge an
+   abruptly killed worker's records to ``records_uncollected``),
+4. serves framed-JSON commands — drive a monitored call sequence, run
+   an open-loop load step, collect-and-ship its local spool, shut down,
+5. on SIGTERM, drains gracefully: stops serving, quiesces, ships a
+   final spool under ``drain-<index>``, and exits 0.
+
+All sends to the coordinator go through one lock so heartbeats can
+never interleave with a multi-frame spool shipment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import signal
+import socket
+import sys
+import tempfile
+import threading
+
+from repro.cluster.loadgen import open_loop
+from repro.cluster.shipping import ChannelTimeout, FrameChannel, ship_run
+from repro.cluster.transport import SocketTransport
+from repro.cluster.workload import (
+    build_load_deployment,
+    build_worker_deployment,
+    drive_calls,
+    server_name,
+)
+from repro.collector.sharded import ShardedSpoolCollector
+from repro.errors import TransportError
+from repro.scenarios.workloads import quiesce
+
+HEARTBEAT_INTERVAL_S = 0.5
+#: Command-poll period; also bounds SIGTERM-to-drain latency.
+POLL_TIMEOUT_S = 0.2
+
+
+class Worker:
+    def __init__(
+        self,
+        index: int,
+        workers: int,
+        coordinator: tuple[str, int],
+        plane: str = "identity",
+        spool_root: str | None = None,
+    ):
+        self.index = index
+        self.workers = workers
+        self.coordinator = coordinator
+        self.plane = plane
+        self.spool_root = spool_root
+        self.channel: FrameChannel | None = None
+        self.deployment = None
+        self.transport = SocketTransport()
+        self._channel_lock = threading.Lock()
+        self._drain_requested = threading.Event()
+        self._stopped = threading.Event()
+
+    # -- lifecycle -------------------------------------------------------
+
+    def run(self) -> int:
+        signal.signal(signal.SIGTERM, self._on_sigterm)
+        sock = socket.create_connection(self.coordinator, timeout=10.0)
+        sock.settimeout(None)
+        self.channel = FrameChannel(sock)
+        if self.plane == "load":
+            self.deployment = build_load_deployment(
+                self.index, self.workers, self.transport
+            )
+        else:
+            self.deployment = build_worker_deployment(
+                self.index, self.workers, self.transport
+            )
+        self._send(
+            {
+                "type": "hello",
+                "index": self.index,
+                "pid": os.getpid(),
+                "endpoints": {
+                    address: list(endpoint)
+                    for address, endpoint in self.transport.local_endpoints().items()
+                },
+                "refs": {server_name(self.index): self.deployment.local_ref_url},
+            }
+        )
+        mapping = self.channel.recv_json(timeout=30.0)
+        if mapping.get("type") != "map":
+            raise TransportError(f"expected map, got {mapping.get('type')!r}")
+        self.transport.set_endpoints(
+            {
+                address: (host, int(port))
+                for address, (host, port) in mapping["endpoints"].items()
+            }
+        )
+        self.deployment.connect(mapping["refs"])
+        self._send({"type": "ready", "index": self.index})
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="cluster-heartbeat", daemon=True
+        )
+        heartbeat.start()
+        try:
+            return self._serve()
+        finally:
+            self._stopped.set()
+            self.transport.close()
+
+    def _serve(self) -> int:
+        while True:
+            if self._drain_requested.is_set():
+                self._drain()
+                return 0
+            try:
+                message = self.channel.recv_json(timeout=POLL_TIMEOUT_S)
+            except ChannelTimeout:
+                continue
+            except TransportError:
+                # Coordinator died; nothing to ship to. Exit non-zero so
+                # a supervising launcher can tell this from a clean stop.
+                return 1
+            kind = message.get("type")
+            if kind == "run-calls":
+                self._run_calls(message)
+            elif kind == "run-load":
+                self._run_load(message)
+            elif kind == "collect":
+                self._collect(message["run_id"])
+            elif kind == "shutdown":
+                self._send({"type": "bye", "index": self.index})
+                return 0
+            # Unknown messages are ignored: forward protocol compatibility.
+
+    def _on_sigterm(self, _signum, _frame) -> None:
+        self._drain_requested.set()
+
+    # -- command handlers ------------------------------------------------
+
+    def _buffered(self) -> dict[str, int]:
+        return {
+            process.name: len(process.log_buffer)
+            for process in self.deployment.processes
+        }
+
+    def _run_calls(self, message: dict) -> None:
+        errors, results = drive_calls(
+            self.deployment, int(message["calls"])
+        )
+        quiesce(self.deployment.processes)
+        self._send(
+            {
+                "type": "done",
+                "index": self.index,
+                "run_seq": message.get("run_seq"),
+                "errors": errors,
+                "results": results,
+                "buffered": self._buffered(),
+            }
+        )
+
+    def _run_load(self, message: dict) -> None:
+        import asyncio
+
+        stub = self.deployment.stub
+
+        async def _call(i):
+            await stub.ping(i)
+
+        result = asyncio.run(
+            open_loop(
+                _call,
+                rate_per_s=float(message["rate"]),
+                arrivals=int(message["arrivals"]),
+                seed=int(message["seed"]),
+                max_inflight=int(message.get("max_inflight", 4096)),
+            )
+        )
+        self._send(
+            {
+                "type": "done",
+                "index": self.index,
+                "run_seq": message.get("run_seq"),
+                "result": result.to_json(),
+                "buffered": self._buffered(),
+            }
+        )
+
+    def _collect(self, run_id: str) -> None:
+        quiesce(self.deployment.processes)
+        spool = tempfile.mkdtemp(
+            prefix=f"repro-spool-{self.index:02d}-", dir=self.spool_root
+        )
+        try:
+            shard = ShardedSpoolCollector(spool)
+            shard.collect(self.deployment.processes, run_id=run_id)
+            manifest = shard.manifest(run_id)
+            shard.seal()
+            with self._channel_lock:
+                ship_run(
+                    self.channel,
+                    spool,
+                    run_id,
+                    loss=manifest["loss"],
+                    processes=manifest["processes"],
+                    monitor_mode=manifest["monitor_mode"],
+                    record_count=manifest["record_count"],
+                    schema_version=manifest["schema_version"],
+                )
+        finally:
+            shutil.rmtree(spool, ignore_errors=True)
+
+    def _drain(self) -> None:
+        """SIGTERM path: quiesce, ship whatever is buffered, exit clean."""
+        self._collect(f"drain-{self.index:02d}")
+        self._send({"type": "drain-complete", "index": self.index})
+
+    # -- heartbeats ------------------------------------------------------
+
+    def _send(self, message: dict) -> None:
+        with self._channel_lock:
+            self.channel.send_json(message)
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stopped.wait(HEARTBEAT_INTERVAL_S):
+            try:
+                self._send(
+                    {
+                        "type": "heartbeat",
+                        "index": self.index,
+                        "buffered": self._buffered(),
+                    }
+                )
+            except TransportError:
+                return  # coordinator gone; the serve loop will notice
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description="repro cluster worker")
+    parser.add_argument("--index", type=int, required=True)
+    parser.add_argument("--workers", type=int, required=True)
+    parser.add_argument(
+        "--connect", required=True, help="coordinator control address host:port"
+    )
+    parser.add_argument(
+        "--plane", choices=("identity", "load"), default="identity"
+    )
+    parser.add_argument("--spool-root", default=None)
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    worker = Worker(
+        index=args.index,
+        workers=args.workers,
+        coordinator=(host, int(port)),
+        plane=args.plane,
+        spool_root=args.spool_root,
+    )
+    return worker.run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

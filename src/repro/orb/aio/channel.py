@@ -11,9 +11,11 @@ caller — with two event-loop twists:
 - **Coalesced pipelined writes.** Frames queued within one loop tick are
   joined into a single transport send (flushed by a ``call_soon``
   callback), so 8k concurrent callers cost ~1 transport crossing per
-  tick instead of 8k. Under injected link latency this also means the
-  latency charge is paid once per flush, not once per frame — a
-  documented accounting difference from the threaded plane.
+  tick instead of 8k. Fault-injecting connections are the exception:
+  they take one plan decision (and one latency charge) per transport
+  send, so the flush degrades to frame-by-frame sends there — keeping
+  injected delays, drops and corruption attributed per *request*, byte
+  and charge compatible with the threaded plane.
 - **Thread-to-loop demux.** The in-memory transport blocks in
   ``recv``, so one reader thread per channel re-slices the byte stream
   (:class:`~repro.orb.aio.framing.StreamFrameParser`) and hands decoded
@@ -174,11 +176,23 @@ class AsyncMuxChannel:
         self._flush_scheduled = False
         if not self._write_buf:
             return
-        batch = b"".join(self._write_buf)
+        frames = self._write_buf[:]
         self._write_buf.clear()
         _FLUSHES.inc()
         try:
-            self._conn.send(batch, sender_host=self._sender_host)
+            if getattr(self._conn, "_injector", None) is not None:
+                # Fault-injecting connections take one plan decision and
+                # one latency charge per transport send. Coalescing would
+                # charge an injected delay once per *batch* and land
+                # drop/corrupt faults on whole batches — per-request
+                # latency attribution would depend on flush timing. Send
+                # frame-by-frame so the seeded fault schedule and the
+                # latency accounting stay per-request, matching the
+                # threaded plane.
+                for frame in frames:
+                    self._conn.send(frame, sender_host=self._sender_host)
+            else:
+                self._conn.send(b"".join(frames), sender_host=self._sender_host)
         except TransportError as exc:
             # The shared connection is gone: every pipelined caller's loss.
             self._fail_all(exc)

@@ -31,7 +31,7 @@ class SuiteError(ReproError):
 
 
 #: Workload registry keys (implementations in repro.scenarios.workloads).
-WORKLOAD_NAMES = ("corba", "embedded", "three_tier", "pps", "bridge")
+WORKLOAD_NAMES = ("corba", "embedded", "three_tier", "pps", "bridge", "cluster")
 #: Storage backends a scenario can collect into.
 BACKEND_NAMES = ("sqlite", "segment")
 #: ORB client channel modes.
@@ -558,6 +558,28 @@ def _validate_cell(
             " single per-connection dispatch thread behind a shared mux"
             " channel); give the workload its own grid with supported policies"
         )
+    if workload.name == "cluster":
+        # The cluster workload runs a *real* multi-process deployment over
+        # TCP: seeded fault plans live in the in-memory FaultyNetwork and
+        # cannot inject into kernel sockets, and the worker processes fix
+        # their own data plane (mux / per-request) internally.
+        if not fault.is_none:
+            raise SuiteError(
+                f"grid {grid.name!r}: the cluster workload runs over real"
+                " sockets; seeded network fault plans cannot be injected"
+                f" there (got fault {fault.name!r})"
+            )
+        if hooks:
+            raise SuiteError(
+                f"grid {grid.name!r}: the cluster workload does not support"
+                " background hooks (collection happens in worker processes)"
+            )
+        if (policy.channel, policy.threading) != ("mux", "per-request"):
+            raise SuiteError(
+                f"grid {grid.name!r}: the cluster workload fixes its data"
+                " plane to mux/per-request inside the worker processes; got"
+                f" {policy.label}"
+            )
     for hook in hooks:
         if hook.kind == "collector_failover" and fault.collect_fail_attempts < 1:
             raise SuiteError(

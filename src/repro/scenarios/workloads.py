@@ -539,6 +539,18 @@ def run_bridge(ctx: ScenarioContext) -> WorkloadHarness:
     return WorkloadHarness(processes, errors, results, _shutdown_all(processes))
 
 
+# ----------------------------------------------------------------------
+# cluster: a real multi-process mini-cluster (see repro.cluster.scenario)
+
+
+def run_cluster(ctx: ScenarioContext) -> WorkloadHarness:
+    # Imported lazily: repro.cluster pulls in the socket transport and
+    # subprocess launcher, which non-cluster suites never need.
+    from repro.cluster.scenario import run_cluster_scenario
+
+    return run_cluster_scenario(ctx)
+
+
 #: The workload registry the executor dispatches on; keys must mirror
 #: :data:`repro.scenarios.config.WORKLOAD_NAMES` (a unit test holds this).
 WORKLOADS: dict[str, Callable[[ScenarioContext], WorkloadHarness]] = {
@@ -547,4 +559,5 @@ WORKLOADS: dict[str, Callable[[ScenarioContext], WorkloadHarness]] = {
     "three_tier": run_three_tier,
     "pps": run_pps,
     "bridge": run_bridge,
+    "cluster": run_cluster,
 }

@@ -1,0 +1,169 @@
+"""Remote spool ingest: shipped ``.seg`` spools into the central store.
+
+The coordinator side of the cluster's shipping protocol
+(:mod:`repro.cluster.shipping`). Each worker ships its sealed spool
+segments as exact file bytes; this module decodes them with the
+ordinary :class:`~repro.store.SegmentReader` and re-inserts the records
+into the central :class:`~repro.store.backend.StorageBackend` in worker
+order, under one run whose merged metadata is what a single
+:class:`~repro.collector.LogCollector` pass over the concatenated
+process list would have written — that equality is what makes a cluster
+run's DSCG/CCSG output bit-identical to the single-process reference.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.core.records import SCHEMA_VERSION, ProbeRecord, RunMetadata
+from repro.errors import StoreError
+from repro.store.segment import SegmentReader
+
+
+@dataclass
+class Shipment:
+    """One worker's decoded shipment, ready for central re-ingest."""
+
+    run_id: str
+    processes: list[str]
+    loss: dict
+    monitor_mode: str
+    record_count: int
+    #: Records in the worker's local arrival order.
+    records: list[ProbeRecord] = field(default_factory=list)
+
+
+def receive_shipment(channel, begin: dict, workdir: str | None = None) -> Shipment:
+    """Decode one shipment from ``channel`` (after its ``ship-begin``).
+
+    ``begin`` is the already-received ``ship-begin`` message. Segment
+    bytes are staged to ``workdir`` (a private temp dir by default) so
+    :class:`SegmentReader` can mmap them, then decoded to records in the
+    worker's arrival order. Raises :class:`StoreError` on protocol or
+    schema mismatch.
+    """
+    if begin.get("type") != "ship-begin":
+        raise StoreError(f"expected ship-begin, got {begin.get('type')!r}")
+    if begin.get("schema_version") != SCHEMA_VERSION:
+        raise StoreError(
+            f"shipment has record schema v{begin.get('schema_version')}, "
+            f"this build uses v{SCHEMA_VERSION}"
+        )
+    shipment = Shipment(
+        run_id=str(begin["run_id"]),
+        processes=list(begin.get("processes", [])),
+        loss=dict(begin.get("loss", {})),
+        monitor_mode=str(begin.get("monitor_mode", "")),
+        record_count=int(begin.get("record_count", 0)),
+    )
+    ranked: list[tuple[int, ProbeRecord]] = []
+    with tempfile.TemporaryDirectory(dir=workdir) as staging:
+        for index in range(int(begin.get("segments", 0))):
+            header = channel.recv_json()
+            if header.get("type") != "segment":
+                raise StoreError(
+                    f"expected segment header, got {header.get('type')!r}"
+                )
+            data = channel.recv()
+            if len(data) != int(header.get("bytes", -1)):
+                raise StoreError(
+                    f"segment {header.get('name')}: expected "
+                    f"{header.get('bytes')} bytes, received {len(data)}"
+                )
+            path = os.path.join(staging, f"{index:06d}.seg")
+            with open(path, "wb") as handle:
+                handle.write(data)
+            reader = SegmentReader(path)
+            try:
+                reader.load_ranked(ranked)
+            finally:
+                reader.close()
+    end = channel.recv_json()
+    if end.get("type") != "ship-end":
+        raise StoreError(f"expected ship-end, got {end.get('type')!r}")
+    ranked.sort(key=lambda pair: pair[0])
+    shipment.records = [record for _rank, record in ranked]
+    if len(shipment.records) != shipment.record_count:
+        raise StoreError(
+            f"shipment {shipment.run_id}: manifest promised "
+            f"{shipment.record_count} records, decoded {len(shipment.records)}"
+        )
+    return shipment
+
+
+def merge_loss(parts: list[dict]) -> dict:
+    """Merge per-worker loss dicts the way one collector pass would."""
+    merged = {
+        "drain_retries": 0,
+        "failed_drains": [],
+        "records_dropped_at_probe": 0,
+        "records_lost_in_delivery": 0,
+        "records_uncollected": 0,
+    }
+    for part in parts:
+        merged["drain_retries"] += int(part.get("drain_retries", 0))
+        merged["failed_drains"].extend(part.get("failed_drains", []))
+        merged["records_dropped_at_probe"] += int(
+            part.get("records_dropped_at_probe", 0)
+        )
+        merged["records_lost_in_delivery"] += int(
+            part.get("records_lost_in_delivery", 0)
+        )
+        merged["records_uncollected"] += int(part.get("records_uncollected", 0))
+    merged["failed_drains"] = sorted(merged["failed_drains"])
+    return merged
+
+
+def merge_monitor_modes(modes: list[str]) -> str:
+    """Union of per-worker monitor-mode strings, collector formatting."""
+    values: set[str] = set()
+    for part in modes:
+        values.update(m for m in part.split(",") if m)
+    return ",".join(sorted(values))
+
+
+def ingest_shipments(
+    backend,
+    run_id: str,
+    shipments: list[Shipment],
+    description: str = "",
+    extra_loss: list[dict] | None = None,
+    dead_processes: list[str] | None = None,
+) -> int:
+    """Write ``shipments`` (in worker order) as one central run.
+
+    ``extra_loss``/``dead_processes`` let the coordinator charge workers
+    that died before shipping (kill -9): their process names join the
+    run's process list and ``failed_drains``, and their last-reported
+    buffer occupancy joins ``records_uncollected`` — so the balance
+    ``stored + lost + uncollected == produced`` holds cluster-wide.
+
+    Returns the number of records inserted.
+    """
+    processes: list[str] = []
+    for shipment in shipments:
+        processes.extend(shipment.processes)
+    processes.extend(dead_processes or [])
+    loss = merge_loss(
+        [s.loss for s in shipments] + list(extra_loss or [])
+    )
+    monitor_mode = merge_monitor_modes([s.monitor_mode for s in shipments])
+    inserted = 0
+    with backend.bulk_ingest():
+        backend.create_run(
+            RunMetadata(
+                run_id=run_id,
+                description=description,
+                monitor_mode=monitor_mode,
+                extra={
+                    "processes": processes,
+                    "loss": loss,
+                    "schema_version": SCHEMA_VERSION,
+                },
+            )
+        )
+        for shipment in shipments:
+            inserted += backend.insert_records(run_id, shipment.records)
+    return inserted
